@@ -1,0 +1,19 @@
+//! Regenerates Figures 5a and 5b (reduced µ-op budget; use the `figures` binary for
+//! full-length runs).
+
+use bebop::SpeedupSummary;
+use bebop_bench::{format_summary, run_fig5a, run_fig5b, workloads, BENCH_UOPS};
+
+fn main() {
+    let specs = workloads(true);
+    println!("[bench] Figure 5a: predictors over Baseline_6_60 ({BENCH_UOPS} uops)");
+    for (label, results) in run_fig5a(&specs, BENCH_UOPS) {
+        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+    }
+    println!("[bench] Figure 5b: EOLE_4_60 over Baseline_VP_6_60");
+    let results = run_fig5b(&specs, BENCH_UOPS);
+    println!(
+        "{}",
+        format_summary("EOLE_4_60 w/ D-VTAGE", &SpeedupSummary::from_results(&results))
+    );
+}

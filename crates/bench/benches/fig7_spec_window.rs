@@ -1,0 +1,17 @@
+//! Regenerates Figure 7a (recovery policies) and 7b (speculative window sizes),
+//! with a reduced µ-op budget.
+
+use bebop::SpeedupSummary;
+use bebop_bench::{format_summary, run_fig7a, run_fig7b, workloads, BENCH_UOPS};
+
+fn main() {
+    let specs = workloads(true);
+    println!("[bench] Figure 7a: recovery policies ({BENCH_UOPS} uops)");
+    for (label, results) in run_fig7a(&specs, BENCH_UOPS) {
+        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+    }
+    println!("[bench] Figure 7b: speculative window size");
+    for (label, results) in run_fig7b(&specs, BENCH_UOPS) {
+        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+    }
+}

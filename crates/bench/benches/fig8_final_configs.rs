@@ -1,0 +1,17 @@
+//! Regenerates Table III storage budgets and Figure 8 (final configurations over
+//! Baseline_6_60), with a reduced µ-op budget.
+
+use bebop::SpeedupSummary;
+use bebop_bench::{format_summary, run_fig8, run_table3, workloads, BENCH_UOPS};
+
+fn main() {
+    println!("[bench] Table III: storage budgets");
+    for (name, kb) in run_table3() {
+        println!("    {name:<9} {kb:.2} KB");
+    }
+    let specs = workloads(true);
+    println!("[bench] Figure 8: final configurations over Baseline_6_60 ({BENCH_UOPS} uops)");
+    for (label, results) in run_fig8(&specs, BENCH_UOPS) {
+        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks: simulator and predictor throughput.
+
+use bebop::{configs, run_one, PredictorKind};
+use bebop_trace::spec_benchmark;
+use bebop_uarch::PipelineConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+    let spec = spec_benchmark("171.swim");
+    let uops = 20_000u64;
+
+    let cases: Vec<(&str, PipelineConfig, PredictorKind)> = vec![
+        ("baseline_6_60", PipelineConfig::baseline_6_60(), PredictorKind::None),
+        (
+            "baseline_vp_dvtage",
+            PipelineConfig::baseline_vp_6_60(),
+            PredictorKind::DVtage,
+        ),
+        (
+            "eole_bebop_medium",
+            PipelineConfig::eole_4_60(),
+            PredictorKind::BlockDVtage(configs::medium()),
+        ),
+    ];
+    for (name, pipe, pred) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(pipe, pred), |b, (pipe, pred)| {
+            b.iter(|| run_one(&spec, pipe, pred, uops));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_throughput);
+criterion_main!(benches);

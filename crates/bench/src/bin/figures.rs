@@ -1,0 +1,161 @@
+//! Regenerates every table and figure of the BeBoP paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p bebop-bench --release --bin figures -- --all
+//! cargo run -p bebop-bench --release --bin figures -- --fig8 --uops 1000000
+//! ```
+//!
+//! Each experiment prints the series the paper reports: per-benchmark speedups and
+//! the `[min, max]` box plus geometric mean.
+
+use bebop::SpeedupSummary;
+use bebop_bench::*;
+
+struct Options {
+    uops: u64,
+    subset: bool,
+    which: Vec<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        uops: DEFAULT_UOPS,
+        subset: false,
+        which: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--uops" => {
+                opts.uops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--uops needs a number");
+            }
+            "--subset" => opts.subset = true,
+            "--all" => opts.which.push("all".to_string()),
+            other => opts.which.push(other.trim_start_matches("--").to_string()),
+        }
+    }
+    if opts.which.is_empty() {
+        opts.which.push("all".to_string());
+    }
+    opts
+}
+
+fn wants(opts: &Options, name: &str) -> bool {
+    opts.which.iter().any(|w| w == "all" || w == name)
+}
+
+fn print_grouped(title: &str, groups: &[(String, Vec<bebop::BenchResult>)], per_bench: bool) {
+    println!("\n=== {title} ===");
+    for (label, results) in groups {
+        let summary = SpeedupSummary::from_results(results);
+        println!("{}", format_summary(label, &summary));
+        if per_bench {
+            print!("{}", format_per_bench(results));
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let specs = workloads(opts.subset);
+    let uops = opts.uops;
+    println!(
+        "BeBoP figure harness: {} benchmarks, {} µ-ops per run",
+        specs.len(),
+        uops
+    );
+
+    if wants(&opts, "table1") {
+        println!("\n=== Table I: pipeline configuration ===");
+        let c = bebop::PipelineConfig::baseline_6_60();
+        println!("{c:#?}");
+    }
+
+    if wants(&opts, "table2") {
+        println!("\n=== Table II: baseline IPC per benchmark (Baseline_6_60) ===");
+        for (name, ipc) in run_table2(&specs, uops) {
+            println!("    {name:<18} {ipc:.3}");
+        }
+    }
+
+    if wants(&opts, "fig5a") {
+        let groups = run_fig5a(&specs, uops);
+        print_grouped(
+            "Figure 5a: value predictors over Baseline_6_60 (idealistic infrastructure)",
+            &groups,
+            true,
+        );
+    }
+
+    if wants(&opts, "fig5b") {
+        let results = run_fig5b(&specs, uops);
+        let summary = SpeedupSummary::from_results(&results);
+        println!("\n=== Figure 5b: EOLE_4_60 (D-VTAGE) over Baseline_VP_6_60 ===");
+        println!("{}", format_summary("EOLE_4_60 w/ D-VTAGE", &summary));
+        print!("{}", format_per_bench(&results));
+    }
+
+    if wants(&opts, "fig6a") {
+        let groups = run_fig6a(&specs, uops);
+        print_grouped(
+            "Figure 6a: predictions per entry (BeBoP D-VTAGE) over EOLE_4_60",
+            &groups,
+            false,
+        );
+    }
+
+    if wants(&opts, "fig6b") {
+        let groups = run_fig6b(&specs, uops);
+        print_grouped(
+            "Figure 6b: base/tagged component sizes (Npred=6) over EOLE_4_60",
+            &groups,
+            false,
+        );
+    }
+
+    if wants(&opts, "strides") {
+        println!("\n=== Section VI-B(a): partial strides ===");
+        for (label, kb, results) in run_strides(&specs, uops) {
+            let summary = SpeedupSummary::from_results(&results);
+            println!("{}  [{kb:.1} KB]", format_summary(&label, &summary));
+        }
+    }
+
+    if wants(&opts, "fig7a") {
+        let groups = run_fig7a(&specs, uops);
+        print_grouped(
+            "Figure 7a: speculative window recovery policies over EOLE_4_60",
+            &groups,
+            false,
+        );
+    }
+
+    if wants(&opts, "fig7b") {
+        let groups = run_fig7b(&specs, uops);
+        print_grouped(
+            "Figure 7b: speculative window size (DnRDnR) over EOLE_4_60",
+            &groups,
+            false,
+        );
+    }
+
+    if wants(&opts, "table3") {
+        println!("\n=== Table III: final predictor configurations ===");
+        println!("    paper:   Small_4p 17.26 KB, Small_6p 17.18 KB, Medium 32.76 KB, Large 61.65 KB");
+        for (name, kb) in run_table3() {
+            println!("    modelled {name:<9} {kb:.2} KB");
+        }
+    }
+
+    if wants(&opts, "fig8") {
+        let groups = run_fig8(&specs, uops);
+        print_grouped(
+            "Figure 8: final configurations over Baseline_6_60",
+            &groups,
+            true,
+        );
+    }
+}

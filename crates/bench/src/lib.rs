@@ -1,0 +1,259 @@
+//! Shared harness code for regenerating the tables and figures of the BeBoP paper.
+//!
+//! The `figures` binary (`cargo run -p bebop-bench --release --bin figures -- --all`)
+//! and the `cargo bench` targets all call into this crate. Every experiment of the
+//! paper's evaluation (Section VI) has a `run_*` function here that produces the
+//! same rows/series the paper reports: per-benchmark speedups plus the
+//! `[min, max]` box and geometric mean used in the figures.
+
+#![warn(missing_docs)]
+
+use bebop::{compare, configs, BenchResult, PredictorKind, SpeedupSummary};
+use bebop_trace::{all_spec_benchmarks, WorkloadSpec};
+use bebop_uarch::PipelineConfig;
+
+/// Number of µ-ops simulated per benchmark when regenerating figures. The paper
+/// simulates 100M instructions per benchmark; the default here is sized so the full
+/// figure set completes in minutes — pass `--uops` to the `figures` binary to raise it.
+pub const DEFAULT_UOPS: u64 = 200_000;
+
+/// A reduced µ-op budget used by the `cargo bench` targets so the whole suite stays
+/// fast.
+pub const BENCH_UOPS: u64 = 30_000;
+
+/// Returns the benchmark population: all 36 Table II workloads, or a reduced subset
+/// when `subset` is true (used by `cargo bench` to bound runtime).
+pub fn workloads(subset: bool) -> Vec<WorkloadSpec> {
+    let all = all_spec_benchmarks();
+    if subset {
+        // A representative slice: two high-gain FP codes, two moderate, two low-gain.
+        let keep = [
+            "171.swim",
+            "173.applu",
+            "401.bzip2",
+            "403.gcc",
+            "429.mcf",
+            "186.crafty",
+        ];
+        all.into_iter().filter(|s| keep.contains(&s.name.as_str())).collect()
+    } else {
+        all
+    }
+}
+
+/// Formats a speedup summary as the `[min, max]` + gmean series the paper's figures
+/// report.
+pub fn format_summary(label: &str, summary: &SpeedupSummary) -> String {
+    format!(
+        "{label:<28} gmean {:.3}  min {:.3}  q1 {:.3}  med {:.3}  q3 {:.3}  max {:.3}",
+        summary.gmean(),
+        summary.min(),
+        summary.quantile(0.25),
+        summary.quantile(0.5),
+        summary.quantile(0.75),
+        summary.max()
+    )
+}
+
+/// Formats per-benchmark rows (benchmark name and speedup), as in Figures 5 and 8.
+pub fn format_per_bench(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&format!("    {:<18} {:.3}\n", r.name, r.speedup()));
+    }
+    out
+}
+
+/// Figure 5a: speedup of 2d-Stride, VTAGE, VTAGE-2d-Stride and D-VTAGE (idealistic
+/// instruction-based infrastructure) on the 6-issue baseline, over `Baseline_6_60`.
+pub fn run_fig5a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
+    let baseline = PipelineConfig::baseline_6_60();
+    let vp_pipe = PipelineConfig::baseline_vp_6_60();
+    [
+        PredictorKind::TwoDeltaStride,
+        PredictorKind::Vtage,
+        PredictorKind::VtageStrideHybrid,
+        PredictorKind::DVtage,
+    ]
+    .into_iter()
+    .map(|kind| {
+        let results = compare(specs, &baseline, &PredictorKind::None, &vp_pipe, &kind, uops);
+        (kind.label(), results)
+    })
+    .collect()
+}
+
+/// Figure 5b: EOLE_4_60 with instruction-based D-VTAGE over Baseline_VP_6_60.
+pub fn run_fig5b(specs: &[WorkloadSpec], uops: u64) -> Vec<BenchResult> {
+    compare(
+        specs,
+        &PipelineConfig::baseline_vp_6_60(),
+        &PredictorKind::DVtage,
+        &PipelineConfig::eole_4_60(),
+        &PredictorKind::DVtage,
+        uops,
+    )
+}
+
+/// Runs one BeBoP block D-VTAGE configuration on EOLE_4_60 against the EOLE_4_60 +
+/// instruction-based D-VTAGE reference (the baseline of Figures 6 and 7).
+pub fn run_bebop_config(
+    specs: &[WorkloadSpec],
+    cfg: bebop::BlockDVtageConfig,
+    uops: u64,
+) -> Vec<BenchResult> {
+    let eole = PipelineConfig::eole_4_60();
+    compare(
+        specs,
+        &eole,
+        &PredictorKind::DVtage,
+        &eole,
+        &PredictorKind::BlockDVtage(cfg),
+        uops,
+    )
+}
+
+/// Figure 6a: predictions per entry (4/6/8) at roughly constant storage.
+pub fn run_fig6a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
+    configs::fig6a_sweep()
+        .into_iter()
+        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
+        .collect()
+}
+
+/// Figure 6b: base/tagged component sizes with 6 predictions per entry.
+pub fn run_fig6b(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
+    configs::fig6b_sweep()
+        .into_iter()
+        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
+        .collect()
+}
+
+/// Section VI-B(a): partial stride widths (64/32/16/8 bits), with storage.
+pub fn run_strides(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, f64, Vec<BenchResult>)> {
+    configs::stride_sweep()
+        .into_iter()
+        .map(|(label, cfg)| {
+            let kb = cfg.storage_kb();
+            (label, kb, run_bebop_config(specs, cfg, uops))
+        })
+        .collect()
+}
+
+/// Figure 7a: recovery policies with an infinite speculative window.
+pub fn run_fig7a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
+    configs::fig7a_sweep()
+        .into_iter()
+        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
+        .collect()
+}
+
+/// Figure 7b: speculative window sizes under DnRDnR.
+pub fn run_fig7b(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
+    configs::fig7b_sweep()
+        .into_iter()
+        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
+        .collect()
+}
+
+/// Table III: the final configurations and their storage budgets in KB.
+pub fn run_table3() -> Vec<(String, f64)> {
+    configs::table3_configs()
+        .into_iter()
+        .map(|(name, cfg)| (name.to_string(), cfg.storage_kb()))
+        .collect()
+}
+
+/// Figure 8: the final configurations (plus Baseline_VP_6_60 and EOLE_4_60 with
+/// instruction-based D-VTAGE) over Baseline_6_60.
+pub fn run_fig8(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
+    let baseline = PipelineConfig::baseline_6_60();
+    let mut out = Vec::new();
+    out.push((
+        "Baseline_VP_6_60".to_string(),
+        compare(
+            specs,
+            &baseline,
+            &PredictorKind::None,
+            &PipelineConfig::baseline_vp_6_60(),
+            &PredictorKind::DVtage,
+            uops,
+        ),
+    ));
+    out.push((
+        "EOLE_4_60".to_string(),
+        compare(
+            specs,
+            &baseline,
+            &PredictorKind::None,
+            &PipelineConfig::eole_4_60(),
+            &PredictorKind::DVtage,
+            uops,
+        ),
+    ));
+    for (name, cfg) in configs::table3_configs() {
+        out.push((
+            name.to_string(),
+            compare(
+                specs,
+                &baseline,
+                &PredictorKind::None,
+                &PipelineConfig::eole_4_60(),
+                &PredictorKind::BlockDVtage(cfg),
+                uops,
+            ),
+        ));
+    }
+    out
+}
+
+/// Table II reproduction: baseline IPC of every synthetic benchmark on
+/// `Baseline_6_60`.
+pub fn run_table2(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, f64)> {
+    let baseline = PipelineConfig::baseline_6_60();
+    specs
+        .iter()
+        .map(|s| {
+            let stats = bebop::run_one(s, &baseline, &PredictorKind::None, uops);
+            (s.name.clone(), stats.inst_ipc())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_is_a_strict_subset() {
+        assert_eq!(workloads(false).len(), 36);
+        let sub = workloads(true);
+        assert_eq!(sub.len(), 6);
+    }
+
+    #[test]
+    fn table3_has_four_rows_with_expected_budgets() {
+        let rows = run_table3();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|(n, kb)| n == "Medium" && (28.0..38.0).contains(kb)));
+    }
+
+    #[test]
+    fn fig5a_runs_on_a_tiny_population() {
+        let specs = vec![WorkloadSpec::named_demo("tiny")];
+        let out = run_fig5a(&specs, 3_000);
+        assert_eq!(out.len(), 4);
+        for (_, results) in out {
+            assert_eq!(results.len(), 1);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers_produce_text() {
+        let specs = vec![WorkloadSpec::named_demo("fmt")];
+        let results = run_fig5b(&specs, 2_000);
+        let summary = SpeedupSummary::from_results(&results);
+        assert!(format_summary("x", &summary).contains("gmean"));
+        assert!(format_per_bench(&results).contains("fmt"));
+    }
+}

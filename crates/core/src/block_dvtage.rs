@@ -1,0 +1,957 @@
+//! Block-based D-VTAGE with the BeBoP access scheme — the paper's contribution.
+//!
+//! One predictor entry is associated with a 16-byte *fetch block* and holds `Npred`
+//! prediction slots. The Last Value Table (LVT) holds the retired last values plus
+//! per-slot byte-index tags used to attribute predictions to µ-ops after decode;
+//! the base component VT0 and the six partially tagged components hold (partial)
+//! strides with forward-probabilistic confidence. In-flight last values come from
+//! the block-based [`SpeculativeWindow`], and the [`FifoUpdateQueue`] carries every
+//! in-flight prediction block until retirement so the tables can be trained.
+
+use crate::recovery::RecoveryPolicy;
+use crate::spec_window::{SpecWindowSize, SpeculativeWindow};
+use crate::update_queue::FifoUpdateQueue;
+use bebop_isa::{byte_index_in_block, fetch_block_pc, DynUop, SeqNum};
+use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
+use bebop_vp::{ForwardProbabilisticCounter, FpcParams};
+
+/// Configuration of a block-based D-VTAGE predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockDVtageConfig {
+    /// Number of prediction slots per entry (`Npred`: 4, 6 or 8 in Figure 6a).
+    pub npred: usize,
+    /// Entries of the base component (LVT + VT0).
+    pub base_entries: usize,
+    /// LVT tag width in bits (5 in the paper).
+    pub lvt_tag_bits: u32,
+    /// Number of partially tagged components (6).
+    pub num_tagged: usize,
+    /// Entries of each tagged component (128 or 256).
+    pub tagged_entries: usize,
+    /// Tag width of the first tagged component (13; grows by one per component).
+    pub first_tag_bits: u32,
+    /// Shortest global-history length (2).
+    pub min_history: usize,
+    /// Longest global-history length (64).
+    pub max_history: usize,
+    /// Stride width in bits (8, 16, 32 or 64; partial strides shrink storage).
+    pub stride_bits: u32,
+    /// Speculative window size.
+    pub spec_window: SpecWindowSize,
+    /// Speculative-window partial tag width (15).
+    pub spec_window_tag_bits: u32,
+    /// Recovery policy for same-block flushes.
+    pub recovery: RecoveryPolicy,
+    /// Forward-probabilistic-counter parameters.
+    pub fpc: FpcParams,
+    /// Fetch block size in bytes (16).
+    pub fetch_block_bytes: u64,
+    /// Period, in block updates, of the useful-bit reset.
+    pub useful_reset_period: u64,
+}
+
+impl Default for BlockDVtageConfig {
+    fn default() -> Self {
+        // The "optimistic" configuration used for the sensitivity studies:
+        // 6 predictions per entry, 2K-entry base, six 256-entry tagged components,
+        // 64-bit strides, infinite speculative window, DnRDnR recovery.
+        BlockDVtageConfig {
+            npred: 6,
+            base_entries: 2048,
+            lvt_tag_bits: 5,
+            num_tagged: 6,
+            tagged_entries: 256,
+            first_tag_bits: 13,
+            min_history: 2,
+            max_history: 64,
+            stride_bits: 64,
+            spec_window: SpecWindowSize::Unbounded,
+            spec_window_tag_bits: 15,
+            recovery: RecoveryPolicy::DnRDnR,
+            fpc: FpcParams::paper_default(),
+            fetch_block_bytes: 16,
+            useful_reset_period: 128 * 1024,
+        }
+    }
+}
+
+impl BlockDVtageConfig {
+    /// The geometric history length of tagged component `i`.
+    pub fn history_length(&self, i: usize) -> usize {
+        if self.num_tagged <= 1 {
+            return self.min_history;
+        }
+        let ratio = (self.max_history as f64 / self.min_history as f64)
+            .powf(i as f64 / (self.num_tagged - 1) as f64);
+        (self.min_history as f64 * ratio).round() as usize
+    }
+
+    /// The tag width of tagged component `i`.
+    pub fn tag_bits(&self, i: usize) -> u32 {
+        (self.first_tag_bits + i as u32).min(16)
+    }
+
+    /// Sign-extended truncation of a stride to the configured partial width.
+    pub fn clamp_stride(&self, stride: i64) -> i64 {
+        if self.stride_bits >= 64 {
+            return stride;
+        }
+        let shift = 64 - self.stride_bits;
+        (stride << shift) >> shift
+    }
+
+    /// Storage of the predictor in bits, using the same per-field accounting as
+    /// Table III (LVT values + byte tags + block tag, VT0/tagged strides +
+    /// 3-bit confidence + tags + useful bit, speculative window values + tags).
+    pub fn storage_bits(&self) -> u64 {
+        let byte_tag_bits = u64::from(self.fetch_block_bytes.trailing_zeros()); // log2(16) = 4
+        let np = self.npred as u64;
+        let lvt_entry = u64::from(self.lvt_tag_bits) + np * (64 + byte_tag_bits);
+        let vt0_entry = np * (u64::from(self.stride_bits) + 3);
+        let base = self.base_entries as u64 * (lvt_entry + vt0_entry);
+        let mut tagged = 0u64;
+        for c in 0..self.num_tagged {
+            let entry = u64::from(self.tag_bits(c)) + 1 + np * (u64::from(self.stride_bits) + 3);
+            tagged += self.tagged_entries as u64 * entry;
+        }
+        let window = self.spec_window.entries_for_storage() as u64
+            * (u64::from(self.spec_window_tag_bits) + np * 64);
+        base + tagged + window
+    }
+
+    /// Storage in kilobytes.
+    pub fn storage_kb(&self) -> f64 {
+        self.storage_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LvtSlot {
+    valid: bool,
+    byte_tag: u8,
+    last: u64,
+}
+
+#[derive(Debug, Clone)]
+struct LvtEntry {
+    valid: bool,
+    tag: u16,
+    slots: Vec<LvtSlot>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct StrideSlot {
+    stride: i64,
+    conf: ForwardProbabilisticCounter,
+}
+
+#[derive(Debug, Clone)]
+struct Vt0Entry {
+    slots: Vec<StrideSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct TaggedEntry {
+    valid: bool,
+    tag: u16,
+    useful: bool,
+    slots: Vec<StrideSlot>,
+}
+
+/// The prediction block currently being attributed to fetched µ-ops.
+#[derive(Debug, Clone)]
+struct CurrentBlock {
+    block_pc: u64,
+    first_seq: SeqNum,
+    cursor: usize,
+    /// DnRDnR: predictions of this (re-fetched) block may not be consumed.
+    forbid_use: bool,
+    slot_tags: Vec<Option<u8>>,
+    slot_pred: Vec<Option<u64>>,
+    slot_conf: Vec<bool>,
+}
+
+/// The in-flight record pushed on the FIFO update queue for one block instance.
+#[derive(Debug, Clone)]
+struct BlockRecord {
+    block_pc: u64,
+    lvt_index: usize,
+    lvt_tag: u16,
+    provider: Option<(usize, usize)>,
+    /// Per tagged component, the (index, tag) computed at prediction time.
+    alloc_slots: Vec<(usize, u16)>,
+    slot_tags: Vec<Option<u8>>,
+    slot_pred: Vec<Option<u64>>,
+    provider_conf_levels: Vec<u8>,
+    provider_strides: Vec<i64>,
+    /// Retired (byte index, actual value) pairs accumulated for this block.
+    results: Vec<(u8, u64)>,
+}
+
+/// Block-based D-VTAGE with BeBoP.
+#[derive(Debug, Clone)]
+pub struct BlockDVtage {
+    cfg: BlockDVtageConfig,
+    lvt: Vec<LvtEntry>,
+    vt0: Vec<Vt0Entry>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    window: SpeculativeWindow,
+    fifo: FifoUpdateQueue<BlockRecord>,
+    current: Option<CurrentBlock>,
+    force_new_block: bool,
+    /// Highest µ-op sequence number seen at retirement (drives eager application of
+    /// completed block records).
+    last_retired: Option<SeqNum>,
+    rng: u64,
+    updates: u64,
+    window_hits: u64,
+    window_lookups: u64,
+}
+
+impl BlockDVtage {
+    /// Creates a block-based D-VTAGE predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `npred`, `base_entries`, `num_tagged` or `tagged_entries` is zero.
+    pub fn new(cfg: BlockDVtageConfig) -> Self {
+        assert!(cfg.npred > 0 && cfg.base_entries > 0 && cfg.num_tagged > 0 && cfg.tagged_entries > 0);
+        let lvt_entry = LvtEntry {
+            valid: false,
+            tag: 0,
+            slots: vec![LvtSlot::default(); cfg.npred],
+        };
+        let vt0_entry = Vt0Entry {
+            slots: vec![StrideSlot::default(); cfg.npred],
+        };
+        let tagged_entry = TaggedEntry {
+            valid: false,
+            tag: 0,
+            useful: false,
+            slots: vec![StrideSlot::default(); cfg.npred],
+        };
+        BlockDVtage {
+            lvt: vec![lvt_entry; cfg.base_entries],
+            vt0: vec![vt0_entry; cfg.base_entries],
+            tagged: vec![vec![tagged_entry; cfg.tagged_entries]; cfg.num_tagged],
+            window: SpeculativeWindow::with_size(cfg.spec_window, cfg.spec_window_tag_bits),
+            fifo: FifoUpdateQueue::new(),
+            current: None,
+            force_new_block: false,
+            last_retired: None,
+            rng: 0xb10c_b10c_b10c_b10c,
+            updates: 0,
+            window_hits: 0,
+            window_lookups: 0,
+            cfg,
+        }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &BlockDVtageConfig {
+        &self.cfg
+    }
+
+    /// Fraction of block predictions whose last values were served by the
+    /// speculative window (diagnostic).
+    pub fn window_hit_rate(&self) -> f64 {
+        if self.window_lookups == 0 {
+            0.0
+        } else {
+            self.window_hits as f64 / self.window_lookups as f64
+        }
+    }
+
+    /// Applies every block record whose µ-ops have all retired (the following
+    /// block's first µ-op is at or below the retirement frontier) and prunes the
+    /// speculative window down to genuinely in-flight blocks.
+    fn drain_completed(&mut self) {
+        let Some(retired) = self.last_retired else {
+            return;
+        };
+        while let Some(next) = self.fifo.next_block_seq() {
+            if next <= retired + 1 {
+                if let Some((_, rec)) = self.fifo.pop_front() {
+                    self.apply_update(rec);
+                }
+            } else {
+                break;
+            }
+        }
+        let horizon = self
+            .fifo
+            .front()
+            .map(|(s, _)| *s)
+            .unwrap_or(retired + 1);
+        self.window.prune_retired(horizon);
+    }
+
+    fn rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn block_number(&self, block_pc: u64) -> u64 {
+        block_pc >> self.cfg.fetch_block_bytes.trailing_zeros()
+    }
+
+    fn lvt_index(&self, block_pc: u64) -> usize {
+        (self.block_number(block_pc) % self.cfg.base_entries as u64) as usize
+    }
+
+    fn lvt_tag(&self, block_pc: u64) -> u16 {
+        ((self.block_number(block_pc) / self.cfg.base_entries as u64)
+            & ((1 << self.cfg.lvt_tag_bits) - 1)) as u16
+    }
+
+    fn fold(history: u64, len: usize, bits: u32) -> u64 {
+        if bits == 0 || len == 0 {
+            return 0;
+        }
+        let len = len.min(64);
+        let mut h = if len >= 64 { history } else { history & ((1u64 << len) - 1) };
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut acc = 0u64;
+        while h != 0 {
+            acc ^= h & mask;
+            h >>= bits.min(63);
+        }
+        acc & mask
+    }
+
+    fn tagged_index(&self, block_pc: u64, ghist: u64, path: u64, comp: usize) -> usize {
+        let hl = self.cfg.history_length(comp);
+        let bn = self.block_number(block_pc);
+        let bits = (self.cfg.tagged_entries as u64).trailing_zeros();
+        let folded = Self::fold(ghist, hl, bits.max(1));
+        let idx = bn ^ (bn >> bits.max(1)) ^ folded ^ (path & 0x3f);
+        (idx % self.cfg.tagged_entries as u64) as usize
+    }
+
+    fn tagged_tag(&self, block_pc: u64, ghist: u64, comp: usize) -> u16 {
+        let hl = self.cfg.history_length(comp);
+        let tb = self.cfg.tag_bits(comp);
+        let bn = self.block_number(block_pc);
+        let f1 = Self::fold(ghist, hl, tb);
+        let f2 = Self::fold(ghist, hl, tb.saturating_sub(3).max(2));
+        ((bn ^ (bn >> 7) ^ f1 ^ (f2 << 2)) & ((1u64 << tb) - 1)) as u16
+    }
+
+    /// Begins a new prediction-block instance for the fetch block at `block_pc`.
+    fn start_block(&mut self, ctx: &PredictCtx, block_pc: u64, first_seq: SeqNum) {
+        let np = self.cfg.npred;
+        let lvt_index = self.lvt_index(block_pc);
+        let lvt_tag = self.lvt_tag(block_pc);
+        let lvt = &self.lvt[lvt_index];
+        let lvt_hit = lvt.valid && lvt.tag == lvt_tag;
+
+        // Tagged component lookup (per block, not per slot).
+        let mut alloc_slots = Vec::with_capacity(self.cfg.num_tagged);
+        for comp in 0..self.cfg.num_tagged {
+            alloc_slots.push((
+                self.tagged_index(block_pc, ctx.global_history, ctx.path_history, comp),
+                self.tagged_tag(block_pc, ctx.global_history, comp),
+            ));
+        }
+        let mut provider = None;
+        for comp in (0..self.cfg.num_tagged).rev() {
+            let (idx, tag) = alloc_slots[comp];
+            let e = &self.tagged[comp][idx];
+            if e.valid && e.tag == tag {
+                provider = Some((comp, idx));
+                break;
+            }
+        }
+
+        // Last values: the speculative window takes precedence over the retired LVT.
+        self.window_lookups += 1;
+        let win_values: Option<Vec<Option<u64>>> =
+            self.window.lookup(block_pc).map(|e| e.values.clone());
+        if win_values.is_some() {
+            self.window_hits += 1;
+        }
+
+        let mut slot_tags = vec![None; np];
+        let mut slot_pred = vec![None; np];
+        let mut slot_conf = vec![false; np];
+        let mut provider_conf_levels = vec![0u8; np];
+        let mut provider_strides = vec![0i64; np];
+
+        for i in 0..np {
+            let (stride, conf) = match provider {
+                Some((c, idx)) => {
+                    let s = &self.tagged[c][idx].slots[i];
+                    (s.stride, s.conf)
+                }
+                None => {
+                    let s = &self.vt0[lvt_index].slots[i];
+                    (s.stride, s.conf)
+                }
+            };
+            provider_conf_levels[i] = conf.level();
+            provider_strides[i] = stride;
+            slot_conf[i] = conf.is_confident(&self.cfg.fpc);
+
+            if lvt_hit && lvt.slots[i].valid {
+                slot_tags[i] = Some(lvt.slots[i].byte_tag);
+                let last = win_values
+                    .as_ref()
+                    .and_then(|v| v.get(i).copied().flatten())
+                    .unwrap_or(lvt.slots[i].last);
+                slot_pred[i] = Some(last.wrapping_add_signed(self.cfg.clamp_stride(stride)));
+            }
+        }
+
+        // Push the prediction block into the speculative window and the FIFO queue.
+        self.window.push(block_pc, first_seq, slot_pred.clone());
+        self.fifo.push(
+            first_seq,
+            BlockRecord {
+                block_pc,
+                lvt_index,
+                lvt_tag,
+                provider,
+                alloc_slots,
+                slot_tags: slot_tags.clone(),
+                slot_pred: slot_pred.clone(),
+                provider_conf_levels,
+                provider_strides,
+                results: Vec::with_capacity(np),
+            },
+        );
+        self.current = Some(CurrentBlock {
+            block_pc,
+            first_seq,
+            cursor: 0,
+            forbid_use: false,
+            slot_tags,
+            slot_pred,
+            slot_conf,
+        });
+        self.force_new_block = false;
+    }
+
+    /// Applies the retirement update of one block record to the tables.
+    fn apply_update(&mut self, rec: BlockRecord) {
+        self.updates += 1;
+        let np = self.cfg.npred;
+        let fpc = self.cfg.fpc.clone();
+
+        // ---- Attribute retired results to slots --------------------------------
+        // Results whose byte index matches a slot tag go to that slot; the rest may
+        // claim an unused slot or one with a *greater* byte tag (a greater tag never
+        // replaces a lesser one, so entries learn the earliest entry point).
+        let mut consumed = vec![false; np];
+        let mut assignments: Vec<(usize, u8, u64)> = Vec::with_capacity(rec.results.len());
+        let mut cursor = 0usize;
+        for &(b, actual) in &rec.results {
+            if let Some(i) = (cursor..np).find(|&i| !consumed[i] && rec.slot_tags[i] == Some(b)) {
+                consumed[i] = true;
+                cursor = i + 1;
+                assignments.push((i, b, actual));
+            } else if let Some(i) = (0..np).find(|&i| {
+                !consumed[i] && (rec.slot_tags[i].is_none() || rec.slot_tags[i].unwrap() > b)
+            }) {
+                consumed[i] = true;
+                assignments.push((i, b, actual));
+            }
+            // else: more results than Npred slots — dropped (coverage loss).
+        }
+        if assignments.is_empty() {
+            return;
+        }
+
+        // ---- LVT: retire last values, learn byte tags -----------------------------
+        let lvt_matched;
+        {
+            let e = &mut self.lvt[rec.lvt_index];
+            lvt_matched = e.valid && e.tag == rec.lvt_tag;
+            if !lvt_matched {
+                e.valid = true;
+                e.tag = rec.lvt_tag;
+                for s in &mut e.slots {
+                    *s = LvtSlot::default();
+                }
+            }
+        }
+
+        let mut observed: Vec<(usize, Option<i64>, u64, bool)> = Vec::with_capacity(assignments.len());
+        for &(i, b, actual) in &assignments {
+            let e = &mut self.lvt[rec.lvt_index];
+            let s = &mut e.slots[i];
+            let prev = if lvt_matched && s.valid { Some(s.last) } else { None };
+            if !s.valid {
+                s.valid = true;
+                s.byte_tag = b;
+            } else if b < s.byte_tag {
+                // A lesser byte index may replace a greater one, never the opposite.
+                s.byte_tag = b;
+            }
+            s.last = actual;
+            let stride = prev.map(|p| self.cfg.clamp_stride(actual.wrapping_sub(p) as i64));
+            let correct = rec.slot_pred[i] == Some(actual);
+            observed.push((i, stride, actual, correct));
+        }
+
+        let any_wrong = observed
+            .iter()
+            .any(|(i, _, _, correct)| !correct && rec.slot_pred[*i].is_some());
+        let any_correct = observed.iter().any(|(_, _, _, c)| *c);
+
+        // ---- Update the providing component -----------------------------------------
+        let entropy: Vec<u64> = observed.iter().map(|_| self.rand()).collect();
+        match rec.provider {
+            Some((c, idx)) => {
+                let (_, expected_tag) = rec.alloc_slots[c];
+                let e = &mut self.tagged[c][idx];
+                if e.valid && e.tag == expected_tag {
+                    for (&(i, stride, _, correct), &r) in observed.iter().zip(&entropy) {
+                        let slot = &mut e.slots[i];
+                        if correct {
+                            slot.conf.on_correct_with(&fpc, r);
+                        } else {
+                            slot.conf.on_wrong();
+                            if let Some(s) = stride {
+                                slot.stride = s;
+                            }
+                        }
+                    }
+                    e.useful = any_correct && !any_wrong;
+                }
+            }
+            None => {
+                let e = &mut self.vt0[rec.lvt_index];
+                for (&(i, stride, _, correct), &r) in observed.iter().zip(&entropy) {
+                    let slot = &mut e.slots[i];
+                    if correct {
+                        slot.conf.on_correct_with(&fpc, r);
+                    } else {
+                        slot.conf.on_wrong();
+                        if let Some(s) = stride {
+                            slot.stride = s;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Allocation: on any wrong prediction, allocate a longer-history entry,
+        //      propagating the confidence of correct slots (the paper's block policy).
+        if any_wrong {
+            let start = rec.provider.map(|(c, _)| c + 1).unwrap_or(0);
+            if start < self.cfg.num_tagged {
+                let candidates: Vec<usize> = (start..self.cfg.num_tagged)
+                    .filter(|&c| !self.tagged[c][rec.alloc_slots[c].0].useful)
+                    .collect();
+                if candidates.is_empty() {
+                    for c in start..self.cfg.num_tagged {
+                        self.tagged[c][rec.alloc_slots[c].0].useful = false;
+                    }
+                } else {
+                    let pick = (self.rand() as usize) % candidates.len().min(2);
+                    let comp = candidates[pick];
+                    let (idx, tag) = rec.alloc_slots[comp];
+                    let mut slots = vec![StrideSlot::default(); np];
+                    for i in 0..np {
+                        // Default: inherit the provider's stride and confidence.
+                        slots[i].stride = rec.provider_strides[i];
+                        slots[i].conf.set_level(rec.provider_conf_levels[i], &fpc);
+                    }
+                    for &(i, stride, _, correct) in &observed {
+                        if !correct {
+                            slots[i].stride = stride.unwrap_or(0);
+                            slots[i].conf = ForwardProbabilisticCounter::new();
+                        }
+                    }
+                    self.tagged[comp][idx] = TaggedEntry {
+                        valid: true,
+                        tag,
+                        useful: false,
+                        slots,
+                    };
+                }
+            }
+        }
+
+        if self.updates % self.cfg.useful_reset_period == 0 {
+            for comp in &mut self.tagged {
+                for e in comp.iter_mut() {
+                    e.useful = false;
+                }
+            }
+        }
+    }
+}
+
+impl ValuePredictor for BlockDVtage {
+    fn name(&self) -> &str {
+        "BeBoP D-VTAGE"
+    }
+
+    fn predict(&mut self, ctx: &PredictCtx, uop: &DynUop) -> Option<u64> {
+        let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+        let needs_new = self.force_new_block
+            || match &self.current {
+                Some(cur) => cur.block_pc != block_pc || ctx.new_fetch_block,
+                None => true,
+            };
+        if needs_new {
+            // Retire every fully completed block first, so a new instance of a
+            // block whose previous instance already retired reads the Last Value
+            // Table rather than a stale speculative-window entry.
+            self.drain_completed();
+            self.start_block(ctx, block_pc, uop.seq);
+        }
+
+        let byte = byte_index_in_block(uop.pc, self.cfg.fetch_block_bytes);
+        let cur = self.current.as_mut().expect("a block is always current here");
+        // Attribute the next matching prediction slot to this µ-op.
+        let slot = (cur.cursor..cur.slot_tags.len())
+            .find(|&i| cur.slot_tags[i] == Some(byte));
+        match slot {
+            Some(i) => {
+                cur.cursor = i + 1;
+                if cur.forbid_use {
+                    None
+                } else if cur.slot_conf[i] {
+                    cur.slot_pred[i]
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    fn train(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
+        let seq = uop.seq;
+        self.last_retired = Some(self.last_retired.map_or(seq, |s| s.max(seq)));
+        // Retire every block that `seq` has moved past.
+        while let Some(next) = self.fifo.next_block_seq() {
+            if seq >= next {
+                if let Some((_, rec)) = self.fifo.pop_front() {
+                    self.apply_update(rec);
+                }
+            } else {
+                break;
+            }
+        }
+        // Accumulate this retirement into the (now) oldest in-flight block.
+        let byte = byte_index_in_block(uop.pc, self.cfg.fetch_block_bytes);
+        if let Some((first, rec)) = self.fifo.front_mut() {
+            if seq >= *first {
+                rec.results.push((byte, actual));
+            }
+        }
+        // Apply any block that is now fully retired and drop its speculative-window
+        // entry (its values live in the Last Value Table from here on).
+        self.drain_completed();
+    }
+
+    fn squash(&mut self, info: &SquashInfo) {
+        self.window.squash(info.flush_seq);
+        self.fifo.squash(info.flush_seq);
+        // Drop the block being assembled if it is younger than the flush point.
+        if let Some(cur) = &self.current {
+            if cur.first_seq > info.flush_seq {
+                self.current = None;
+            }
+        }
+
+        let bflush = fetch_block_pc(info.flush_pc, self.cfg.fetch_block_bytes);
+        let bnew = fetch_block_pc(info.next_pc, self.cfg.fetch_block_bytes);
+        if bnew != bflush {
+            return;
+        }
+        match self.cfg.recovery {
+            RecoveryPolicy::Ideal | RecoveryPolicy::DnRR => {
+                // Keep the head prediction block; refetched µ-ops reuse it.
+            }
+            RecoveryPolicy::DnRDnR => {
+                if let Some(cur) = &mut self.current {
+                    if cur.block_pc == bflush {
+                        cur.forbid_use = true;
+                    }
+                }
+            }
+            RecoveryPolicy::Repred => {
+                // Discard the head prediction block from the speculative history and
+                // generate a fresh one when the block is re-fetched. The FIFO update
+                // record of the flushed block is kept so the retirements of its
+                // older (not squashed) µ-ops still train the tables consistently.
+                self.window.drop_newest_if_block(bflush);
+                self.current = None;
+                self.force_new_block = true;
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bebop_isa::{ArchReg, Uop, UopKind};
+
+    fn uop(seq: SeqNum, pc: u64, value: u64) -> DynUop {
+        DynUop::new(
+            seq,
+            pc,
+            4,
+            0,
+            1,
+            Uop::new(UopKind::Alu, Some(ArchReg::int(1)), &[]),
+            value,
+        )
+    }
+
+    fn ctx(seq: SeqNum, pc: u64, new_block: bool) -> PredictCtx {
+        PredictCtx {
+            seq,
+            fetch_block_pc: fetch_block_pc(pc, 16),
+            new_fetch_block: new_block,
+            global_history: 0,
+            path_history: 0,
+        }
+    }
+
+    fn fast_cfg() -> BlockDVtageConfig {
+        BlockDVtageConfig {
+            fpc: FpcParams::deterministic(2),
+            ..BlockDVtageConfig::default()
+        }
+    }
+
+    /// Runs `n` iterations of a two-block loop body (PCs 0x1000 and 0x2008, i.e.
+    /// two distinct fetch blocks) whose values follow the given strides, predicting
+    /// then immediately retiring — the lock-step equivalent of a tight loop.
+    fn run_loop(d: &mut BlockDVtage, n: u64, strides: (u64, u64)) -> (u64, u64) {
+        let mut correct = 0;
+        let mut predicted = 0;
+        let (mut v1, mut v2) = (100u64, 200u64);
+        let mut seq = 0;
+        for _ in 0..n {
+            let u1 = uop(seq, 0x1000, v1);
+            let u2 = uop(seq + 1, 0x2008, v2);
+            let p1 = d.predict(&ctx(seq, 0x1000, true), &u1);
+            let p2 = d.predict(&ctx(seq + 1, 0x2008, true), &u2);
+            for (p, v) in [(p1, v1), (p2, v2)] {
+                if let Some(pv) = p {
+                    predicted += 1;
+                    if pv == v {
+                        correct += 1;
+                    }
+                }
+            }
+            d.train(&u1, v1, p1);
+            d.train(&u2, v2, p2);
+            seq += 2;
+            v1 += strides.0;
+            v2 += strides.1;
+        }
+        (predicted, correct)
+    }
+
+    #[test]
+    fn strided_block_is_learned_and_accurate() {
+        let mut d = BlockDVtage::new(fast_cfg());
+        let (predicted, correct) = run_loop(&mut d, 200, (8, 16));
+        assert!(predicted > 100, "predictor should become confident, got {predicted}");
+        assert_eq!(predicted, correct, "all confident predictions must be correct");
+    }
+
+    #[test]
+    fn byte_index_tags_prevent_false_sharing() {
+        // Two different entry points into the same block: instruction at byte 0
+        // (constant 7) and instruction at byte 8 (constant 9). Predictions must not
+        // be attributed across entry points.
+        let mut d = BlockDVtage::new(fast_cfg());
+        let mut seq = 0;
+        // Warm up with both instructions fetched.
+        for _ in 0..50 {
+            let u1 = uop(seq, 0x2000, 7);
+            let u2 = uop(seq + 1, 0x2008, 9);
+            let p1 = d.predict(&ctx(seq, 0x2000, true), &u1);
+            let p2 = d.predict(&ctx(seq + 1, 0x2008, false), &u2);
+            d.train(&u1, 7, p1);
+            d.train(&u2, 9, p2);
+            seq += 2;
+        }
+        // Now enter the block at byte 8 only: the prediction attributed must be the
+        // one tagged with byte 8 (value 9), not the slot for byte 0.
+        let u2 = uop(seq, 0x2008, 9);
+        let p = d.predict(&ctx(seq, 0x2008, true), &u2);
+        assert_eq!(p, Some(9), "entering mid-block must attribute the byte-8 slot");
+    }
+
+    #[test]
+    fn npred_limits_predictions_per_block() {
+        let mut cfg = fast_cfg();
+        cfg.npred = 2;
+        let mut d = BlockDVtage::new(cfg);
+        let mut seq = 0;
+        // Three constant-value instructions in one block; only two slots exist.
+        for _ in 0..100 {
+            let us = [
+                uop(seq, 0x3000, 1),
+                uop(seq + 1, 0x3004, 2),
+                uop(seq + 2, 0x3008, 3),
+            ];
+            let mut preds = Vec::new();
+            for (i, u) in us.iter().enumerate() {
+                preds.push(d.predict(&ctx(seq + i as u64, u.pc, i == 0), u));
+            }
+            for (u, p) in us.iter().zip(&preds) {
+                d.train(u, u.value, *p);
+            }
+            seq += 3;
+        }
+        let us = [
+            uop(seq, 0x3000, 1),
+            uop(seq + 1, 0x3004, 2),
+            uop(seq + 2, 0x3008, 3),
+        ];
+        let p0 = d.predict(&ctx(seq, 0x3000, true), &us[0]);
+        let p1 = d.predict(&ctx(seq + 1, 0x3004, false), &us[1]);
+        let p2 = d.predict(&ctx(seq + 2, 0x3008, false), &us[2]);
+        assert_eq!(p0, Some(1));
+        assert_eq!(p1, Some(2));
+        assert_eq!(p2, None, "the third result has no prediction slot with Npred=2");
+    }
+
+    #[test]
+    fn spec_window_needed_for_back_to_back_blocks() {
+        // Predict many instances of the same strided block before any retires.
+        // With a speculative window the chain stays correct; without it the
+        // predictor keeps re-using the stale retired last value.
+        let mut with_window = BlockDVtage::new(fast_cfg());
+        let mut without_window = BlockDVtage::new(BlockDVtageConfig {
+            spec_window: SpecWindowSize::Disabled,
+            ..fast_cfg()
+        });
+
+        for d in [&mut with_window, &mut without_window] {
+            // Warm up (predict + retire immediately) to gain confidence.
+            let _ = run_loop(d, 100, (8, 16));
+        }
+
+        // Now issue 4 instances back-to-back without retiring.
+        let check = |d: &mut BlockDVtage| -> usize {
+            let mut good = 0;
+            let (mut v1, mut v2) = (100u64 + 100 * 8, 200u64 + 100 * 16);
+            let mut seq = 1000;
+            for _ in 0..4 {
+                let u1 = uop(seq, 0x1000, v1);
+                let u2 = uop(seq + 1, 0x2008, v2);
+                if d.predict(&ctx(seq, 0x1000, true), &u1) == Some(v1) {
+                    good += 1;
+                }
+                if d.predict(&ctx(seq + 1, 0x2008, true), &u2) == Some(v2) {
+                    good += 1;
+                }
+                seq += 2;
+                v1 += 8;
+                v2 += 16;
+            }
+            good
+        };
+        let good_with = check(&mut with_window);
+        let good_without = check(&mut without_window);
+        assert!(good_with >= 7, "window should keep the chain alive, got {good_with}/8");
+        assert!(
+            good_without <= 3,
+            "without a window only the first in-flight instance can be right, got {good_without}/8"
+        );
+    }
+
+    #[test]
+    fn storage_matches_table_iii_medium() {
+        // Medium: 256 base entries, 6x256 tagged, 32-entry window, 8-bit strides,
+        // 6 predictions per entry => ~32.76 KB in the paper.
+        let cfg = BlockDVtageConfig {
+            npred: 6,
+            base_entries: 256,
+            tagged_entries: 256,
+            stride_bits: 8,
+            spec_window: SpecWindowSize::Entries(32),
+            ..BlockDVtageConfig::default()
+        };
+        let kb = cfg.storage_kb();
+        assert!(
+            (28.0..38.0).contains(&kb),
+            "Medium storage should be ~32.76 KB, got {kb:.2}"
+        );
+    }
+
+    #[test]
+    fn partial_strides_reduce_storage() {
+        let full = BlockDVtageConfig::default();
+        let partial = BlockDVtageConfig {
+            stride_bits: 8,
+            ..BlockDVtageConfig::default()
+        };
+        assert!(partial.storage_bits() < full.storage_bits());
+    }
+
+    #[test]
+    fn squash_repred_forces_a_fresh_block() {
+        let mut d = BlockDVtage::new(BlockDVtageConfig {
+            recovery: RecoveryPolicy::Repred,
+            ..fast_cfg()
+        });
+        let _ = run_loop(&mut d, 50, (8, 16));
+        let u = uop(10_000, 0x1000, 0);
+        let _ = d.predict(&ctx(10_000, 0x1000, true), &u);
+        let window_before = d.window.len();
+        d.squash(&SquashInfo {
+            flush_seq: 10_000,
+            flush_pc: 0x1000,
+            next_pc: 0x1008,
+            cause: bebop_uarch::SquashCause::ValueMispredict,
+        });
+        // Repred drops the head prediction block from the speculative window and
+        // will generate a new one on the next fetch of the block.
+        assert_eq!(d.window.len() + 1, window_before);
+        assert!(d.force_new_block);
+        assert!(d.current.is_none());
+    }
+
+    #[test]
+    fn squash_dnrdnr_forbids_use_in_refetched_block() {
+        let mut d = BlockDVtage::new(BlockDVtageConfig {
+            recovery: RecoveryPolicy::DnRDnR,
+            ..fast_cfg()
+        });
+        let _ = run_loop(&mut d, 100, (8, 16));
+        // New block instance, then a same-block value-misprediction squash.
+        let seq = 20_000;
+        let u1 = uop(seq, 0x1000, 0);
+        let _ = d.predict(&ctx(seq, 0x1000, true), &u1);
+        d.squash(&SquashInfo {
+            flush_seq: seq,
+            flush_pc: 0x1000,
+            next_pc: 0x1008,
+            cause: bebop_uarch::SquashCause::ValueMispredict,
+        });
+        // The refetched second instruction of the same block must not use its
+        // prediction under DnRDnR.
+        let u2 = uop(seq + 1, 0x1008, 123);
+        assert_eq!(d.predict(&ctx(seq + 1, 0x1008, false), &u2), None);
+    }
+
+    #[test]
+    fn window_hit_rate_reported() {
+        let mut d = BlockDVtage::new(fast_cfg());
+        let _ = run_loop(&mut d, 50, (8, 16));
+        assert!(d.window_hit_rate() >= 0.0);
+        assert!(d.storage_bits() > 0);
+        assert_eq!(d.name(), "BeBoP D-VTAGE");
+    }
+}

@@ -1,0 +1,280 @@
+//! The simulation driver: a façade tying workloads, the pipeline model and value
+//! predictors together, used by the examples, the integration tests and the
+//! benchmark harness that regenerates the paper's figures.
+
+use crate::block_dvtage::{BlockDVtage, BlockDVtageConfig};
+use bebop_trace::{TraceGenerator, WorkloadSpec};
+use bebop_uarch::{
+    gmean, NoValuePredictor, PerfectValuePredictor, Pipeline, PipelineConfig, SimStats,
+    ValuePredictor,
+};
+use bebop_vp::{DVtage, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor, Vtage, VtageStrideHybrid};
+
+/// The value predictors that can be plugged into a simulation run.
+#[derive(Debug, Clone)]
+pub enum PredictorKind {
+    /// No value prediction (baseline pipelines).
+    None,
+    /// Oracle: always predicts correctly (limit study).
+    Perfect,
+    /// Last Value Predictor.
+    LastValue,
+    /// Baseline stride predictor.
+    Stride,
+    /// 2-delta stride predictor (Figure 5a "2d-Stride").
+    TwoDeltaStride,
+    /// VTAGE (Figure 5a "VTAGE").
+    Vtage,
+    /// Naive VTAGE + 2-delta stride hybrid (Figure 5a "VTAGE-2d-Stride").
+    VtageStrideHybrid,
+    /// Instruction-based D-VTAGE (Figure 5a / 5b "D-VTAGE").
+    DVtage,
+    /// Block-based D-VTAGE with BeBoP (Figures 6–8), with an explicit configuration.
+    BlockDVtage(BlockDVtageConfig),
+}
+
+impl PredictorKind {
+    /// Instantiates the predictor.
+    pub fn build(&self) -> Box<dyn ValuePredictor> {
+        match self {
+            PredictorKind::None => Box::new(NoValuePredictor),
+            PredictorKind::Perfect => Box::new(PerfectValuePredictor),
+            PredictorKind::LastValue => Box::new(LastValuePredictor::default_config()),
+            PredictorKind::Stride => Box::new(StridePredictor::default_config()),
+            PredictorKind::TwoDeltaStride => Box::new(TwoDeltaStridePredictor::default_config()),
+            PredictorKind::Vtage => Box::new(Vtage::default_config()),
+            PredictorKind::VtageStrideHybrid => Box::new(VtageStrideHybrid::default_config()),
+            PredictorKind::DVtage => Box::new(DVtage::default_config()),
+            PredictorKind::BlockDVtage(cfg) => Box::new(BlockDVtage::new(cfg.clone())),
+        }
+    }
+
+    /// The display label used in reports and figures.
+    pub fn label(&self) -> String {
+        match self {
+            PredictorKind::None => "none".to_string(),
+            PredictorKind::Perfect => "perfect".to_string(),
+            PredictorKind::LastValue => "LVP".to_string(),
+            PredictorKind::Stride => "Stride".to_string(),
+            PredictorKind::TwoDeltaStride => "2d-Stride".to_string(),
+            PredictorKind::Vtage => "VTAGE".to_string(),
+            PredictorKind::VtageStrideHybrid => "VTAGE-2d-Stride".to_string(),
+            PredictorKind::DVtage => "D-VTAGE".to_string(),
+            PredictorKind::BlockDVtage(_) => "BeBoP D-VTAGE".to_string(),
+        }
+    }
+}
+
+/// Runs one workload on one pipeline configuration with one predictor for
+/// `max_uops` µ-ops and returns the statistics.
+pub fn run_one(
+    spec: &WorkloadSpec,
+    pipeline: &PipelineConfig,
+    predictor: &PredictorKind,
+    max_uops: u64,
+) -> SimStats {
+    let mut p = predictor.build();
+    Pipeline::new(pipeline.clone()).run(TraceGenerator::new(spec), p.as_mut(), max_uops)
+}
+
+/// The speedup of one benchmark under a variant configuration relative to a
+/// baseline configuration (same trace, same µ-op count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline statistics.
+    pub baseline: SimStats,
+    /// Variant statistics.
+    pub variant: SimStats,
+}
+
+impl BenchResult {
+    /// Speedup of the variant over the baseline (cycles ratio, > 1 is faster).
+    pub fn speedup(&self) -> f64 {
+        self.variant.speedup_over(&self.baseline)
+    }
+}
+
+/// A population of per-benchmark speedups with the aggregates the paper reports:
+/// geometric mean plus the [min, max] box and quartiles used in the box plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSummary {
+    /// `(benchmark name, speedup)` pairs, in input order.
+    pub per_bench: Vec<(String, f64)>,
+}
+
+impl SpeedupSummary {
+    /// Builds a summary from per-benchmark results.
+    pub fn from_results(results: &[BenchResult]) -> Self {
+        SpeedupSummary {
+            per_bench: results
+                .iter()
+                .map(|r| (r.name.clone(), r.speedup()))
+                .collect(),
+        }
+    }
+
+    /// Geometric mean speedup.
+    pub fn gmean(&self) -> f64 {
+        gmean(&self.per_bench.iter().map(|(_, s)| *s).collect::<Vec<_>>())
+    }
+
+    /// Minimum speedup (worst benchmark).
+    pub fn min(&self) -> f64 {
+        self.per_bench
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum speedup (best benchmark).
+    pub fn max(&self) -> f64 {
+        self.per_bench
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of the speedup distribution (nearest rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let mut v: Vec<f64> = self.per_bench.iter().map(|(_, s)| *s).collect();
+        if v.is_empty() {
+            return 1.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+        let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        v[idx]
+    }
+
+    /// The benchmark with the highest speedup.
+    pub fn best(&self) -> Option<&(String, f64)> {
+        self.per_bench
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+
+    /// The benchmark with the lowest speedup.
+    pub fn worst(&self) -> Option<&(String, f64)> {
+        self.per_bench
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+}
+
+/// Runs every workload in `specs` under both configurations and returns the
+/// per-benchmark comparison. This is the primitive every figure of the evaluation
+/// is built from.
+pub fn compare(
+    specs: &[WorkloadSpec],
+    baseline_pipeline: &PipelineConfig,
+    baseline_predictor: &PredictorKind,
+    variant_pipeline: &PipelineConfig,
+    variant_predictor: &PredictorKind,
+    max_uops: u64,
+) -> Vec<BenchResult> {
+    specs
+        .iter()
+        .map(|spec| BenchResult {
+            name: spec.name.clone(),
+            baseline: run_one(spec, baseline_pipeline, baseline_predictor, max_uops),
+            variant: run_one(spec, variant_pipeline, variant_predictor, max_uops),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    fn demo() -> WorkloadSpec {
+        WorkloadSpec::named_demo("driver-demo")
+    }
+
+    #[test]
+    fn run_one_produces_stats() {
+        let stats = run_one(
+            &demo(),
+            &PipelineConfig::baseline_6_60(),
+            &PredictorKind::None,
+            5_000,
+        );
+        assert_eq!(stats.uops, 5_000);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn every_predictor_kind_builds_and_runs() {
+        let kinds = [
+            PredictorKind::None,
+            PredictorKind::Perfect,
+            PredictorKind::LastValue,
+            PredictorKind::Stride,
+            PredictorKind::TwoDeltaStride,
+            PredictorKind::Vtage,
+            PredictorKind::VtageStrideHybrid,
+            PredictorKind::DVtage,
+            PredictorKind::BlockDVtage(configs::medium()),
+        ];
+        for kind in kinds {
+            let stats = run_one(&demo(), &PipelineConfig::baseline_vp_6_60(), &kind, 2_000);
+            assert_eq!(stats.uops, 2_000, "{} failed to run", kind.label());
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let results = vec![
+            BenchResult {
+                name: "a".into(),
+                baseline: SimStats {
+                    uops: 10,
+                    cycles: 100,
+                    ..Default::default()
+                },
+                variant: SimStats {
+                    uops: 10,
+                    cycles: 50,
+                    ..Default::default()
+                },
+            },
+            BenchResult {
+                name: "b".into(),
+                baseline: SimStats {
+                    uops: 10,
+                    cycles: 100,
+                    ..Default::default()
+                },
+                variant: SimStats {
+                    uops: 10,
+                    cycles: 200,
+                    ..Default::default()
+                },
+            },
+        ];
+        let summary = SpeedupSummary::from_results(&results);
+        assert!((summary.max() - 2.0).abs() < 1e-12);
+        assert!((summary.min() - 0.5).abs() < 1e-12);
+        assert!((summary.gmean() - 1.0).abs() < 1e-12);
+        assert_eq!(summary.best().unwrap().0, "a");
+        assert_eq!(summary.worst().unwrap().0, "b");
+        assert!((summary.quantile(0.0) - 0.5).abs() < 1e-12);
+        assert!((summary.quantile(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_vp_beats_no_vp_on_the_demo_workload() {
+        let specs = vec![demo()];
+        let results = compare(
+            &specs,
+            &PipelineConfig::baseline_6_60(),
+            &PredictorKind::None,
+            &PipelineConfig::baseline_vp_6_60(),
+            &PredictorKind::Perfect,
+            20_000,
+        );
+        assert_eq!(results.len(), 1);
+        assert!(results[0].speedup() > 1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # BeBoP: block-based value prediction with D-VTAGE
+//!
+//! A from-scratch Rust reproduction of *"BeBoP: A Cost Effective Predictor
+//! Infrastructure for Superscalar Value Prediction"* (Perais & Seznec, HPCA 2015).
+//!
+//! The paper makes value prediction implementable by attacking the predictor
+//! infrastructure itself:
+//!
+//! 1. **BeBoP (block-based prediction)** — predictor entries are associated with
+//!    16-byte instruction *fetch blocks*; each entry holds `Npred` prediction slots
+//!    attributed to µ-ops after decode via byte-index tags, so one read per fetch
+//!    block serves the whole superscalar front end ([`BlockDVtage`]).
+//! 2. **D-VTAGE** — a tightly coupled hybrid of VTAGE and a stride predictor whose
+//!    components store small partial strides, shrinking storage to branch-predictor
+//!    budgets ([`BlockDVtageConfig`], [`configs`]).
+//! 3. **A block-based speculative window** — a small, chronologically ordered,
+//!    associatively read buffer providing the in-flight last values that a
+//!    computational predictor needs ([`SpeculativeWindow`]), with checkpoint-style
+//!    recovery policies ([`RecoveryPolicy`]) and a FIFO update queue
+//!    ([`FifoUpdateQueue`]).
+//!
+//! The supporting substrates live in sibling crates: `bebop-isa` (a synthetic
+//! variable-length ISA), `bebop-trace` (36 SPEC-like synthetic workloads),
+//! `bebop-uarch` (a cycle-level superscalar pipeline with TAGE and EOLE) and
+//! `bebop-vp` (the instruction-based predictors of Figure 5a). The [`driver`]
+//! module glues them together, and `bebop-bench` regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bebop::{configs, run_one, PredictorKind};
+//! use bebop_trace::spec_benchmark;
+//! use bebop_uarch::PipelineConfig;
+//!
+//! // Simulate 171.swim-like workload on the baseline and on EOLE + BeBoP D-VTAGE.
+//! let spec = spec_benchmark("171.swim");
+//! let baseline = run_one(&spec, &PipelineConfig::baseline_6_60(), &PredictorKind::None, 20_000);
+//! let bebop = run_one(
+//!     &spec,
+//!     &PipelineConfig::eole_4_60(),
+//!     &PredictorKind::BlockDVtage(configs::medium()),
+//!     20_000,
+//! );
+//! assert!(bebop.uop_ipc() > 0.0 && baseline.uop_ipc() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod block_dvtage;
+pub mod configs;
+mod driver;
+mod recovery;
+mod spec_window;
+mod update_queue;
+
+pub use block_dvtage::{BlockDVtage, BlockDVtageConfig};
+pub use driver::{compare, run_one, BenchResult, PredictorKind, SpeedupSummary};
+pub use recovery::RecoveryPolicy;
+pub use spec_window::{SpecWindowEntry, SpecWindowSize, SpeculativeWindow};
+pub use update_queue::FifoUpdateQueue;
+
+// Re-export the pieces downstream users almost always need alongside this crate.
+pub use bebop_trace::{all_spec_benchmarks, spec_benchmark, WorkloadSpec, SPEC_BENCHMARK_NAMES};
+pub use bebop_uarch::{PipelineConfig, SimStats};

@@ -1,0 +1,163 @@
+//! The FIFO update queue (Section III-D of the paper).
+//!
+//! Predictions are only used when very confident, but *all* predictions must be
+//! remembered until validation/retirement so the predictor can be trained. The
+//! FIFO update queue stores one record per in-flight fetch-block instance, pushed
+//! at prediction time and popped at retirement. It needs no associative lookup —
+//! only rollback on a pipeline flush, for which each record is tagged with the
+//! sequence number of the first µ-op of its block.
+
+use bebop_isa::SeqNum;
+use std::collections::VecDeque;
+
+/// A FIFO of in-flight per-block prediction records tagged with sequence numbers.
+#[derive(Debug, Clone)]
+pub struct FifoUpdateQueue<T> {
+    entries: VecDeque<(SeqNum, T)>,
+}
+
+impl<T> Default for FifoUpdateQueue<T> {
+    fn default() -> Self {
+        FifoUpdateQueue {
+            entries: VecDeque::new(),
+        }
+    }
+}
+
+impl<T> FifoUpdateQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no records are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Pushes a record for the block instance whose first µ-op has sequence number
+    /// `first_seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if records are pushed out of order (the queue is chronological by
+    /// construction).
+    pub fn push(&mut self, first_seq: SeqNum, record: T) {
+        if let Some((last, _)) = self.entries.back() {
+            assert!(
+                *last <= first_seq,
+                "update queue must be pushed in program order"
+            );
+        }
+        self.entries.push_back((first_seq, record));
+    }
+
+    /// The oldest in-flight record, if any.
+    pub fn front(&self) -> Option<(&SeqNum, &T)> {
+        self.entries.front().map(|(s, t)| (s, t))
+    }
+
+    /// Mutable access to the oldest record.
+    pub fn front_mut(&mut self) -> Option<(&SeqNum, &mut T)> {
+        self.entries.front_mut().map(|(s, t)| (&*s, t))
+    }
+
+    /// The sequence number of the *second* oldest record (the first µ-op of the
+    /// next block), used to decide when the oldest block has fully retired.
+    pub fn next_block_seq(&self) -> Option<SeqNum> {
+        self.entries.get(1).map(|(s, _)| *s)
+    }
+
+    /// The newest in-flight record.
+    pub fn back(&self) -> Option<(&SeqNum, &T)> {
+        self.entries.back().map(|(s, t)| (s, t))
+    }
+
+    /// Mutable access to the newest in-flight record.
+    pub fn back_mut(&mut self) -> Option<(&SeqNum, &mut T)> {
+        self.entries.back_mut().map(|(s, t)| (&*s, t))
+    }
+
+    /// Pops the oldest record.
+    pub fn pop_front(&mut self) -> Option<(SeqNum, T)> {
+        self.entries.pop_front()
+    }
+
+    /// Removes the newest record (used by the `Repred` recovery policy).
+    pub fn pop_back(&mut self) -> Option<(SeqNum, T)> {
+        self.entries.pop_back()
+    }
+
+    /// Rolls back on a pipeline flush: drops every record whose first µ-op is
+    /// strictly younger than `flush_seq`.
+    pub fn squash(&mut self, flush_seq: SeqNum) {
+        while let Some((seq, _)) = self.entries.back() {
+            if *seq > flush_seq {
+                self.entries.pop_back();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = FifoUpdateQueue::new();
+        q.push(0, "a");
+        q.push(5, "b");
+        q.push(9, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.front(), Some((&0, &"a")));
+        assert_eq!(q.next_block_seq(), Some(5));
+        assert_eq!(q.pop_front(), Some((0, "a")));
+        assert_eq!(q.pop_front(), Some((5, "b")));
+        assert_eq!(q.pop_front(), Some((9, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn squash_drops_younger_blocks() {
+        let mut q = FifoUpdateQueue::new();
+        q.push(0, 0);
+        q.push(10, 1);
+        q.push(20, 2);
+        q.squash(10);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.back(), Some((&10, &1)));
+    }
+
+    #[test]
+    fn pop_back_removes_newest() {
+        let mut q = FifoUpdateQueue::new();
+        q.push(0, 'x');
+        q.push(4, 'y');
+        assert_eq!(q.pop_back(), Some((4, 'y')));
+        assert_eq!(q.back(), Some((&0, &'x')));
+    }
+
+    #[test]
+    fn front_mut_allows_in_place_accumulation() {
+        let mut q: FifoUpdateQueue<Vec<u64>> = FifoUpdateQueue::new();
+        q.push(0, vec![]);
+        q.front_mut().unwrap().1.push(42);
+        assert_eq!(q.front().unwrap().1, &vec![42]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_push_panics() {
+        let mut q = FifoUpdateQueue::new();
+        q.push(10, ());
+        q.push(5, ());
+    }
+}

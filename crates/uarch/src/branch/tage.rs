@@ -1,0 +1,398 @@
+//! TAGE conditional branch direction predictor (Seznec & Michaud), as configured in
+//! Table I of the paper: a bimodal base predictor plus 12 partially tagged
+//! components indexed with geometrically increasing global-history lengths.
+
+/// Configuration of the TAGE predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 of the number of bimodal (base) entries.
+    pub log_base: usize,
+    /// Number of partially tagged components.
+    pub num_tagged: usize,
+    /// log2 of the number of entries of each tagged component.
+    pub log_tagged: usize,
+    /// Tag width, in bits, of the first tagged component (grows by one bit every
+    /// other component, as in common TAGE configurations).
+    pub tag_bits: u32,
+    /// Shortest history length.
+    pub min_history: usize,
+    /// Longest history length.
+    pub max_history: usize,
+    /// Period, in updates, of the useful-counter reset.
+    pub useful_reset_period: u64,
+}
+
+impl Default for TageConfig {
+    fn default() -> Self {
+        TageConfig {
+            log_base: 13,
+            num_tagged: 12,
+            log_tagged: 10,
+            tag_bits: 8,
+            min_history: 4,
+            max_history: 640,
+            useful_reset_period: 256 * 1024,
+        }
+    }
+}
+
+/// One entry of a tagged component.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    valid: bool,
+    tag: u16,
+    /// 3-bit signed counter stored with an offset: 0..=7, taken if >= 4.
+    ctr: u8,
+    useful: u8,
+}
+
+/// A circular global-history register long enough for the largest history length,
+/// with folded-history helpers for index and tag computation.
+#[derive(Debug, Clone)]
+struct HistoryRegister {
+    bits: Vec<bool>,
+    pos: usize,
+}
+
+impl HistoryRegister {
+    fn new(len: usize) -> Self {
+        HistoryRegister {
+            bits: vec![false; len.max(1)],
+            pos: 0,
+        }
+    }
+
+    fn push(&mut self, taken: bool) {
+        self.pos = (self.pos + 1) % self.bits.len();
+        self.bits[self.pos] = taken;
+    }
+
+    /// The most recent `n` outcomes folded by XOR into `out_bits` bits.
+    fn folded(&self, n: usize, out_bits: usize) -> u64 {
+        if out_bits == 0 {
+            return 0;
+        }
+        let mut acc = 0u64;
+        let mut chunk = 0u64;
+        let mut chunk_len = 0usize;
+        for i in 0..n.min(self.bits.len()) {
+            let idx = (self.pos + self.bits.len() - i) % self.bits.len();
+            chunk = (chunk << 1) | u64::from(self.bits[idx]);
+            chunk_len += 1;
+            if chunk_len == out_bits {
+                acc ^= chunk;
+                chunk = 0;
+                chunk_len = 0;
+            }
+        }
+        if chunk_len > 0 {
+            acc ^= chunk;
+        }
+        acc & ((1u64 << out_bits.min(63)) - 1)
+    }
+
+    /// The most recent 64 outcomes as a plain shift register (bit 0 = most recent).
+    fn raw(&self) -> u64 {
+        let mut v = 0u64;
+        for i in 0..64.min(self.bits.len()) {
+            let idx = (self.pos + self.bits.len() - i) % self.bits.len();
+            v |= u64::from(self.bits[idx]) << i;
+        }
+        v
+    }
+}
+
+/// The TAGE predictor.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    bimodal: Vec<u8>, // 2-bit counters
+    tagged: Vec<Vec<TaggedEntry>>,
+    history_lengths: Vec<usize>,
+    ghist: HistoryRegister,
+    path: u64,
+    updates: u64,
+    rand_state: u64,
+}
+
+impl Tage {
+    /// Creates a TAGE predictor from its configuration.
+    pub fn new(cfg: TageConfig) -> Self {
+        let mut history_lengths = Vec::with_capacity(cfg.num_tagged);
+        // Geometric series from min_history to max_history.
+        for i in 0..cfg.num_tagged {
+            let l = if cfg.num_tagged <= 1 {
+                cfg.min_history
+            } else {
+                let ratio = (cfg.max_history as f64 / cfg.min_history as f64)
+                    .powf(i as f64 / (cfg.num_tagged - 1) as f64);
+                (cfg.min_history as f64 * ratio).round() as usize
+            };
+            history_lengths.push(l.max(1));
+        }
+        Tage {
+            bimodal: vec![2; 1 << cfg.log_base],
+            tagged: vec![vec![TaggedEntry::default(); 1 << cfg.log_tagged]; cfg.num_tagged],
+            history_lengths,
+            ghist: HistoryRegister::new(cfg.max_history + 1),
+            path: 0,
+            updates: 0,
+            rand_state: 0xdead_beef_1234_5678,
+            cfg,
+        }
+    }
+
+    /// Total storage in bits (for reporting / comparison against Table I's 32 KB).
+    pub fn storage_bits(&self) -> u64 {
+        let base = (1u64 << self.cfg.log_base) * 2;
+        let per_entry = 3 + 2 + u64::from(self.cfg.tag_bits);
+        let tagged = self.cfg.num_tagged as u64 * (1u64 << self.cfg.log_tagged) * per_entry;
+        base + tagged
+    }
+
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.cfg.log_base) - 1)) as usize
+    }
+
+    fn tagged_index(&self, pc: u64, comp: usize) -> usize {
+        let hl = self.history_lengths[comp];
+        let folded = self.ghist.folded(hl, self.cfg.log_tagged);
+        let idx = (pc >> 2) ^ (pc >> (2 + self.cfg.log_tagged)) ^ folded ^ (self.path & 0xffff);
+        (idx & ((1 << self.cfg.log_tagged) - 1)) as usize
+    }
+
+    fn tagged_tag(&self, pc: u64, comp: usize) -> u16 {
+        let hl = self.history_lengths[comp];
+        let tag_bits = (self.cfg.tag_bits + (comp as u32) / 2).min(15) as usize;
+        // Two folds of *different widths* so runs of identical outcomes cannot
+        // cancel each other (they would with widths w and w-1 shifted by one).
+        let folded = self.ghist.folded(hl, tag_bits);
+        let folded2 = self.ghist.folded(hl, tag_bits.saturating_sub(3).max(2));
+        let mix = (pc >> 2) ^ (pc >> (2 + tag_bits)) ^ folded ^ (folded2 << 2);
+        (mix & ((1 << tag_bits) - 1)) as u16
+    }
+
+    fn rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rand_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rand_state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Finds the hitting component with the longest history, if any.
+    fn find_provider(&self, pc: u64) -> Option<(usize, usize)> {
+        for comp in (0..self.cfg.num_tagged).rev() {
+            let idx = self.tagged_index(pc, comp);
+            let tag = self.tagged_tag(pc, comp);
+            let e = &self.tagged[comp][idx];
+            if e.valid && e.tag == tag {
+                return Some((comp, idx));
+            }
+        }
+        None
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        match self.find_provider(pc) {
+            Some((comp, idx)) => self.tagged[comp][idx].ctr >= 4,
+            None => self.bimodal[self.bimodal_index(pc)] >= 2,
+        }
+    }
+
+    /// Updates the predictor with the actual outcome of the branch at `pc` and
+    /// shifts the global/path histories.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        self.updates += 1;
+        let provider = self.find_provider(pc);
+        let prediction = match provider {
+            Some((comp, idx)) => self.tagged[comp][idx].ctr >= 4,
+            None => self.bimodal[self.bimodal_index(pc)] >= 2,
+        };
+        // Alternate prediction (used for the useful bit): what the predictor would
+        // have said without the provider.
+        let altpred = match provider {
+            Some((comp, _)) => {
+                let mut alt = None;
+                for c in (0..comp).rev() {
+                    let idx = self.tagged_index(pc, c);
+                    let tag = self.tagged_tag(pc, c);
+                    let e = &self.tagged[c][idx];
+                    if e.valid && e.tag == tag {
+                        alt = Some(e.ctr >= 4);
+                        break;
+                    }
+                }
+                alt.unwrap_or(self.bimodal[self.bimodal_index(pc)] >= 2)
+            }
+            None => prediction,
+        };
+
+        // Update the provider (or the bimodal table).
+        match provider {
+            Some((comp, idx)) => {
+                let e = &mut self.tagged[comp][idx];
+                if taken {
+                    e.ctr = (e.ctr + 1).min(7);
+                } else {
+                    e.ctr = e.ctr.saturating_sub(1);
+                }
+                if prediction != altpred {
+                    if prediction == taken {
+                        e.useful = (e.useful + 1).min(3);
+                    } else {
+                        e.useful = e.useful.saturating_sub(1);
+                    }
+                }
+            }
+            None => {
+                let idx = self.bimodal_index(pc);
+                if taken {
+                    self.bimodal[idx] = (self.bimodal[idx] + 1).min(3);
+                } else {
+                    self.bimodal[idx] = self.bimodal[idx].saturating_sub(1);
+                }
+            }
+        }
+
+        // On a misprediction, allocate an entry in a component with a longer history.
+        if prediction != taken {
+            let start = provider.map(|(c, _)| c + 1).unwrap_or(0);
+            if start < self.cfg.num_tagged {
+                // Find candidates with useful == 0.
+                let candidates: Vec<usize> = (start..self.cfg.num_tagged)
+                    .filter(|&c| {
+                        let idx = self.tagged_index(pc, c);
+                        self.tagged[c][idx].useful == 0
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    // Decay usefulness so allocation can succeed later.
+                    for c in start..self.cfg.num_tagged {
+                        let idx = self.tagged_index(pc, c);
+                        self.tagged[c][idx].useful =
+                            self.tagged[c][idx].useful.saturating_sub(1);
+                    }
+                } else {
+                    // Prefer shorter-history candidates with geometrically decreasing
+                    // probability (as in the original TAGE).
+                    let pick = (self.rand() as usize) % candidates.len().min(2).max(1);
+                    let comp = candidates[pick.min(candidates.len() - 1)];
+                    let idx = self.tagged_index(pc, comp);
+                    let tag = self.tagged_tag(pc, comp);
+                    self.tagged[comp][idx] = TaggedEntry {
+                        valid: true,
+                        tag,
+                        ctr: if taken { 4 } else { 3 },
+                        useful: 0,
+                    };
+                }
+            }
+        }
+
+        // Periodic useful-counter aging.
+        if self.updates % self.cfg.useful_reset_period == 0 {
+            for comp in &mut self.tagged {
+                for e in comp.iter_mut() {
+                    e.useful >>= 1;
+                }
+            }
+        }
+
+        // History updates.
+        self.ghist.push(taken);
+        self.path = (self.path << 1) ^ ((pc >> 2) & 0x3f);
+    }
+
+    /// The most recent 64 committed branch outcomes (bit 0 = most recent).
+    pub fn global_history(&self) -> u64 {
+        self.ghist.raw()
+    }
+
+    /// A folded path history.
+    pub fn path_history(&self) -> u64 {
+        self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_lengths_are_geometric_and_monotone() {
+        let t = Tage::new(TageConfig::default());
+        for w in t.history_lengths.windows(2) {
+            assert!(w[1] > w[0], "history lengths must increase: {:?}", t.history_lengths);
+        }
+        assert_eq!(*t.history_lengths.first().unwrap(), 4);
+        assert_eq!(*t.history_lengths.last().unwrap(), 640);
+    }
+
+    #[test]
+    fn biased_branch_learned_by_bimodal() {
+        let mut t = Tage::new(TageConfig::default());
+        for _ in 0..64 {
+            t.update(0x4000, true);
+        }
+        assert!(t.predict(0x4000));
+        for _ in 0..64 {
+            t.update(0x4000, false);
+        }
+        assert!(!t.predict(0x4000));
+    }
+
+    #[test]
+    fn periodic_pattern_learned_by_tagged_components() {
+        let mut t = Tage::new(TageConfig::default());
+        // Period-4 pattern: T T T N.
+        let pattern = [true, true, true, false];
+        let mut late_misses = 0;
+        for i in 0..4000usize {
+            let taken = pattern[i % 4];
+            if i > 3000 && t.predict(0x7000) != taken {
+                late_misses += 1;
+            }
+            t.update(0x7000, taken);
+        }
+        assert!(
+            late_misses < 30,
+            "TAGE should learn a short periodic pattern, {late_misses} late misses"
+        );
+    }
+
+    #[test]
+    fn folded_history_is_bounded() {
+        let mut h = HistoryRegister::new(100);
+        for i in 0..200 {
+            h.push(i % 3 == 0);
+        }
+        for bits in 1..16 {
+            assert!(h.folded(80, bits) < (1 << bits));
+        }
+        assert_eq!(h.folded(10, 0), 0);
+    }
+
+    #[test]
+    fn storage_is_in_branch_predictor_range() {
+        let t = Tage::new(TageConfig::default());
+        let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
+        // Table I quotes roughly 32KB for the 1+12 component TAGE.
+        assert!(kb > 16.0 && kb < 64.0, "TAGE storage {kb} KB out of expected range");
+    }
+
+    #[test]
+    fn histories_advance() {
+        let mut t = Tage::new(TageConfig::default());
+        let h0 = t.global_history();
+        t.update(0x100, true);
+        t.update(0x104, false);
+        assert_ne!(t.global_history(), h0);
+        // Bit 0 holds the most recent outcome (not taken), bit 1 the one before.
+        assert_eq!(t.global_history() & 0b11, 0b10);
+        assert_ne!(t.path_history(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Pipeline configuration (Table I of the paper).
+
+/// Functional-unit pool sizes and latencies (Table I: 4 ALU (1c), 1 MulDiv (3c/25c),
+/// 2 FP (3c), 2 FPMulDiv (5c/10c), 2 load ports, 1 store port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Number of simple integer ALUs.
+    pub alu: u8,
+    /// Integer ALU latency in cycles.
+    pub alu_lat: u8,
+    /// Number of integer multiply/divide units.
+    pub muldiv: u8,
+    /// Integer multiply latency.
+    pub mul_lat: u8,
+    /// Integer divide latency (unpipelined in the paper; modelled as latency).
+    pub div_lat: u8,
+    /// Number of FP add units.
+    pub fp: u8,
+    /// FP add latency.
+    pub fp_lat: u8,
+    /// Number of FP multiply/divide units.
+    pub fpmuldiv: u8,
+    /// FP multiply latency.
+    pub fpmul_lat: u8,
+    /// FP divide latency.
+    pub fpdiv_lat: u8,
+    /// Number of load ports.
+    pub load_ports: u8,
+    /// Number of store ports.
+    pub store_ports: u8,
+}
+
+impl Default for FuConfig {
+    fn default() -> Self {
+        FuConfig {
+            alu: 4,
+            alu_lat: 1,
+            muldiv: 1,
+            mul_lat: 3,
+            div_lat: 25,
+            fp: 2,
+            fp_lat: 3,
+            fpmuldiv: 2,
+            fpmul_lat: 5,
+            fpdiv_lat: 10,
+            load_ports: 2,
+            store_ports: 1,
+        }
+    }
+}
+
+/// Cache and memory hierarchy configuration (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 data cache size in bytes (32 KB).
+    pub l1d_bytes: u64,
+    /// L1 data cache associativity.
+    pub l1d_ways: usize,
+    /// L1 data cache hit latency in cycles.
+    pub l1d_lat: u64,
+    /// L1 instruction cache size in bytes (32 KB).
+    pub l1i_bytes: u64,
+    /// L1 instruction cache associativity.
+    pub l1i_ways: usize,
+    /// Unified L2 size in bytes (1 MB).
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles.
+    pub l2_lat: u64,
+    /// Minimum DRAM access latency in cycles (Table I: 75).
+    pub mem_lat_min: u64,
+    /// Maximum DRAM access latency in cycles (Table I: 185).
+    pub mem_lat_max: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+    /// Stride prefetcher degree (prefetches into L2).
+    pub prefetch_degree: u8,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            l1d_bytes: 32 * 1024,
+            l1d_ways: 8,
+            l1d_lat: 4,
+            l1i_bytes: 32 * 1024,
+            l1i_ways: 8,
+            l2_bytes: 1024 * 1024,
+            l2_ways: 16,
+            l2_lat: 12,
+            mem_lat_min: 75,
+            mem_lat_max: 185,
+            line_bytes: 64,
+            prefetch_degree: 8,
+        }
+    }
+}
+
+/// EOLE configuration: Early Execution at rename and Late Execution / validation
+/// just before commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EoleConfig {
+    /// Width of the Early Execution stage (µ-ops per cycle).
+    pub early_width: u8,
+    /// Width of the Late Execution / validation stage (µ-ops per cycle).
+    pub late_width: u8,
+}
+
+impl Default for EoleConfig {
+    fn default() -> Self {
+        EoleConfig {
+            early_width: 8,
+            late_width: 8,
+        }
+    }
+}
+
+/// Full pipeline configuration, mirroring Table I of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Human-readable name of the configuration (e.g. `Baseline_6_60`).
+    pub name: String,
+    /// Fetch block size in bytes (16 in the paper).
+    pub fetch_block_bytes: u64,
+    /// Number of fetch blocks fetched per cycle (2 in the paper, over one taken branch).
+    pub fetch_blocks_per_cycle: u8,
+    /// Front-end width in µ-ops per cycle (fetch/decode/rename = 8).
+    pub front_width: u8,
+    /// Fetch-to-rename depth in cycles (the paper's 15-cycle in-order front end).
+    pub front_depth: u64,
+    /// Minimum fetch-to-commit latency in cycles (20 with validation, 19 without).
+    pub fetch_to_commit: u64,
+    /// Out-of-order issue width (6 for the baseline, 4 for EOLE).
+    pub issue_width: u8,
+    /// Instruction-queue (scheduler) entries (60).
+    pub iq_entries: usize,
+    /// Reorder-buffer entries (192).
+    pub rob_entries: usize,
+    /// Load-queue entries (72).
+    pub lq_entries: usize,
+    /// Store-queue entries (48).
+    pub sq_entries: usize,
+    /// Commit width in µ-ops per cycle (8).
+    pub commit_width: u8,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// EOLE early/late execution (None = conventional pipeline).
+    pub eole: Option<EoleConfig>,
+    /// Whether value predictions supplied by the value predictor may be consumed.
+    pub value_prediction: bool,
+    /// Whether load-immediate values are written to the PRF in the front-end for
+    /// free (BeBoP Section II-B3); requires `value_prediction` infrastructure.
+    pub free_load_immediates: bool,
+    /// TAGE branch predictor: number of tagged components (12 in Table I).
+    pub tage_tagged_components: usize,
+    /// TAGE: log2 entries of each tagged component.
+    pub tage_log_tagged: usize,
+    /// TAGE: log2 entries of the bimodal base component.
+    pub tage_log_base: usize,
+    /// Branch target buffer entries (8K, 2-way in Table I).
+    pub btb_entries: usize,
+    /// Return-address-stack entries (32).
+    pub ras_entries: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's baseline: a 6-issue, 60-entry IQ superscalar without value
+    /// prediction (`Baseline_6_60`).
+    pub fn baseline_6_60() -> Self {
+        PipelineConfig {
+            name: "Baseline_6_60".to_string(),
+            fetch_block_bytes: 16,
+            fetch_blocks_per_cycle: 2,
+            front_width: 8,
+            front_depth: 15,
+            fetch_to_commit: 19,
+            issue_width: 6,
+            iq_entries: 60,
+            rob_entries: 192,
+            lq_entries: 72,
+            sq_entries: 48,
+            commit_width: 8,
+            fu: FuConfig::default(),
+            mem: MemConfig::default(),
+            eole: None,
+            value_prediction: false,
+            free_load_immediates: false,
+            tage_tagged_components: 12,
+            tage_log_tagged: 10,
+            tage_log_base: 13,
+            btb_entries: 8192,
+            ras_entries: 32,
+        }
+    }
+
+    /// The baseline pipeline augmented with a value predictor validated at commit
+    /// (`Baseline_VP_6_60`): same OoO engine, fetch-to-commit grows by the
+    /// validation stage.
+    pub fn baseline_vp_6_60() -> Self {
+        let mut c = Self::baseline_6_60();
+        c.name = "Baseline_VP_6_60".to_string();
+        c.value_prediction = true;
+        c.free_load_immediates = true;
+        c.fetch_to_commit = 20;
+        c
+    }
+
+    /// The EOLE pipeline of the paper: 4-issue OoO engine, Early Execution at
+    /// rename and Late Execution/validation before commit (`EOLE_4_60`).
+    pub fn eole_4_60() -> Self {
+        let mut c = Self::baseline_vp_6_60();
+        c.name = "EOLE_4_60".to_string();
+        c.issue_width = 4;
+        c.eole = Some(EoleConfig::default());
+        c
+    }
+
+    /// An EOLE pipeline with a configurable issue width (used for sensitivity
+    /// studies).
+    pub fn eole_n_60(issue_width: u8) -> Self {
+        let mut c = Self::eole_4_60();
+        c.name = format!("EOLE_{issue_width}_60");
+        c.issue_width = issue_width;
+        c
+    }
+
+    /// Whether this configuration late-executes/validates predictions outside the
+    /// OoO engine.
+    pub fn has_eole(&self) -> bool {
+        self.eole.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = PipelineConfig::baseline_6_60();
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.iq_entries, 60);
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.lq_entries, 72);
+        assert_eq!(c.sq_entries, 48);
+        assert_eq!(c.fu.alu, 4);
+        assert_eq!(c.mem.l1d_bytes, 32 * 1024);
+        assert_eq!(c.mem.l2_bytes, 1024 * 1024);
+        assert!(!c.value_prediction);
+        assert!(c.eole.is_none());
+    }
+
+    #[test]
+    fn eole_reduces_issue_width_and_enables_vp() {
+        let c = PipelineConfig::eole_4_60();
+        assert_eq!(c.issue_width, 4);
+        assert!(c.value_prediction);
+        assert!(c.has_eole());
+        assert_eq!(c.fetch_to_commit, 20);
+    }
+
+    #[test]
+    fn baseline_vp_keeps_issue_width() {
+        let c = PipelineConfig::baseline_vp_6_60();
+        assert_eq!(c.issue_width, 6);
+        assert!(c.value_prediction);
+        assert!(!c.has_eole());
+    }
+
+    #[test]
+    fn eole_n_width_is_configurable() {
+        assert_eq!(PipelineConfig::eole_n_60(8).issue_width, 8);
+        assert_eq!(PipelineConfig::eole_n_60(8).name, "EOLE_8_60");
+    }
+}

@@ -1,0 +1,610 @@
+//! The superscalar out-of-order pipeline timing model.
+//!
+//! The model is trace driven and processes µ-ops in program order, assigning each
+//! one a fetch, rename/dispatch, issue, completion and commit cycle subject to:
+//!
+//! * front-end bandwidth (fetch-block grouping, decode/rename width, front-end depth),
+//! * finite structures (ROB, unified IQ, LQ, SQ) modelled as age-ordered occupancy
+//!   rings,
+//! * issue width and per-class functional-unit contention,
+//! * data dependencies through architectural registers (renaming removes false
+//!   dependencies, so only the most recent producer matters),
+//! * the cache hierarchy and DRAM latencies for loads,
+//! * branch mispredictions (fetch resumes after the branch executes) and value
+//!   mispredictions (squash at commit, as in the paper's validation-at-commit
+//!   model),
+//! * EOLE early/late execution when enabled (predicted or immediate-operand µ-ops
+//!   bypass the OoO engine entirely), and
+//! * value prediction: a consumed prediction makes the producer's result available
+//!   to dependents at dispatch rather than at completion.
+//!
+//! The wrong path is never simulated: the penalty of a misprediction is the fetch
+//! bubble until resolution plus the pipeline refill implied by the front-end depth,
+//! which is the first-order effect the paper's evaluation relies on.
+
+use crate::branch::{BranchPredictorUnit, TageConfig};
+use crate::cache::MemoryHierarchy;
+use crate::config::PipelineConfig;
+use crate::resources::{OccupancyRing, SlotPool};
+use crate::stats::SimStats;
+use crate::vp_iface::{PredictCtx, SquashCause, SquashInfo, ValuePredictor};
+use bebop_isa::{fetch_block_pc, DynUop, ExecClass, UopKind, NUM_ARCH_REGS};
+use std::collections::VecDeque;
+
+/// How a µ-op was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecMode {
+    /// Through the out-of-order engine (IQ + functional unit).
+    OutOfOrder,
+    /// Early-executed at rename (EOLE) or written for free in the front end.
+    Early,
+    /// Late-executed just before commit (EOLE): the µ-op is predicted, so its
+    /// result is available at dispatch and the actual execution happens pre-commit.
+    Late,
+}
+
+/// A deferred predictor update, applied once the retiring µ-op becomes
+/// architecturally visible to younger fetches.
+#[derive(Debug, Clone)]
+struct PendingTrain {
+    commit_cycle: u64,
+    uop: DynUop,
+    predicted: Option<u64>,
+}
+
+/// The current fetch group being assembled (one cycle's worth of fetch).
+#[derive(Debug, Clone, Default)]
+struct FetchGroup {
+    cycle: u64,
+    uops: u8,
+    blocks: Vec<u64>,
+}
+
+/// The pipeline simulator. Create one per (configuration, run), feed it a trace and
+/// a value predictor, and read the resulting [`SimStats`].
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    bpu: BranchPredictorUnit,
+    mem: MemoryHierarchy,
+
+    // Bandwidth pools.
+    rename_pool: SlotPool,
+    issue_pool: SlotPool,
+    alu_pool: SlotPool,
+    muldiv_pool: SlotPool,
+    fp_pool: SlotPool,
+    fpmuldiv_pool: SlotPool,
+    load_pool: SlotPool,
+    store_pool: SlotPool,
+    early_pool: SlotPool,
+    late_pool: SlotPool,
+    commit_pool: SlotPool,
+
+    // Finite structures.
+    rob: OccupancyRing,
+    iq: OccupancyRing,
+    lq: OccupancyRing,
+    sq: OccupancyRing,
+
+    // Register availability: cycle at which the current architectural value of each
+    // register can be read by a consumer, and whether that value is available in
+    // the front end (predicted / immediate / early-executed).
+    reg_avail: Vec<u64>,
+    reg_frontend: Vec<bool>,
+
+    // Fetch state.
+    group: FetchGroup,
+    fetch_resume: u64,
+    last_block_pc: Option<u64>,
+
+    // Commit state.
+    last_commit: u64,
+
+    // Deferred predictor training.
+    pending_train: VecDeque<PendingTrain>,
+
+    stats: SimStats,
+}
+
+impl Pipeline {
+    /// Builds a pipeline for the given configuration.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        let tage_cfg = TageConfig {
+            log_base: cfg.tage_log_base,
+            num_tagged: cfg.tage_tagged_components,
+            log_tagged: cfg.tage_log_tagged,
+            ..TageConfig::default()
+        };
+        let eole = cfg.eole.unwrap_or_default();
+        Pipeline {
+            bpu: BranchPredictorUnit::new(tage_cfg, cfg.btb_entries, cfg.ras_entries),
+            mem: MemoryHierarchy::new(cfg.mem),
+            rename_pool: SlotPool::new(u16::from(cfg.front_width)),
+            issue_pool: SlotPool::new(u16::from(cfg.issue_width)),
+            alu_pool: SlotPool::new(u16::from(cfg.fu.alu)),
+            muldiv_pool: SlotPool::new(u16::from(cfg.fu.muldiv)),
+            fp_pool: SlotPool::new(u16::from(cfg.fu.fp)),
+            fpmuldiv_pool: SlotPool::new(u16::from(cfg.fu.fpmuldiv)),
+            load_pool: SlotPool::new(u16::from(cfg.fu.load_ports)),
+            store_pool: SlotPool::new(u16::from(cfg.fu.store_ports)),
+            early_pool: SlotPool::new(u16::from(eole.early_width.max(1))),
+            late_pool: SlotPool::new(u16::from(eole.late_width.max(1))),
+            commit_pool: SlotPool::new(u16::from(cfg.commit_width)),
+            rob: OccupancyRing::new(cfg.rob_entries),
+            iq: OccupancyRing::new(cfg.iq_entries),
+            lq: OccupancyRing::new(cfg.lq_entries),
+            sq: OccupancyRing::new(cfg.sq_entries),
+            reg_avail: vec![0; NUM_ARCH_REGS as usize],
+            reg_frontend: vec![false; NUM_ARCH_REGS as usize],
+            group: FetchGroup::default(),
+            fetch_resume: 0,
+            last_block_pc: None,
+            last_commit: 0,
+            pending_train: VecDeque::new(),
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this pipeline was built with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Runs the pipeline over (up to `max_uops` µ-ops of) `trace` with the given
+    /// value predictor and returns the statistics.
+    pub fn run<I>(mut self, trace: I, predictor: &mut dyn ValuePredictor, max_uops: u64) -> SimStats
+    where
+        I: IntoIterator<Item = DynUop>,
+    {
+        for uop in trace.into_iter().take(max_uops as usize) {
+            self.step(&uop, predictor);
+        }
+        // Drain remaining predictor updates so accuracy statistics are complete.
+        while let Some(p) = self.pending_train.pop_front() {
+            predictor.train(&p.uop, p.uop.value, p.predicted);
+        }
+        self.stats.cycles = self.last_commit;
+        self.stats.branch = self.bpu.stats();
+        self.stats.mem = self.mem.stats();
+        self.stats
+    }
+
+    /// Processes one µ-op.
+    fn step(&mut self, uop: &DynUop, predictor: &mut dyn ValuePredictor) {
+        let cfg_vp = self.cfg.value_prediction;
+
+        // ---- Fetch -------------------------------------------------------------
+        let fetch_cycle = self.fetch(uop);
+
+        // Release predictor updates for µ-ops that retired before this fetch: their
+        // values are architecturally visible to the predictor from now on.
+        while let Some(front) = self.pending_train.front() {
+            if front.commit_cycle <= fetch_cycle {
+                let p = self.pending_train.pop_front().expect("non-empty");
+                predictor.train(&p.uop, p.uop.value, p.predicted);
+            } else {
+                break;
+            }
+        }
+
+        // ---- Branch prediction ---------------------------------------------------
+        let mut branch_mispredicted = false;
+        if let Some(info) = uop.branch {
+            branch_mispredicted = self.bpu.predict_and_update(uop.pc, uop.fallthrough_pc(), info);
+        }
+
+        // ---- Value prediction ----------------------------------------------------
+        let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+        let new_block = self.last_block_pc != Some(block_pc);
+        self.last_block_pc = Some(block_pc);
+
+        let mut predicted: Option<u64> = None;
+        let free_imm = self.cfg.free_load_immediates && uop.uop.kind() == UopKind::LoadImm;
+        if cfg_vp && uop.vp_eligible() {
+            self.stats.vp.eligible += 1;
+            let ctx = PredictCtx {
+                seq: uop.seq,
+                fetch_block_pc: block_pc,
+                new_fetch_block: new_block,
+                global_history: self.bpu.global_history(),
+                path_history: self.bpu.path_history(),
+            };
+            predicted = predictor.predict(&ctx, uop);
+            if predicted.is_some() {
+                self.stats.vp.predicted += 1;
+            }
+        }
+        if free_imm {
+            self.stats.vp.free_load_immediates += 1;
+        }
+        let predicted_used = predicted.is_some();
+        let prediction_correct = predicted.map(|v| v == uop.value).unwrap_or(false);
+
+        // ---- Rename / dispatch -----------------------------------------------------
+        let rename_cycle = self.rename_pool.allocate(fetch_cycle + self.cfg.front_depth);
+        let mut dispatch_floor = self.rob.constrain(rename_cycle);
+
+        // ---- Execution mode ---------------------------------------------------------
+        let kind = uop.uop.kind();
+        let is_single_cycle_alu = matches!(kind, UopKind::Alu | UopKind::Nop | UopKind::Branch);
+        let srcs_in_frontend = uop
+            .uop
+            .srcs()
+            .all(|r| self.reg_frontend[r.raw() as usize]);
+        let mode = if free_imm {
+            ExecMode::Early
+        } else if self.cfg.has_eole() && is_single_cycle_alu && !kind.is_mem() && srcs_in_frontend {
+            ExecMode::Early
+        } else if self.cfg.has_eole() && predicted_used && is_single_cycle_alu && !kind.is_mem() {
+            ExecMode::Late
+        } else {
+            ExecMode::OutOfOrder
+        };
+
+        // Structure constraints beyond the ROB.
+        let uses_iq = mode == ExecMode::OutOfOrder;
+        if uses_iq {
+            dispatch_floor = dispatch_floor.max(self.iq.constrain(rename_cycle));
+        }
+        if kind == UopKind::Load {
+            dispatch_floor = dispatch_floor.max(self.lq.constrain(rename_cycle));
+        }
+        if kind == UopKind::Store {
+            dispatch_floor = dispatch_floor.max(self.sq.constrain(rename_cycle));
+        }
+        let dispatch_cycle = dispatch_floor;
+
+        // ---- Execute ------------------------------------------------------------------
+        let ready_cycle = uop
+            .uop
+            .srcs()
+            .map(|r| self.reg_avail[r.raw() as usize])
+            .max()
+            .unwrap_or(0)
+            .max(dispatch_cycle);
+
+        let (issue_cycle, complete_cycle) = match mode {
+            ExecMode::Early => {
+                let c = self.early_pool.allocate(rename_cycle);
+                (c, c)
+            }
+            ExecMode::Late => {
+                // Result (the prediction) is available at dispatch; the actual
+                // execution happens in the late-execution stage before commit and
+                // does not consume OoO resources.
+                let c = self.late_pool.allocate(dispatch_cycle);
+                (c, dispatch_cycle)
+            }
+            ExecMode::OutOfOrder => {
+                let fu_pool = match kind.exec_class() {
+                    ExecClass::Alu => &mut self.alu_pool,
+                    ExecClass::MulDiv => &mut self.muldiv_pool,
+                    ExecClass::Fp => &mut self.fp_pool,
+                    ExecClass::FpMulDiv => &mut self.fpmuldiv_pool,
+                    ExecClass::Load => &mut self.load_pool,
+                    ExecClass::Store => &mut self.store_pool,
+                };
+                let fu_cycle = fu_pool.allocate(ready_cycle + 1);
+                let issue_cycle = self.issue_pool.allocate(fu_cycle);
+                let latency = match kind {
+                    UopKind::Alu | UopKind::LoadImm | UopKind::Nop | UopKind::Branch => {
+                        u64::from(self.cfg.fu.alu_lat)
+                    }
+                    UopKind::Mul => u64::from(self.cfg.fu.mul_lat),
+                    UopKind::Div => u64::from(self.cfg.fu.div_lat),
+                    UopKind::FpAdd => u64::from(self.cfg.fu.fp_lat),
+                    UopKind::FpMul => u64::from(self.cfg.fu.fpmul_lat),
+                    UopKind::FpDiv => u64::from(self.cfg.fu.fpdiv_lat),
+                    UopKind::Load => {
+                        let addr = uop.mem.map(|m| m.addr).unwrap_or(0);
+                        self.mem.access(uop.pc, addr)
+                    }
+                    UopKind::Store => 1,
+                };
+                (issue_cycle, issue_cycle + latency)
+            }
+        };
+
+        match mode {
+            ExecMode::Early => self.stats.eole.early_executed += 1,
+            ExecMode::Late => self.stats.eole.late_executed += 1,
+            ExecMode::OutOfOrder => self.stats.eole.ooo_executed += 1,
+        }
+
+        // ---- Commit --------------------------------------------------------------------
+        let commit_floor = complete_cycle
+            .max(self.last_commit)
+            .max(fetch_cycle + self.cfg.fetch_to_commit);
+        let commit_cycle = self.commit_pool.allocate(commit_floor);
+        self.last_commit = commit_cycle;
+
+        // ---- Structure releases -----------------------------------------------------------
+        self.rob.push(commit_cycle);
+        if uses_iq {
+            self.iq.push(issue_cycle);
+        }
+        if kind == UopKind::Load {
+            self.lq.push(commit_cycle);
+        }
+        if kind == UopKind::Store {
+            self.sq.push(commit_cycle);
+        }
+
+        // ---- Register availability -----------------------------------------------------------
+        if let Some(dst) = uop.uop.dst() {
+            let idx = dst.raw() as usize;
+            if predicted_used || free_imm {
+                // The predicted / immediate value is written to the PRF at dispatch.
+                self.reg_avail[idx] = dispatch_cycle;
+                self.reg_frontend[idx] = true;
+            } else if mode == ExecMode::Early {
+                self.reg_avail[idx] = complete_cycle;
+                self.reg_frontend[idx] = true;
+            } else {
+                self.reg_avail[idx] = complete_cycle;
+                self.reg_frontend[idx] = false;
+            }
+        }
+
+        // ---- Flushes --------------------------------------------------------------------------
+        if branch_mispredicted {
+            self.stats.branch_flushes += 1;
+            self.fetch_resume = self.fetch_resume.max(complete_cycle + 1);
+            if cfg_vp {
+                predictor.squash(&SquashInfo {
+                    flush_seq: uop.seq,
+                    flush_pc: uop.pc,
+                    next_pc: uop.next_pc(),
+                    cause: SquashCause::BranchMispredict,
+                });
+            }
+        }
+        if predicted_used && !prediction_correct {
+            // Validation at commit detects the wrong value and squashes everything
+            // younger than this µ-op.
+            self.stats.vp_flushes += 1;
+            self.stats.vp.incorrect += 1;
+            self.fetch_resume = self.fetch_resume.max(commit_cycle + 1);
+            predictor.squash(&SquashInfo {
+                flush_seq: uop.seq,
+                flush_pc: uop.pc,
+                next_pc: if uop.is_last_uop() { uop.next_pc() } else { uop.pc },
+                cause: SquashCause::ValueMispredict,
+            });
+        } else if predicted_used {
+            self.stats.vp.correct += 1;
+        }
+
+        // ---- Deferred training --------------------------------------------------------------------
+        if cfg_vp && uop.vp_eligible() {
+            self.pending_train.push_back(PendingTrain {
+                commit_cycle,
+                uop: *uop,
+                predicted,
+            });
+        }
+
+        // ---- Accounting -----------------------------------------------------------------------------
+        self.stats.uops += 1;
+        if uop.is_last_uop() {
+            self.stats.insts += 1;
+        }
+
+        // Keep the bandwidth pools bounded: nothing can ever be allocated below the
+        // current fetch cycle again.
+        if self.stats.uops % 4096 == 0 {
+            let horizon = fetch_cycle.saturating_sub(4);
+            self.rename_pool.prune_below(horizon);
+            self.issue_pool.prune_below(horizon);
+            self.alu_pool.prune_below(horizon);
+            self.muldiv_pool.prune_below(horizon);
+            self.fp_pool.prune_below(horizon);
+            self.fpmuldiv_pool.prune_below(horizon);
+            self.load_pool.prune_below(horizon);
+            self.store_pool.prune_below(horizon);
+            self.early_pool.prune_below(horizon);
+            self.late_pool.prune_below(horizon);
+            self.commit_pool.prune_below(horizon);
+        }
+    }
+
+    /// Assigns a fetch cycle to `uop`, modelling fetch-block grouping: up to
+    /// `front_width` µ-ops per cycle drawn from at most `fetch_blocks_per_cycle`
+    /// distinct fetch blocks (the paper fetches two 16-byte blocks per cycle,
+    /// potentially over one taken branch).
+    fn fetch(&mut self, uop: &DynUop) -> u64 {
+        let block = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+
+        // A redirect forces a new group at the resume cycle.
+        if self.fetch_resume > self.group.cycle {
+            self.group = FetchGroup {
+                cycle: self.fetch_resume,
+                uops: 0,
+                blocks: Vec::with_capacity(2),
+            };
+        }
+
+        let fits_width = self.group.uops < self.cfg.front_width;
+        let known_block = self.group.blocks.contains(&block);
+        let fits_blocks =
+            known_block || self.group.blocks.len() < self.cfg.fetch_blocks_per_cycle as usize;
+        if !(fits_width && fits_blocks) {
+            self.group = FetchGroup {
+                cycle: self.group.cycle + 1,
+                uops: 0,
+                blocks: Vec::with_capacity(2),
+            };
+        }
+        if !self.group.blocks.contains(&block) {
+            self.group.blocks.push(block);
+        }
+        self.group.uops += 1;
+        self.group.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp_iface::{NoValuePredictor, PerfectValuePredictor};
+    use bebop_trace::{TraceGenerator, WorkloadSpec};
+
+    fn run(cfg: PipelineConfig, spec: &WorkloadSpec, n: u64) -> SimStats {
+        let mut pred = NoValuePredictor;
+        Pipeline::new(cfg).run(TraceGenerator::new(spec), &mut pred, n)
+    }
+
+    fn run_with(
+        cfg: PipelineConfig,
+        spec: &WorkloadSpec,
+        n: u64,
+        pred: &mut dyn ValuePredictor,
+    ) -> SimStats {
+        Pipeline::new(cfg).run(TraceGenerator::new(spec), pred, n)
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded() {
+        let spec = WorkloadSpec::named_demo("pipe");
+        let stats = run(PipelineConfig::baseline_6_60(), &spec, 30_000);
+        assert_eq!(stats.uops, 30_000);
+        assert!(stats.cycles > 0);
+        let ipc = stats.uop_ipc();
+        assert!(ipc > 0.1, "unreasonably low IPC {ipc}");
+        assert!(ipc <= 8.0, "IPC {ipc} exceeds the front-end width");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let spec = WorkloadSpec::named_demo("pipe");
+        let a = run(PipelineConfig::baseline_6_60(), &spec, 20_000);
+        let b = run(PipelineConfig::baseline_6_60(), &spec, 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perfect_value_prediction_helps_serial_code() {
+        let mut spec = WorkloadSpec::named_demo("pipe");
+        spec.parallel_chains = 1; // fully serial: VP should break the chains
+        let base = run(PipelineConfig::baseline_6_60(), &spec, 40_000);
+        let mut perfect = PerfectValuePredictor;
+        let vp = run_with(PipelineConfig::baseline_vp_6_60(), &spec, 40_000, &mut perfect);
+        assert!(
+            vp.cycles < base.cycles,
+            "perfect VP should speed up a serial workload: base {} vs vp {}",
+            base.cycles,
+            vp.cycles
+        );
+        assert_eq!(vp.vp_flushes, 0);
+        assert!(vp.vp.accuracy() > 0.999);
+    }
+
+    #[test]
+    fn wider_issue_is_never_slower() {
+        let spec = WorkloadSpec::new("ilp", 7);
+        let narrow = {
+            let mut c = PipelineConfig::baseline_6_60();
+            c.issue_width = 2;
+            c
+        };
+        let wide = PipelineConfig::baseline_6_60();
+        let n = run(narrow, &spec, 30_000);
+        let w = run(wide, &spec, 30_000);
+        assert!(w.cycles <= n.cycles);
+    }
+
+    #[test]
+    fn more_mispredictable_branches_cost_cycles() {
+        let mut easy = WorkloadSpec::new("b", 5);
+        easy.branches.random_frac = 0.0;
+        easy.branches.pattern_frac = 1.0;
+        easy.branches.biased_frac = 0.0;
+        let mut hard = easy.clone();
+        hard.branches.random_frac = 1.0;
+        hard.branches.pattern_frac = 0.0;
+        let e = run(PipelineConfig::baseline_6_60(), &easy, 30_000);
+        let h = run(PipelineConfig::baseline_6_60(), &hard, 30_000);
+        assert!(h.branch.cond_mispredicts > e.branch.cond_mispredicts);
+        assert!(h.cycles > e.cycles);
+    }
+
+    #[test]
+    fn larger_working_set_is_slower() {
+        let mut small = WorkloadSpec::new("m", 13);
+        small.memory.working_set_bytes = 16 * 1024;
+        small.memory.streaming_frac = 0.0;
+        small.memory.random_frac = 1.0;
+        small.memory.pointer_chase_frac = 0.0;
+        let mut big = small.clone();
+        big.memory.working_set_bytes = 64 * 1024 * 1024;
+        let s = run(PipelineConfig::baseline_6_60(), &small, 30_000);
+        let b = run(PipelineConfig::baseline_6_60(), &big, 30_000);
+        assert!(b.mem.l2_misses > s.mem.l2_misses);
+        assert!(b.cycles > s.cycles);
+    }
+
+    #[test]
+    fn eole_with_perfect_vp_matches_wider_baseline_vp() {
+        // The EOLE result from the paper: a 4-issue EOLE pipeline performs about as
+        // well as the 6-issue VP baseline because early/late execution offloads the
+        // OoO engine. Use an integer mix (mostly single-cycle ALU µ-ops), which is
+        // what early/late execution can actually offload.
+        let spec = WorkloadSpec::new("eole", 17);
+        let mut p1 = PerfectValuePredictor;
+        let mut p2 = PerfectValuePredictor;
+        let base_vp = run_with(PipelineConfig::baseline_vp_6_60(), &spec, 40_000, &mut p1);
+        let eole = run_with(PipelineConfig::eole_4_60(), &spec, 40_000, &mut p2);
+        let ratio = base_vp.cycles as f64 / eole.cycles as f64;
+        assert!(
+            ratio > 0.9,
+            "EOLE_4_60 should be within ~10% of Baseline_VP_6_60, ratio {ratio}"
+        );
+        assert!(eole.eole.early_executed + eole.eole.late_executed > 0);
+    }
+
+    #[test]
+    fn value_mispredictions_hurt() {
+        // A predictor that always predicts zero: almost always wrong, and each use
+        // costs a commit-time squash, so it must be slower than no prediction.
+        #[derive(Debug)]
+        struct AlwaysZero;
+        impl ValuePredictor for AlwaysZero {
+            fn name(&self) -> &str {
+                "zero"
+            }
+            fn predict(&mut self, _c: &PredictCtx, _u: &DynUop) -> Option<u64> {
+                Some(0)
+            }
+            fn train(&mut self, _u: &DynUop, _a: u64, _p: Option<u64>) {}
+        }
+        let spec = WorkloadSpec::new("vpbad", 21);
+        let base = run(PipelineConfig::baseline_6_60(), &spec, 20_000);
+        let mut zero = AlwaysZero;
+        let bad = run_with(PipelineConfig::baseline_vp_6_60(), &spec, 20_000, &mut zero);
+        assert!(bad.vp_flushes > 0);
+        assert!(bad.cycles > base.cycles);
+    }
+
+    #[test]
+    fn free_load_immediates_are_counted() {
+        let mut spec = WorkloadSpec::new("imm", 3);
+        spec.mix.load_imm = 0.5;
+        let mut pred = NoValuePredictor;
+        let stats = Pipeline::new(PipelineConfig::eole_4_60()).run(
+            TraceGenerator::new(&spec),
+            &mut pred,
+            20_000,
+        );
+        assert!(stats.vp.free_load_immediates > 0);
+    }
+
+    #[test]
+    fn commit_respects_minimum_depth() {
+        let spec = WorkloadSpec::named_demo("depth");
+        let stats = run(PipelineConfig::baseline_6_60(), &spec, 1_000);
+        // Even a tiny run pays at least the fetch-to-commit depth.
+        assert!(stats.cycles >= PipelineConfig::baseline_6_60().fetch_to_commit);
+    }
+}

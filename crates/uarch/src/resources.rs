@@ -1,0 +1,208 @@
+//! Low-level resource bookkeeping used by the pipeline timing model: per-cycle
+//! bandwidth pools and age-ordered occupancy rings.
+
+use std::collections::VecDeque;
+
+/// A per-cycle slot pool modelling a bandwidth-limited resource (issue ports of one
+/// functional-unit class, rename slots, commit slots, …).
+///
+/// `allocate(t)` finds the earliest cycle `>= t` with a free slot, consumes it and
+/// returns the cycle. Cycles below a moving horizon are pruned; allocations below
+/// the horizon are clamped up to it (they can never be requested again by the
+/// in-order processing loop, which only moves forward).
+#[derive(Debug, Clone)]
+pub struct SlotPool {
+    /// Slots available per cycle.
+    width: u16,
+    /// First cycle represented by `used[0]`.
+    base: u64,
+    /// Used-slot counts per cycle, starting at `base`.
+    used: VecDeque<u16>,
+}
+
+impl SlotPool {
+    /// Creates a pool offering `width` slots per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: u16) -> Self {
+        assert!(width > 0, "a slot pool must have at least one slot per cycle");
+        SlotPool {
+            width,
+            base: 0,
+            used: VecDeque::new(),
+        }
+    }
+
+    /// The per-cycle width of this pool.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Allocates one slot at the earliest cycle `>= cycle`, returning that cycle.
+    pub fn allocate(&mut self, cycle: u64) -> u64 {
+        let mut c = cycle.max(self.base);
+        loop {
+            let idx = (c - self.base) as usize;
+            if idx >= self.used.len() {
+                self.used.resize(idx + 1, 0);
+            }
+            if self.used[idx] < self.width {
+                self.used[idx] += 1;
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    /// Drops bookkeeping for all cycles strictly below `cycle`. Future allocations
+    /// below `cycle` are clamped up to it.
+    pub fn prune_below(&mut self, cycle: u64) {
+        while self.base < cycle && !self.used.is_empty() {
+            self.used.pop_front();
+            self.base += 1;
+        }
+        if self.base < cycle {
+            self.base = cycle;
+        }
+    }
+
+    /// Number of cycles currently tracked (test/diagnostic aid).
+    pub fn tracked_cycles(&self) -> usize {
+        self.used.len()
+    }
+}
+
+/// An age-ordered occupancy ring modelling a finite buffer (ROB, IQ, LQ, SQ)
+/// allocated at one pipeline stage and released at another.
+///
+/// When entry `i` is allocated, the allocation cannot happen before the release
+/// cycle of entry `i - capacity`; `constrain` returns that lower bound and `push`
+/// records the release cycle of the new entry.
+#[derive(Debug, Clone)]
+pub struct OccupancyRing {
+    capacity: usize,
+    releases: VecDeque<u64>,
+}
+
+impl OccupancyRing {
+    /// Creates a ring for a structure with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "structure capacity must be non-zero");
+        OccupancyRing {
+            capacity,
+            releases: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The structure capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the earliest cycle at which a new entry may be allocated, given that
+    /// the allocation wants to happen at `cycle`: if the structure is full, the
+    /// oldest outstanding entry must have been released first.
+    pub fn constrain(&self, cycle: u64) -> u64 {
+        if self.releases.len() < self.capacity {
+            cycle
+        } else {
+            // The entry allocated `capacity` allocations ago frees its slot at
+            // `front`; the new allocation cannot be earlier.
+            let oldest_release = *self.releases.front().expect("ring is full");
+            cycle.max(oldest_release)
+        }
+    }
+
+    /// Records that the entry just allocated will be released at `release_cycle`.
+    pub fn push(&mut self, release_cycle: u64) {
+        if self.releases.len() == self.capacity {
+            self.releases.pop_front();
+        }
+        self.releases.push_back(release_cycle);
+    }
+
+    /// Clears all occupancy (used on pipeline flushes: squashed entries release
+    /// their slots immediately).
+    pub fn clear(&mut self) {
+        self.releases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_pool_respects_width() {
+        let mut p = SlotPool::new(2);
+        assert_eq!(p.allocate(10), 10);
+        assert_eq!(p.allocate(10), 10);
+        assert_eq!(p.allocate(10), 11);
+        assert_eq!(p.allocate(10), 11);
+        assert_eq!(p.allocate(10), 12);
+    }
+
+    #[test]
+    fn slot_pool_allocates_forward_only() {
+        let mut p = SlotPool::new(1);
+        assert_eq!(p.allocate(5), 5);
+        assert_eq!(p.allocate(3), 3);
+        assert_eq!(p.allocate(3), 4);
+        assert_eq!(p.allocate(3), 6);
+    }
+
+    #[test]
+    fn slot_pool_prunes() {
+        let mut p = SlotPool::new(1);
+        for c in 0..100 {
+            p.allocate(c);
+        }
+        assert!(p.tracked_cycles() >= 100);
+        p.prune_below(90);
+        assert!(p.tracked_cycles() <= 10);
+        // Allocations below the horizon are clamped up.
+        assert_eq!(p.allocate(0), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_pool_panics() {
+        let _ = SlotPool::new(0);
+    }
+
+    #[test]
+    fn occupancy_ring_blocks_when_full() {
+        let mut r = OccupancyRing::new(2);
+        // Two entries outstanding, released at cycles 100 and 200.
+        assert_eq!(r.constrain(10), 10);
+        r.push(100);
+        assert_eq!(r.constrain(11), 11);
+        r.push(200);
+        // Third allocation must wait for the first release.
+        assert_eq!(r.constrain(12), 100);
+        r.push(300);
+        // Fourth must wait for the second release.
+        assert_eq!(r.constrain(13), 200);
+    }
+
+    #[test]
+    fn occupancy_ring_clear_resets() {
+        let mut r = OccupancyRing::new(1);
+        r.push(1000);
+        assert_eq!(r.constrain(0), 1000);
+        r.clear();
+        assert_eq!(r.constrain(0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_ring_panics() {
+        let _ = OccupancyRing::new(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Simulation statistics.
+
+use crate::branch::BranchStats;
+use crate::cache::MemStats;
+
+/// Value-prediction statistics collected at commit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VpStats {
+    /// µ-ops eligible for value prediction.
+    pub eligible: u64,
+    /// Eligible µ-ops for which the predictor supplied a (confident) prediction.
+    pub predicted: u64,
+    /// Predictions that turned out to be correct.
+    pub correct: u64,
+    /// Predictions that turned out to be wrong (each triggers a commit-time squash).
+    pub incorrect: u64,
+    /// Load-immediate µ-ops whose value was written to the PRF for free in the
+    /// front end (BeBoP Section II-B3).
+    pub free_load_immediates: u64,
+}
+
+impl VpStats {
+    /// Coverage: fraction of eligible µ-ops correctly predicted.
+    pub fn coverage(&self) -> f64 {
+        if self.eligible == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.eligible as f64
+        }
+    }
+
+    /// Accuracy: fraction of supplied predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predicted as f64
+        }
+    }
+}
+
+/// EOLE statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EoleStats {
+    /// µ-ops executed early (at rename, outside the OoO engine).
+    pub early_executed: u64,
+    /// µ-ops executed late (just before commit, outside the OoO engine).
+    pub late_executed: u64,
+    /// µ-ops that went through the out-of-order scheduler.
+    pub ooo_executed: u64,
+}
+
+/// Aggregate result of one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// µ-ops committed.
+    pub uops: u64,
+    /// Macro-instructions committed.
+    pub insts: u64,
+    /// Total cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Pipeline flushes caused by branch mispredictions.
+    pub branch_flushes: u64,
+    /// Pipeline flushes caused by value mispredictions (squash at commit).
+    pub vp_flushes: u64,
+    /// Branch predictor statistics.
+    pub branch: BranchStats,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+    /// Value prediction statistics.
+    pub vp: VpStats,
+    /// EOLE statistics.
+    pub eole: EoleStats,
+}
+
+impl SimStats {
+    /// Committed µ-ops per cycle.
+    pub fn uop_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.uops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Committed macro-instructions per cycle (the IPC reported in Table II).
+    pub fn inst_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the *same trace*: ratio of
+    /// baseline cycles to this run's cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs committed different µ-op counts (they would not be
+    /// comparable).
+    pub fn speedup_over(&self, baseline: &SimStats) -> f64 {
+        assert_eq!(
+            self.uops, baseline.uops,
+            "speedup requires runs over the same trace"
+        );
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// The geometric mean of a slice of speedups (the aggregate the paper reports).
+///
+/// Returns 1.0 for an empty slice.
+pub fn gmean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_computation() {
+        let s = SimStats {
+            uops: 1000,
+            insts: 600,
+            cycles: 500,
+            ..Default::default()
+        };
+        assert!((s.uop_ipc() - 2.0).abs() < 1e-12);
+        assert!((s.inst_ipc() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_ipc() {
+        assert_eq!(SimStats::default().uop_ipc(), 0.0);
+        assert_eq!(SimStats::default().inst_ipc(), 0.0);
+    }
+
+    #[test]
+    fn speedup_over_baseline() {
+        let base = SimStats {
+            uops: 100,
+            cycles: 200,
+            ..Default::default()
+        };
+        let fast = SimStats {
+            uops: 100,
+            cycles: 100,
+            ..Default::default()
+        };
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn speedup_requires_same_trace() {
+        let a = SimStats {
+            uops: 100,
+            cycles: 10,
+            ..Default::default()
+        };
+        let b = SimStats {
+            uops: 200,
+            cycles: 10,
+            ..Default::default()
+        };
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn vp_rates() {
+        let v = VpStats {
+            eligible: 100,
+            predicted: 50,
+            correct: 45,
+            incorrect: 5,
+            free_load_immediates: 3,
+        };
+        assert!((v.coverage() - 0.45).abs() < 1e-12);
+        assert!((v.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(VpStats::default().coverage(), 0.0);
+        assert_eq!(VpStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn gmean_behaviour() {
+        assert!((gmean(&[]) - 1.0).abs() < 1e-12);
+        assert!((gmean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((gmean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! The interface between the pipeline and a value predictor.
+//!
+//! The pipeline calls the predictor at three points, always in program order:
+//!
+//! 1. [`ValuePredictor::predict`] when a VP-eligible µ-op is fetched. The predictor
+//!    returns `Some(value)` only when it is confident enough for the pipeline to
+//!    *use* the prediction (the pipeline applies every prediction it receives —
+//!    confidence filtering is the predictor's job, as in the paper).
+//! 2. [`ValuePredictor::train`] when the µ-op retires, with the architectural
+//!    value. This is where tables are updated; it happens only once the µ-op's
+//!    retirement is architecturally visible to younger fetches, so computational
+//!    predictors must bridge the gap with their own speculative window.
+//! 3. [`ValuePredictor::squash`] when the pipeline flushes (branch misprediction or
+//!    value misprediction at commit), so speculative predictor state can roll back.
+
+use bebop_isa::{DynUop, SeqNum};
+use std::fmt::Debug;
+
+/// Front-end context available when a prediction is made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictCtx {
+    /// Program-order sequence number of the µ-op being predicted.
+    pub seq: SeqNum,
+    /// The fetch-block PC (block-aligned) of the µ-op.
+    pub fetch_block_pc: u64,
+    /// `true` if this µ-op is the first one predicted in its fetch block instance.
+    pub new_fetch_block: bool,
+    /// Committed global branch history (most recent outcome in bit 0).
+    pub global_history: u64,
+    /// Folded path history.
+    pub path_history: u64,
+}
+
+/// Why the pipeline flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SquashCause {
+    /// A branch misprediction detected at execute.
+    BranchMispredict,
+    /// A value misprediction detected at commit-time validation.
+    ValueMispredict,
+}
+
+/// Description of a pipeline flush, passed to [`ValuePredictor::squash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SquashInfo {
+    /// Sequence number of the µ-op that triggered the flush (`Iflush` in the
+    /// paper); all strictly younger µ-ops are squashed.
+    pub flush_seq: SeqNum,
+    /// PC of the flushing instruction (`Bflush` is its fetch block).
+    pub flush_pc: u64,
+    /// PC of the first instruction fetched after the flush (`Inew` / `Bnew`).
+    pub next_pc: u64,
+    /// The cause of the flush.
+    pub cause: SquashCause,
+}
+
+/// A value predictor as seen by the pipeline.
+pub trait ValuePredictor: Debug {
+    /// A short human-readable name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Predicts the result of `uop`, returning `Some(value)` only when the
+    /// prediction is confident enough to be consumed by the pipeline.
+    fn predict(&mut self, ctx: &PredictCtx, uop: &DynUop) -> Option<u64>;
+
+    /// Trains the predictor with the retired µ-op's architectural `actual` value.
+    /// `predicted` is the value returned by [`ValuePredictor::predict`] for this
+    /// µ-op, if any.
+    fn train(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>);
+
+    /// Notifies the predictor of a pipeline flush so it can roll back speculative
+    /// state. The default does nothing.
+    fn squash(&mut self, info: &SquashInfo) {
+        let _ = info;
+    }
+
+    /// The storage footprint of the predictor in bits (0 if not meaningful).
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+/// A predictor that never predicts: plugging it in yields the baseline pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoValuePredictor;
+
+impl ValuePredictor for NoValuePredictor {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn predict(&mut self, _ctx: &PredictCtx, _uop: &DynUop) -> Option<u64> {
+        None
+    }
+
+    fn train(&mut self, _uop: &DynUop, _actual: u64, _predicted: Option<u64>) {}
+}
+
+/// An oracle predictor that always predicts the correct value: an upper bound on
+/// value-prediction benefit, useful for tests and limit studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectValuePredictor;
+
+impl ValuePredictor for PerfectValuePredictor {
+    fn name(&self) -> &str {
+        "perfect"
+    }
+
+    fn predict(&mut self, _ctx: &PredictCtx, uop: &DynUop) -> Option<u64> {
+        Some(uop.value)
+    }
+
+    fn train(&mut self, _uop: &DynUop, _actual: u64, _predicted: Option<u64>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bebop_isa::{ArchReg, Uop, UopKind};
+
+    fn uop() -> DynUop {
+        DynUop::new(
+            3,
+            0x100,
+            4,
+            0,
+            1,
+            Uop::new(UopKind::Alu, Some(ArchReg::int(1)), &[]),
+            42,
+        )
+    }
+
+    fn ctx() -> PredictCtx {
+        PredictCtx {
+            seq: 3,
+            fetch_block_pc: 0x100,
+            new_fetch_block: true,
+            global_history: 0,
+            path_history: 0,
+        }
+    }
+
+    #[test]
+    fn no_predictor_never_predicts() {
+        let mut p = NoValuePredictor;
+        assert_eq!(p.predict(&ctx(), &uop()), None);
+        assert_eq!(p.storage_bits(), 0);
+        assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn perfect_predictor_always_matches() {
+        let mut p = PerfectValuePredictor;
+        assert_eq!(p.predict(&ctx(), &uop()), Some(42));
+        assert_eq!(p.name(), "perfect");
+    }
+
+    #[test]
+    fn default_squash_is_noop() {
+        let mut p = NoValuePredictor;
+        p.squash(&SquashInfo {
+            flush_seq: 1,
+            flush_pc: 0x100,
+            next_pc: 0x104,
+            cause: SquashCause::ValueMispredict,
+        });
+    }
+}

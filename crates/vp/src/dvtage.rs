@@ -1,0 +1,559 @@
+//! The instruction-based Differential VTAGE (D-VTAGE) predictor.
+//!
+//! D-VTAGE stores *strides* instead of full values in its history-indexed
+//! components and adds them to the last value of the instruction, held in a Last
+//! Value Table (LVT). The base component (VT0) makes it behave as a plain stride
+//! predictor when no tagged component hits; the tagged components capture
+//! control-flow-dependent strides. Because the prediction is computed from the last
+//! value, D-VTAGE needs speculative last values for in-flight instances — here an
+//! idealistic per-entry speculative chain; the realistic block-based speculative
+//! window is provided by the `bebop` core crate.
+
+use crate::fpc::{ForwardProbabilisticCounter, FpcParams};
+use crate::{fold_history, inst_key, Lfsr};
+use bebop_isa::{DynUop, SeqNum};
+use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
+use std::collections::HashMap;
+
+/// Configuration of an instruction-based D-VTAGE predictor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DVtageConfig {
+    /// log2 entries of the LVT / VT0 base component.
+    pub log_base: u32,
+    /// Number of partially tagged (stride) components.
+    pub num_tagged: usize,
+    /// log2 entries of each tagged component.
+    pub log_tagged: u32,
+    /// Tag width of the first tagged component; grows by one bit per component.
+    pub first_tag_bits: u32,
+    /// LVT tag width (the paper uses 5 bits to maximise accuracy).
+    pub lvt_tag_bits: u32,
+    /// Shortest global-history length.
+    pub min_history: usize,
+    /// Longest global-history length.
+    pub max_history: usize,
+    /// Stride width in bits (64, 32, 16 or 8; partial strides shrink storage).
+    pub stride_bits: u32,
+    /// Confidence parameters.
+    pub fpc: FpcParams,
+    /// Period (in updates) of the useful-bit reset.
+    pub useful_reset_period: u64,
+}
+
+impl Default for DVtageConfig {
+    fn default() -> Self {
+        // The Figure 5a / Section V-B configuration: 8K-entry base component with
+        // six 1K-entry tagged components, 13-bit first tags, histories 2..64,
+        // 64-bit strides, FPC probabilities {1, 1/16 x4, 1/32 x2}.
+        DVtageConfig {
+            log_base: 13,
+            num_tagged: 6,
+            log_tagged: 10,
+            first_tag_bits: 13,
+            lvt_tag_bits: 5,
+            min_history: 2,
+            max_history: 64,
+            stride_bits: 64,
+            fpc: FpcParams::paper_default(),
+            useful_reset_period: 512 * 1024,
+        }
+    }
+}
+
+impl DVtageConfig {
+    /// The geometric history length of tagged component `i`.
+    pub fn history_length(&self, i: usize) -> usize {
+        if self.num_tagged <= 1 {
+            return self.min_history;
+        }
+        let ratio = (self.max_history as f64 / self.min_history as f64)
+            .powf(i as f64 / (self.num_tagged - 1) as f64);
+        (self.min_history as f64 * ratio).round() as usize
+    }
+
+    /// The tag width of tagged component `i`.
+    pub fn tag_bits(&self, i: usize) -> u32 {
+        (self.first_tag_bits + i as u32).min(16)
+    }
+
+    /// Truncates a full stride to the configured partial-stride width
+    /// (sign-extended low bits, as stored by the hardware).
+    pub fn clamp_stride(&self, stride: i64) -> i64 {
+        if self.stride_bits >= 64 {
+            return stride;
+        }
+        let shift = 64 - self.stride_bits;
+        (stride << shift) >> shift
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LvtEntry {
+    valid: bool,
+    tag: u16,
+    last: u64,
+    spec_last: u64,
+    spec_inflight: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Vt0Entry {
+    stride: i64,
+    conf: ForwardProbabilisticCounter,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TaggedEntry {
+    valid: bool,
+    tag: u16,
+    stride: i64,
+    conf: ForwardProbabilisticCounter,
+    useful: bool,
+}
+
+/// Prediction-time information carried to retirement.
+#[derive(Debug, Clone)]
+struct Inflight {
+    base_index: usize,
+    lvt_hit: bool,
+    provider: Option<(usize, usize)>,
+    slots: Vec<(usize, u16)>,
+    prediction: Option<u64>,
+    alt_stride: i64,
+}
+
+/// The instruction-based Differential VTAGE predictor.
+#[derive(Debug, Clone)]
+pub struct DVtage {
+    cfg: DVtageConfig,
+    lvt: Vec<LvtEntry>,
+    vt0: Vec<Vt0Entry>,
+    tagged: Vec<Vec<TaggedEntry>>,
+    inflight: HashMap<SeqNum, Inflight>,
+    rng: Lfsr,
+    updates: u64,
+}
+
+impl DVtage {
+    /// Creates a D-VTAGE predictor.
+    pub fn new(cfg: DVtageConfig) -> Self {
+        DVtage {
+            lvt: vec![LvtEntry::default(); 1 << cfg.log_base],
+            vt0: vec![Vt0Entry::default(); 1 << cfg.log_base],
+            tagged: vec![vec![TaggedEntry::default(); 1 << cfg.log_tagged]; cfg.num_tagged],
+            inflight: HashMap::new(),
+            rng: Lfsr::new(0xd7a6e),
+            updates: 0,
+            cfg,
+        }
+    }
+
+    /// The Figure 5a configuration (8K base + 6 × 1K tagged, 64-bit strides).
+    pub fn default_config() -> Self {
+        DVtage::new(DVtageConfig::default())
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &DVtageConfig {
+        &self.cfg
+    }
+
+    fn base_index(&self, key: u64) -> usize {
+        ((key >> 1) & ((1 << self.cfg.log_base) - 1)) as usize
+    }
+
+    fn lvt_tag(&self, key: u64) -> u16 {
+        (((key >> 1) >> self.cfg.log_base) & ((1 << self.cfg.lvt_tag_bits) - 1)) as u16
+    }
+
+    fn tagged_index(&self, key: u64, ghist: u64, path: u64, comp: usize) -> usize {
+        let hl = self.cfg.history_length(comp);
+        let folded = fold_history(ghist, hl, self.cfg.log_tagged);
+        let idx = (key >> 1) ^ (key >> (1 + self.cfg.log_tagged)) ^ folded ^ (path & 0x3f);
+        (idx & ((1 << self.cfg.log_tagged) - 1)) as usize
+    }
+
+    fn tagged_tag(&self, key: u64, ghist: u64, comp: usize) -> u16 {
+        let hl = self.cfg.history_length(comp);
+        let tb = self.cfg.tag_bits(comp);
+        let f1 = fold_history(ghist, hl, tb);
+        let f2 = fold_history(ghist, hl, tb.saturating_sub(3).max(2));
+        (((key >> 1) ^ (key >> 9) ^ f1 ^ (f2 << 2)) & ((1u64 << tb) - 1)) as u16
+    }
+
+    fn lookup(&self, key: u64, ghist: u64, path: u64) -> Inflight {
+        let base_index = self.base_index(key);
+        let lvt_tag = self.lvt_tag(key);
+        let lvt = &self.lvt[base_index];
+        let lvt_hit = lvt.valid && lvt.tag == lvt_tag;
+
+        let mut slots = Vec::with_capacity(self.cfg.num_tagged);
+        for comp in 0..self.cfg.num_tagged {
+            slots.push((
+                self.tagged_index(key, ghist, path, comp),
+                self.tagged_tag(key, ghist, comp),
+            ));
+        }
+        let mut provider = None;
+        let mut alt_stride = self.vt0[base_index].stride;
+        for comp in (0..self.cfg.num_tagged).rev() {
+            let (idx, tag) = slots[comp];
+            let e = &self.tagged[comp][idx];
+            if e.valid && e.tag == tag {
+                if provider.is_none() {
+                    provider = Some((comp, idx));
+                } else {
+                    alt_stride = e.stride;
+                    break;
+                }
+            }
+        }
+        let stride = match provider {
+            Some((c, i)) => self.tagged[c][i].stride,
+            None => self.vt0[base_index].stride,
+        };
+        let prediction = if lvt_hit {
+            let base = if lvt.spec_inflight > 0 { lvt.spec_last } else { lvt.last };
+            Some(base.wrapping_add_signed(self.cfg.clamp_stride(stride)))
+        } else {
+            None
+        };
+        Inflight {
+            base_index,
+            lvt_hit,
+            provider,
+            slots,
+            prediction,
+            alt_stride,
+        }
+    }
+
+    fn provider_confident(&self, info: &Inflight) -> bool {
+        match info.provider {
+            Some((c, i)) => self.tagged[c][i].conf.is_confident(&self.cfg.fpc),
+            None => self.vt0[info.base_index].conf.is_confident(&self.cfg.fpc),
+        }
+    }
+
+    fn train_with(&mut self, info: Inflight, key: u64, actual: u64) {
+        self.updates += 1;
+        let fpc = self.cfg.fpc.clone();
+        let lvt_tag = self.lvt_tag(key);
+
+        // Last Value Table: retire the actual value, unwind one speculative instance.
+        let retired_last;
+        {
+            let lvt = &mut self.lvt[info.base_index];
+            if lvt.valid && lvt.tag == lvt_tag {
+                retired_last = Some(lvt.last);
+                lvt.last = actual;
+                if lvt.spec_inflight > 0 {
+                    lvt.spec_inflight -= 1;
+                }
+            } else {
+                retired_last = None;
+                *lvt = LvtEntry {
+                    valid: true,
+                    tag: lvt_tag,
+                    last: actual,
+                    spec_last: actual,
+                    spec_inflight: 0,
+                };
+            }
+        }
+
+        let correct = info.prediction == Some(actual);
+        if !correct {
+            // The speculative chain diverged from the architectural values: resync.
+            let lvt = &mut self.lvt[info.base_index];
+            lvt.spec_inflight = 0;
+            lvt.spec_last = actual;
+        }
+
+        // The stride observed at retirement.
+        let observed_stride = retired_last
+            .map(|last| self.cfg.clamp_stride(actual.wrapping_sub(last) as i64));
+
+        // Update the providing component.
+        match info.provider {
+            Some((c, i)) => {
+                let alt_would_match = retired_last
+                    .map(|last| last.wrapping_add_signed(self.cfg.clamp_stride(info.alt_stride)) == actual)
+                    .unwrap_or(false);
+                let e = &mut self.tagged[c][i];
+                if correct {
+                    e.conf.on_correct(&fpc, &mut self.rng);
+                    if !alt_would_match {
+                        e.useful = true;
+                    }
+                } else {
+                    e.conf.on_wrong();
+                    if let Some(s) = observed_stride {
+                        e.stride = s;
+                    }
+                    e.useful = false;
+                }
+            }
+            None => {
+                let e = &mut self.vt0[info.base_index];
+                if correct {
+                    e.conf.on_correct(&fpc, &mut self.rng);
+                } else {
+                    e.conf.on_wrong();
+                    if let Some(s) = observed_stride {
+                        e.stride = s;
+                    }
+                }
+            }
+        }
+
+        // Allocation on a misprediction, as in VTAGE/TAGE.
+        if !correct && info.lvt_hit {
+            let start = info.provider.map(|(c, _)| c + 1).unwrap_or(0);
+            if start < self.cfg.num_tagged {
+                let candidates: Vec<usize> = (start..self.cfg.num_tagged)
+                    .filter(|&c| !self.tagged[c][info.slots[c].0].useful)
+                    .collect();
+                if candidates.is_empty() {
+                    for c in start..self.cfg.num_tagged {
+                        self.tagged[c][info.slots[c].0].useful = false;
+                    }
+                } else {
+                    let pick = (self.rng.next() as usize) % candidates.len().min(2);
+                    let comp = candidates[pick];
+                    let (idx, tag) = info.slots[comp];
+                    self.tagged[comp][idx] = TaggedEntry {
+                        valid: true,
+                        tag,
+                        stride: observed_stride.unwrap_or(0),
+                        conf: ForwardProbabilisticCounter::new(),
+                        useful: false,
+                    };
+                }
+            }
+        }
+
+        if self.updates % self.cfg.useful_reset_period == 0 {
+            for comp in &mut self.tagged {
+                for e in comp.iter_mut() {
+                    e.useful = false;
+                }
+            }
+        }
+    }
+}
+
+impl ValuePredictor for DVtage {
+    fn name(&self) -> &str {
+        "D-VTAGE"
+    }
+
+    fn predict(&mut self, ctx: &PredictCtx, uop: &DynUop) -> Option<u64> {
+        let key = inst_key(uop);
+        let info = self.lookup(key, ctx.global_history, ctx.path_history);
+        let confident = self.provider_confident(&info);
+        let prediction = info.prediction;
+        // Chain the speculative last value regardless of confidence: the hardware
+        // pushes every prediction block into the speculative window.
+        if let Some(p) = prediction {
+            let lvt = &mut self.lvt[info.base_index];
+            lvt.spec_last = p;
+            lvt.spec_inflight += 1;
+        }
+        self.inflight.insert(uop.seq, info);
+        match (confident, prediction) {
+            (true, Some(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    fn train(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
+        let key = inst_key(uop);
+        if let Some(info) = self.inflight.remove(&uop.seq) {
+            self.train_with(info, key, actual);
+        }
+    }
+
+    fn squash(&mut self, info: &SquashInfo) {
+        self.inflight.retain(|&seq, _| seq <= info.flush_seq);
+        // Idealistic recovery: resynchronise speculative last values with retired
+        // state (the realistic checkpointed window lives in the `bebop` crate).
+        for e in &mut self.lvt {
+            e.spec_inflight = 0;
+            e.spec_last = e.last;
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let lvt_bits =
+            (1u64 << self.cfg.log_base) * (1 + u64::from(self.cfg.lvt_tag_bits) + 64);
+        let vt0_bits = (1u64 << self.cfg.log_base) * (u64::from(self.cfg.stride_bits) + 3);
+        let mut tagged_bits = 0u64;
+        for c in 0..self.cfg.num_tagged {
+            tagged_bits += (1u64 << self.cfg.log_tagged)
+                * (1 + u64::from(self.cfg.tag_bits(c)) + u64::from(self.cfg.stride_bits) + 3 + 1);
+        }
+        lvt_bits + vt0_bits + tagged_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bebop_isa::{ArchReg, Uop, UopKind};
+
+    fn uop(seq: SeqNum, pc: u64, value: u64) -> DynUop {
+        DynUop::new(
+            seq,
+            pc,
+            4,
+            0,
+            1,
+            Uop::new(UopKind::Alu, Some(ArchReg::int(1)), &[]),
+            value,
+        )
+    }
+
+    fn ctx(ghist: u64) -> PredictCtx {
+        PredictCtx {
+            seq: 0,
+            fetch_block_pc: 0,
+            new_fetch_block: false,
+            global_history: ghist,
+            path_history: 0,
+        }
+    }
+
+    fn fast_cfg() -> DVtageConfig {
+        DVtageConfig {
+            fpc: FpcParams::deterministic(2),
+            ..DVtageConfig::default()
+        }
+    }
+
+    #[test]
+    fn strided_sequence_is_predicted() {
+        let mut d = DVtage::new(fast_cfg());
+        let mut value = 0u64;
+        for seq in 0..6 {
+            let u = uop(seq, 0x100, value);
+            let _ = d.predict(&ctx(0), &u);
+            d.train(&u, value, None);
+            value += 16;
+        }
+        assert_eq!(d.predict(&ctx(0), &uop(10, 0x100, value)), Some(value));
+    }
+
+    #[test]
+    fn inflight_instances_follow_the_speculative_chain() {
+        let mut d = DVtage::new(fast_cfg());
+        let mut value = 0u64;
+        for seq in 0..6 {
+            let u = uop(seq, 0x100, value);
+            let _ = d.predict(&ctx(0), &u);
+            d.train(&u, value, None);
+            value += 8;
+        }
+        // Three instances in flight before any retires: 48, 56, 64.
+        assert_eq!(d.predict(&ctx(0), &uop(20, 0x100, 48)), Some(48));
+        assert_eq!(d.predict(&ctx(0), &uop(21, 0x100, 56)), Some(56));
+        assert_eq!(d.predict(&ctx(0), &uop(22, 0x100, 64)), Some(64));
+    }
+
+    #[test]
+    fn control_flow_dependent_strides_are_captured() {
+        // The stride alternates with branch history: +1 when the last branch was
+        // not taken, +10 when it was. A plain stride predictor cannot become
+        // confident; D-VTAGE's tagged components can.
+        let mut d = DVtage::new(fast_cfg());
+        let mut value = 0u64;
+        let mut correct_late = 0;
+        let mut total_late = 0;
+        for i in 0..6000u64 {
+            let ghist = i % 2;
+            let stride = if ghist == 1 { 10 } else { 1 };
+            value += stride;
+            let u = uop(i, 0x200, value);
+            let p = d.predict(&ctx(ghist), &u);
+            if i > 5000 {
+                total_late += 1;
+                if p == Some(value) {
+                    correct_late += 1;
+                }
+            }
+            d.train(&u, value, None);
+        }
+        assert!(
+            correct_late as f64 / total_late as f64 > 0.6,
+            "D-VTAGE should capture control-flow dependent strides ({correct_late}/{total_late})"
+        );
+    }
+
+    #[test]
+    fn partial_strides_shrink_storage_but_lose_large_strides() {
+        let full = DVtage::new(fast_cfg());
+        let mut cfg8 = fast_cfg();
+        cfg8.stride_bits = 8;
+        let partial = DVtage::new(cfg8.clone());
+        assert!(partial.storage_bits() < full.storage_bits());
+
+        // A stride of 300 does not fit in 8 bits: the partial-stride predictor
+        // cannot predict it correctly.
+        let mut d = DVtage::new(cfg8);
+        let mut value = 0u64;
+        let mut any_correct = false;
+        for seq in 0..50 {
+            let u = uop(seq, 0x300, value);
+            if d.predict(&ctx(0), &u) == Some(value) && seq > 5 {
+                any_correct = true;
+            }
+            d.train(&u, value, None);
+            value += 300;
+        }
+        assert!(!any_correct, "8-bit strides cannot represent +300");
+    }
+
+    #[test]
+    fn clamp_stride_sign_extends() {
+        let mut cfg = DVtageConfig::default();
+        cfg.stride_bits = 8;
+        assert_eq!(cfg.clamp_stride(5), 5);
+        assert_eq!(cfg.clamp_stride(-5), -5);
+        assert_eq!(cfg.clamp_stride(127), 127);
+        assert_eq!(cfg.clamp_stride(128), -128);
+        cfg.stride_bits = 64;
+        assert_eq!(cfg.clamp_stride(i64::MAX), i64::MAX);
+    }
+
+    #[test]
+    fn storage_matches_paper_order_of_magnitude() {
+        // Roughly 290 KB with 64-bit strides for the 8K + 6x1K configuration.
+        let kb = DVtage::default_config().storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(
+            (150.0..400.0).contains(&kb),
+            "instruction-based D-VTAGE should be a few hundred KB, got {kb}"
+        );
+    }
+
+    #[test]
+    fn squash_resynchronises_speculation() {
+        let mut d = DVtage::new(fast_cfg());
+        let mut value = 0u64;
+        for seq in 0..6 {
+            let u = uop(seq, 0x100, value);
+            let _ = d.predict(&ctx(0), &u);
+            d.train(&u, value, None);
+            value += 8;
+        }
+        let _ = d.predict(&ctx(0), &uop(20, 0x100, 48));
+        let _ = d.predict(&ctx(0), &uop(21, 0x100, 56));
+        d.squash(&SquashInfo {
+            flush_seq: 20,
+            flush_pc: 0x100,
+            next_pc: 0x104,
+            cause: bebop_uarch::SquashCause::ValueMispredict,
+        });
+        // After the squash the chain restarts from the retired last value (40).
+        assert_eq!(d.predict(&ctx(0), &uop(22, 0x100, 48)), Some(48));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests on the core data structures and cross-crate invariants.
+
+use bebop::{BlockDVtageConfig, FifoUpdateQueue, SpecWindowSize, SpeculativeWindow};
+use bebop_isa::{byte_index_in_block, fetch_block_pc, FetchBlockLayout};
+use bebop_trace::{TraceGenerator, WorkloadSpec};
+use bebop_uarch::{gmean, OccupancyRing, SlotPool};
+use proptest::prelude::*;
+
+proptest! {
+    /// Fetch-block arithmetic: the block PC is aligned, contains the PC, and the
+    /// byte index is the offset within the block.
+    #[test]
+    fn prop_fetch_block_arithmetic(pc in any::<u64>(), shift in 3u32..8) {
+        let block_bytes = 1u64 << shift;
+        let block = fetch_block_pc(pc, block_bytes);
+        let byte = byte_index_in_block(pc, block_bytes);
+        prop_assert_eq!(block % block_bytes, 0);
+        prop_assert!(pc >= block && pc < block + block_bytes);
+        prop_assert_eq!(block + u64::from(byte), pc);
+    }
+
+    /// Block layouts never place an instruction past the end of the block and keep
+    /// boundaries strictly increasing.
+    #[test]
+    fn prop_fetch_block_layout(lengths in proptest::collection::vec(1u8..=8, 1..10)) {
+        let layout = FetchBlockLayout::from_lengths(16, &lengths);
+        let bounds = layout.boundaries();
+        for w in bounds.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        for &b in bounds {
+            prop_assert!(u64::from(b) < 16);
+        }
+    }
+
+    /// The speculative window always returns the most recent matching entry, and a
+    /// squash removes exactly the entries younger than the flush point.
+    #[test]
+    fn prop_spec_window_most_recent_and_squash(
+        blocks in proptest::collection::vec(0u64..8, 1..200),
+        capacity in 1usize..64,
+        flush_at in 0usize..200,
+    ) {
+        let mut w = SpeculativeWindow::new(Some(capacity), 15);
+        for (seq, b) in blocks.iter().enumerate() {
+            w.push(b * 16, seq as u64, vec![Some(seq as u64)]);
+        }
+        // Most recent matching entry wins.
+        for b in 0u64..8 {
+            if let Some(e) = w.lookup(b * 16) {
+                let expected = blocks
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(seq, &blk)| blk == b && *seq >= blocks.len().saturating_sub(capacity))
+                    .map(|(seq, _)| seq as u64);
+                prop_assert_eq!(Some(e.seq), expected);
+            }
+        }
+        // Squash drops strictly younger entries only.
+        let flush_seq = flush_at.min(blocks.len()) as u64;
+        w.squash(flush_seq);
+        for b in 0u64..8 {
+            if let Some(e) = w.lookup(b * 16) {
+                prop_assert!(e.seq <= flush_seq);
+            }
+        }
+    }
+
+    /// The FIFO update queue preserves order and rollback never leaves younger
+    /// entries behind.
+    #[test]
+    fn prop_fifo_order_and_rollback(seqs in proptest::collection::vec(1u64..50, 1..50), flush in 0u64..2000) {
+        let mut q = FifoUpdateQueue::new();
+        let mut acc = 0u64;
+        let mut pushed = Vec::new();
+        for s in seqs {
+            acc += s;
+            q.push(acc, acc);
+            pushed.push(acc);
+        }
+        q.squash(flush);
+        let remaining: Vec<u64> = std::iter::from_fn(|| q.pop_front().map(|(s, _)| s)).collect();
+        let expected: Vec<u64> = pushed.into_iter().filter(|&s| s <= flush).collect();
+        prop_assert_eq!(remaining, expected);
+    }
+
+    /// Slot pools never exceed their per-cycle width and never go backwards.
+    #[test]
+    fn prop_slot_pool_width(width in 1u16..8, requests in proptest::collection::vec(0u64..100, 1..200)) {
+        let mut pool = SlotPool::new(width);
+        let mut per_cycle = std::collections::HashMap::new();
+        for t in requests {
+            let c = pool.allocate(t);
+            prop_assert!(c >= t);
+            let n = per_cycle.entry(c).or_insert(0u16);
+            *n += 1;
+            prop_assert!(*n <= width);
+        }
+    }
+
+    /// Occupancy rings never allow more in-flight entries than their capacity:
+    /// the constrained allocation cycle is at or after the release of the entry
+    /// `capacity` positions earlier.
+    #[test]
+    fn prop_occupancy_ring(capacity in 1usize..16, releases in proptest::collection::vec(1u64..1000, 1..100)) {
+        let mut ring = OccupancyRing::new(capacity);
+        let mut history: Vec<u64> = Vec::new();
+        for (i, r) in releases.iter().enumerate() {
+            let constrained = ring.constrain(0);
+            if i >= capacity {
+                prop_assert!(constrained >= history[i - capacity]);
+            }
+            let release = constrained + r;
+            ring.push(release);
+            history.push(release);
+        }
+    }
+
+    /// Storage accounting is monotone in every size parameter.
+    #[test]
+    fn prop_storage_monotone(
+        base in 64usize..1024,
+        tagged in 64usize..512,
+        npred in 1usize..8,
+        stride_bits in proptest::sample::select(vec![8u32, 16, 32, 64]),
+    ) {
+        let cfg = BlockDVtageConfig {
+            npred,
+            base_entries: base,
+            tagged_entries: tagged,
+            stride_bits,
+            spec_window: SpecWindowSize::Entries(32),
+            ..BlockDVtageConfig::default()
+        };
+        let bigger_base = BlockDVtageConfig { base_entries: base * 2, ..cfg.clone() };
+        let bigger_tagged = BlockDVtageConfig { tagged_entries: tagged * 2, ..cfg.clone() };
+        let more_preds = BlockDVtageConfig { npred: npred + 1, ..cfg.clone() };
+        prop_assert!(bigger_base.storage_bits() > cfg.storage_bits());
+        prop_assert!(bigger_tagged.storage_bits() > cfg.storage_bits());
+        prop_assert!(more_preds.storage_bits() > cfg.storage_bits());
+    }
+
+    /// Trace generation is deterministic and PC-continuous for arbitrary seeds.
+    #[test]
+    fn prop_trace_determinism(seed in any::<u64>()) {
+        let spec = WorkloadSpec::new("prop", seed);
+        let a: Vec<_> = TraceGenerator::new(&spec).take(300).collect();
+        let b: Vec<_> = TraceGenerator::new(&spec).take(300).collect();
+        prop_assert_eq!(&a, &b);
+        for w in a.windows(2) {
+            if w[0].is_last_uop() {
+                prop_assert_eq!(w[1].pc, w[0].next_pc());
+            } else {
+                prop_assert_eq!(w[1].pc, w[0].pc);
+            }
+        }
+    }
+
+    /// The geometric mean lies between min and max and is scale-covariant.
+    #[test]
+    fn prop_gmean_bounds(values in proptest::collection::vec(0.1f64..10.0, 1..20), k in 0.1f64..10.0) {
+        let g = gmean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
+        prop_assert!((gmean(&scaled) - g * k).abs() < 1e-6 * g.max(1.0) * k.max(1.0));
+    }
+}
