@@ -8,12 +8,18 @@ fn main() {
     let specs = workloads(true);
     println!("[bench] Figure 5a: predictors over Baseline_6_60 ({BENCH_UOPS} uops)");
     for (label, results) in run_fig5a(&specs, BENCH_UOPS) {
-        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+        println!(
+            "{}",
+            format_summary(&label, &SpeedupSummary::from_results(&results))
+        );
     }
     println!("[bench] Figure 5b: EOLE_4_60 over Baseline_VP_6_60");
     let results = run_fig5b(&specs, BENCH_UOPS);
     println!(
         "{}",
-        format_summary("EOLE_4_60 w/ D-VTAGE", &SpeedupSummary::from_results(&results))
+        format_summary(
+            "EOLE_4_60 w/ D-VTAGE",
+            &SpeedupSummary::from_results(&results)
+        )
     );
 }

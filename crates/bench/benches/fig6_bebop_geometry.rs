@@ -7,11 +7,17 @@ fn main() {
     let specs = workloads(true);
     println!("[bench] Figure 6a: predictions per entry ({BENCH_UOPS} uops)");
     for (label, results) in run_fig6a(&specs, BENCH_UOPS) {
-        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+        println!(
+            "{}",
+            format_summary(&label, &SpeedupSummary::from_results(&results))
+        );
     }
     println!("[bench] Figure 6b: table geometry");
     for (label, results) in run_fig6b(&specs, BENCH_UOPS) {
-        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+        println!(
+            "{}",
+            format_summary(&label, &SpeedupSummary::from_results(&results))
+        );
     }
     println!("[bench] Partial strides");
     for (label, kb, results) in run_strides(&specs, BENCH_UOPS) {

@@ -8,10 +8,16 @@ fn main() {
     let specs = workloads(true);
     println!("[bench] Figure 7a: recovery policies ({BENCH_UOPS} uops)");
     for (label, results) in run_fig7a(&specs, BENCH_UOPS) {
-        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+        println!(
+            "{}",
+            format_summary(&label, &SpeedupSummary::from_results(&results))
+        );
     }
     println!("[bench] Figure 7b: speculative window size");
     for (label, results) in run_fig7b(&specs, BENCH_UOPS) {
-        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+        println!(
+            "{}",
+            format_summary(&label, &SpeedupSummary::from_results(&results))
+        );
     }
 }

@@ -12,6 +12,9 @@ fn main() {
     let specs = workloads(true);
     println!("[bench] Figure 8: final configurations over Baseline_6_60 ({BENCH_UOPS} uops)");
     for (label, results) in run_fig8(&specs, BENCH_UOPS) {
-        println!("{}", format_summary(&label, &SpeedupSummary::from_results(&results)));
+        println!(
+            "{}",
+            format_summary(&label, &SpeedupSummary::from_results(&results))
+        );
     }
 }

@@ -3,18 +3,25 @@
 //! ```text
 //! cargo run -p bebop-bench --release --bin figures -- --all
 //! cargo run -p bebop-bench --release --bin figures -- --fig8 --uops 1000000
+//! cargo run -p bebop-bench --release --bin figures -- --all --json BENCH_figures.json
 //! ```
 //!
 //! Each experiment prints the series the paper reports: per-benchmark speedups and
-//! the `[min, max]` box plus geometric mean.
+//! the `[min, max]` box plus geometric mean. Workloads are fanned out across all
+//! cores by default; `--serial` forces one thread (the figure output is
+//! bit-identical either way), and `--json <path>` writes per-experiment wall-clock
+//! and µops/sec so perf regressions are visible across commits.
 
 use bebop::SpeedupSummary;
 use bebop_bench::*;
+use std::time::Instant;
 
 struct Options {
     uops: u64,
     subset: bool,
     which: Vec<String>,
+    json: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Options {
@@ -22,6 +29,8 @@ fn parse_args() -> Options {
         uops: DEFAULT_UOPS,
         subset: false,
         which: Vec::new(),
+        json: None,
+        threads: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,6 +41,16 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .expect("--uops needs a number");
             }
+            "--json" => {
+                opts.json = Some(args.next().expect("--json needs a path"));
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--serial" => opts.threads = 1,
             "--subset" => opts.subset = true,
             "--all" => opts.which.push("all".to_string()),
             other => opts.which.push(other.trim_start_matches("--").to_string()),
@@ -39,6 +58,19 @@ fn parse_args() -> Options {
     }
     if opts.which.is_empty() {
         opts.which.push("all".to_string());
+    }
+    const KNOWN: [&str; 12] = [
+        "all", "table1", "table2", "table3", "fig5a", "fig5b", "fig6a", "fig6b", "strides",
+        "fig7a", "fig7b", "fig8",
+    ];
+    for w in &opts.which {
+        if !KNOWN.contains(&w.as_str()) {
+            eprintln!(
+                "[figures] unknown experiment '{w}' (known: {})",
+                KNOWN.join(", ")
+            );
+            std::process::exit(2);
+        }
     }
     opts
 }
@@ -58,14 +90,94 @@ fn print_grouped(title: &str, groups: &[(String, Vec<bebop::BenchResult>)], per_
     }
 }
 
+/// Committed µ-ops across a set of grouped comparison results (baseline +
+/// variant runs both count — they were both simulated).
+fn grouped_uops(groups: &[(String, Vec<bebop::BenchResult>)]) -> u64 {
+    groups
+        .iter()
+        .flat_map(|(_, results)| results)
+        .map(|r| r.baseline.uops + r.variant.uops)
+        .sum()
+}
+
+/// One timed experiment in the JSON perf report.
+struct Timing {
+    name: &'static str,
+    wall_s: f64,
+    uops: u64,
+}
+
+impl Timing {
+    fn uops_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.uops as f64 / self.wall_s
+        }
+    }
+}
+
+/// Runs `f`, printing nothing itself; records wall-clock and the simulated µ-op
+/// count `f` reports into the perf report.
+fn timed(report: &mut Vec<Timing>, name: &'static str, f: impl FnOnce() -> u64) {
+    let start = Instant::now();
+    let uops = f();
+    report.push(Timing {
+        name,
+        wall_s: start.elapsed().as_secs_f64(),
+        uops,
+    });
+}
+
+fn write_json(path: &str, report: &[Timing], opts: &Options, benchmarks: usize) {
+    // The same thread count the experiments actually fanned out with (the
+    // per-workload task count bounds the workers), matching the printed header.
+    let threads = bebop::par::effective_threads(benchmarks);
+    let total_wall: f64 = report.iter().map(|t| t.wall_s).sum();
+    let total_uops: u64 = report.iter().map(|t| t.uops).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"bebop-bench-figures/v1\",\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"uops_per_run\": {},\n", opts.uops));
+    out.push_str(&format!("  \"benchmarks\": {benchmarks},\n"));
+    out.push_str(&format!("  \"total_wall_s\": {total_wall:.6},\n"));
+    out.push_str(&format!("  \"total_uops\": {total_uops},\n"));
+    out.push_str(&format!(
+        "  \"total_uops_per_sec\": {:.1},\n",
+        if total_wall > 0.0 {
+            total_uops as f64 / total_wall
+        } else {
+            0.0
+        }
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, t) in report.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"uops\": {}, \"uops_per_sec\": {:.1}}}{}\n",
+            t.name,
+            t.wall_s,
+            t.uops,
+            t.uops_per_sec(),
+            if i + 1 == report.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("failed to write the JSON perf report");
+    eprintln!("[figures] perf report written to {path}");
+}
+
 fn main() {
     let opts = parse_args();
+    bebop::par::set_threads(opts.threads);
     let specs = workloads(opts.subset);
     let uops = opts.uops;
+    let mut report: Vec<Timing> = Vec::new();
     println!(
-        "BeBoP figure harness: {} benchmarks, {} µ-ops per run",
+        "BeBoP figure harness: {} benchmarks, {} µ-ops per run, {} worker thread(s)",
         specs.len(),
-        uops
+        uops,
+        bebop::par::effective_threads(specs.len())
     );
 
     if wants(&opts, "table1") {
@@ -75,87 +187,130 @@ fn main() {
     }
 
     if wants(&opts, "table2") {
-        println!("\n=== Table II: baseline IPC per benchmark (Baseline_6_60) ===");
-        for (name, ipc) in run_table2(&specs, uops) {
-            println!("    {name:<18} {ipc:.3}");
-        }
+        timed(&mut report, "table2", || {
+            let rows = run_table2(&specs, uops);
+            println!("\n=== Table II: baseline IPC per benchmark (Baseline_6_60) ===");
+            for (name, ipc) in rows {
+                println!("    {name:<18} {ipc:.3}");
+            }
+            specs.len() as u64 * uops
+        });
     }
 
     if wants(&opts, "fig5a") {
-        let groups = run_fig5a(&specs, uops);
-        print_grouped(
-            "Figure 5a: value predictors over Baseline_6_60 (idealistic infrastructure)",
-            &groups,
-            true,
-        );
+        timed(&mut report, "fig5a", || {
+            let groups = run_fig5a(&specs, uops);
+            print_grouped(
+                "Figure 5a: value predictors over Baseline_6_60 (idealistic infrastructure)",
+                &groups,
+                true,
+            );
+            grouped_uops(&groups)
+        });
     }
 
     if wants(&opts, "fig5b") {
-        let results = run_fig5b(&specs, uops);
-        let summary = SpeedupSummary::from_results(&results);
-        println!("\n=== Figure 5b: EOLE_4_60 (D-VTAGE) over Baseline_VP_6_60 ===");
-        println!("{}", format_summary("EOLE_4_60 w/ D-VTAGE", &summary));
-        print!("{}", format_per_bench(&results));
+        timed(&mut report, "fig5b", || {
+            let results = run_fig5b(&specs, uops);
+            let summary = SpeedupSummary::from_results(&results);
+            println!("\n=== Figure 5b: EOLE_4_60 (D-VTAGE) over Baseline_VP_6_60 ===");
+            println!("{}", format_summary("EOLE_4_60 w/ D-VTAGE", &summary));
+            print!("{}", format_per_bench(&results));
+            results
+                .iter()
+                .map(|r| r.baseline.uops + r.variant.uops)
+                .sum()
+        });
     }
 
     if wants(&opts, "fig6a") {
-        let groups = run_fig6a(&specs, uops);
-        print_grouped(
-            "Figure 6a: predictions per entry (BeBoP D-VTAGE) over EOLE_4_60",
-            &groups,
-            false,
-        );
+        timed(&mut report, "fig6a", || {
+            let groups = run_fig6a(&specs, uops);
+            print_grouped(
+                "Figure 6a: predictions per entry (BeBoP D-VTAGE) over EOLE_4_60",
+                &groups,
+                false,
+            );
+            grouped_uops(&groups)
+        });
     }
 
     if wants(&opts, "fig6b") {
-        let groups = run_fig6b(&specs, uops);
-        print_grouped(
-            "Figure 6b: base/tagged component sizes (Npred=6) over EOLE_4_60",
-            &groups,
-            false,
-        );
+        timed(&mut report, "fig6b", || {
+            let groups = run_fig6b(&specs, uops);
+            print_grouped(
+                "Figure 6b: base/tagged component sizes (Npred=6) over EOLE_4_60",
+                &groups,
+                false,
+            );
+            grouped_uops(&groups)
+        });
     }
 
     if wants(&opts, "strides") {
-        println!("\n=== Section VI-B(a): partial strides ===");
-        for (label, kb, results) in run_strides(&specs, uops) {
-            let summary = SpeedupSummary::from_results(&results);
-            println!("{}  [{kb:.1} KB]", format_summary(&label, &summary));
-        }
+        timed(&mut report, "strides", || {
+            let rows = run_strides(&specs, uops);
+            println!("\n=== Section VI-B(a): partial strides ===");
+            let mut total = 0;
+            for (label, kb, results) in rows {
+                let summary = SpeedupSummary::from_results(&results);
+                println!("{}  [{kb:.1} KB]", format_summary(&label, &summary));
+                total += results
+                    .iter()
+                    .map(|r| r.baseline.uops + r.variant.uops)
+                    .sum::<u64>();
+            }
+            total
+        });
     }
 
     if wants(&opts, "fig7a") {
-        let groups = run_fig7a(&specs, uops);
-        print_grouped(
-            "Figure 7a: speculative window recovery policies over EOLE_4_60",
-            &groups,
-            false,
-        );
+        timed(&mut report, "fig7a", || {
+            let groups = run_fig7a(&specs, uops);
+            print_grouped(
+                "Figure 7a: speculative window recovery policies over EOLE_4_60",
+                &groups,
+                false,
+            );
+            grouped_uops(&groups)
+        });
     }
 
     if wants(&opts, "fig7b") {
-        let groups = run_fig7b(&specs, uops);
-        print_grouped(
-            "Figure 7b: speculative window size (DnRDnR) over EOLE_4_60",
-            &groups,
-            false,
-        );
+        timed(&mut report, "fig7b", || {
+            let groups = run_fig7b(&specs, uops);
+            print_grouped(
+                "Figure 7b: speculative window size (DnRDnR) over EOLE_4_60",
+                &groups,
+                false,
+            );
+            grouped_uops(&groups)
+        });
     }
 
     if wants(&opts, "table3") {
         println!("\n=== Table III: final predictor configurations ===");
-        println!("    paper:   Small_4p 17.26 KB, Small_6p 17.18 KB, Medium 32.76 KB, Large 61.65 KB");
+        println!(
+            "    paper:   Small_4p 17.26 KB, Small_6p 17.18 KB, Medium 32.76 KB, Large 61.65 KB"
+        );
         for (name, kb) in run_table3() {
             println!("    modelled {name:<9} {kb:.2} KB");
         }
     }
 
     if wants(&opts, "fig8") {
-        let groups = run_fig8(&specs, uops);
-        print_grouped(
-            "Figure 8: final configurations over Baseline_6_60",
-            &groups,
-            true,
-        );
+        timed(&mut report, "fig8", || {
+            let groups = run_fig8(&specs, uops);
+            print_grouped(
+                "Figure 8: final configurations over Baseline_6_60",
+                &groups,
+                true,
+            );
+            grouped_uops(&groups)
+        });
+    }
+
+    if let Some(path) = &opts.json {
+        write_json(path, &report, &opts, specs.len());
     }
 }

@@ -12,9 +12,11 @@ use bebop::{compare, configs, BenchResult, PredictorKind, SpeedupSummary};
 use bebop_trace::{all_spec_benchmarks, WorkloadSpec};
 use bebop_uarch::PipelineConfig;
 
-/// Number of µ-ops simulated per benchmark when regenerating figures. The paper
-/// simulates 100M instructions per benchmark; the default here is sized so the full
-/// figure set completes in minutes — pass `--uops` to the `figures` binary to raise it.
+/// Number of µ-ops simulated per benchmark when regenerating figures
+/// (200K µ-ops). The paper simulates 100M instructions per benchmark; the default
+/// here is sized so the full figure set completes in minutes even on a laptop —
+/// pass `--uops` to the `figures` binary to raise it. Every `run_*` experiment
+/// takes the budget as a parameter; nothing is hard-coded to this constant.
 pub const DEFAULT_UOPS: u64 = 200_000;
 
 /// A reduced µ-op budget used by the `cargo bench` targets so the whole suite stays
@@ -35,7 +37,9 @@ pub fn workloads(subset: bool) -> Vec<WorkloadSpec> {
             "429.mcf",
             "186.crafty",
         ];
-        all.into_iter().filter(|s| keep.contains(&s.name.as_str())).collect()
+        all.into_iter()
+            .filter(|s| keep.contains(&s.name.as_str()))
+            .collect()
     } else {
         all
     }
@@ -77,7 +81,14 @@ pub fn run_fig5a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchRes
     ]
     .into_iter()
     .map(|kind| {
-        let results = compare(specs, &baseline, &PredictorKind::None, &vp_pipe, &kind, uops);
+        let results = compare(
+            specs,
+            &baseline,
+            &PredictorKind::None,
+            &vp_pipe,
+            &kind,
+            uops,
+        );
         (kind.label(), results)
     })
     .collect()
@@ -208,16 +219,13 @@ pub fn run_fig8(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResu
 }
 
 /// Table II reproduction: baseline IPC of every synthetic benchmark on
-/// `Baseline_6_60`.
+/// `Baseline_6_60`. Fanned out across cores like every other experiment.
 pub fn run_table2(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, f64)> {
     let baseline = PipelineConfig::baseline_6_60();
-    specs
-        .iter()
-        .map(|s| {
-            let stats = bebop::run_one(s, &baseline, &PredictorKind::None, uops);
-            (s.name.clone(), stats.inst_ipc())
-        })
-        .collect()
+    bebop::par::par_map(specs, |s| {
+        let stats = bebop::run_one(s, &baseline, &PredictorKind::None, uops);
+        (s.name.clone(), stats.inst_ipc())
+    })
 }
 
 #[cfg(test)]
@@ -235,7 +243,9 @@ mod tests {
     fn table3_has_four_rows_with_expected_budgets() {
         let rows = run_table3();
         assert_eq!(rows.len(), 4);
-        assert!(rows.iter().any(|(n, kb)| n == "Medium" && (28.0..38.0).contains(kb)));
+        assert!(rows
+            .iter()
+            .any(|(n, kb)| n == "Medium" && (28.0..38.0).contains(kb)));
     }
 
     #[test]
@@ -255,5 +265,54 @@ mod tests {
         let summary = SpeedupSummary::from_results(&results);
         assert!(format_summary("x", &summary).contains("gmean"));
         assert!(format_per_bench(&results).contains("fmt"));
+    }
+
+    #[test]
+    fn uops_budget_plumbs_through_every_experiment() {
+        // `--uops` must reach every simulation: each run commits exactly the
+        // requested budget, for every experiment entry point.
+        let specs: Vec<WorkloadSpec> = ["tiny-a", "tiny-b"]
+            .iter()
+            .map(|n| WorkloadSpec::named_demo(*n))
+            .collect();
+        let uops = 1_500;
+        for (_, results) in run_fig5a(&specs, uops) {
+            for r in &results {
+                assert_eq!(r.baseline.uops, uops);
+                assert_eq!(r.variant.uops, uops);
+            }
+        }
+        for r in run_fig5b(&specs, uops) {
+            assert_eq!(r.baseline.uops, uops);
+            assert_eq!(r.variant.uops, uops);
+        }
+        for (_, results) in run_fig7b(&specs, uops).into_iter().take(2) {
+            for r in &results {
+                assert_eq!(r.baseline.uops, uops);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_figure_runs_are_bit_identical() {
+        // The rayon-style fan-out must not change results: per-workload
+        // simulations are independent and reassembled in input order, so a
+        // 1-thread run and an all-cores run of the same experiment must produce
+        // bit-identical `SimStats`.
+        let specs = workloads(true);
+        let uops = 3_000;
+
+        bebop::par::set_threads(1);
+        let serial = run_fig5b(&specs, uops);
+        let serial_t2 = run_table2(&specs, uops);
+        // Force real worker threads even on a single-core machine, so the
+        // parallel path is exercised everywhere this test runs.
+        bebop::par::set_threads(4);
+        let parallel = run_fig5b(&specs, uops);
+        let parallel_t2 = run_table2(&specs, uops);
+        bebop::par::set_threads(0);
+
+        assert_eq!(serial, parallel, "SimStats must match bit-for-bit");
+        assert_eq!(serial_t2, parallel_t2);
     }
 }

@@ -7,13 +7,26 @@
 //! strides with forward-probabilistic confidence. In-flight last values come from
 //! the block-based [`SpeculativeWindow`], and the [`FifoUpdateQueue`] carries every
 //! in-flight prediction block until retirement so the tables can be trained.
+//!
+//! # Hot-path layout
+//!
+//! This predictor runs once per fetch block inside the simulator's per-µop inner
+//! loop, so the implementation is allocation-free in steady state:
+//!
+//! * prediction slots live in fixed `[_; MAX_NPRED]` arrays (`Npred <= 8` covers
+//!   every configuration in the paper), making blocks plain `Copy` data;
+//! * per-component history lengths, tag widths and index masks are precomputed at
+//!   construction ([`BlockDVtage::new`]), so the tagged-component probe is a
+//!   straight indexed pass with no `powf`/divisions;
+//! * retired [`FifoUpdateQueue`] records are recycled through a scratch pool
+//!   instead of being reallocated per block instance.
 
 use crate::recovery::RecoveryPolicy;
-use crate::spec_window::{SpecWindowSize, SpeculativeWindow};
+use crate::spec_window::{SlotPredictions, SpecWindowSize, SpeculativeWindow, MAX_NPRED};
 use crate::update_queue::FifoUpdateQueue;
 use bebop_isa::{byte_index_in_block, fetch_block_pc, DynUop, SeqNum};
 use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
-use bebop_vp::{ForwardProbabilisticCounter, FpcParams};
+use bebop_vp::{CompParams, ForwardProbabilisticCounter, FpcParams, MAX_TAGGED};
 
 /// Configuration of a block-based D-VTAGE predictor.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,11 +145,11 @@ struct LvtSlot {
     last: u64,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct LvtEntry {
     valid: bool,
     tag: u16,
-    slots: Vec<LvtSlot>,
+    slots: [LvtSlot; MAX_NPRED],
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -145,47 +158,62 @@ struct StrideSlot {
     conf: ForwardProbabilisticCounter,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Vt0Entry {
-    slots: Vec<StrideSlot>,
+    slots: [StrideSlot; MAX_NPRED],
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct TaggedEntry {
     valid: bool,
     tag: u16,
     useful: bool,
-    slots: Vec<StrideSlot>,
+    slots: [StrideSlot; MAX_NPRED],
 }
 
 /// The prediction block currently being attributed to fetched µ-ops.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct CurrentBlock {
     block_pc: u64,
     first_seq: SeqNum,
     cursor: usize,
     /// DnRDnR: predictions of this (re-fetched) block may not be consumed.
     forbid_use: bool,
-    slot_tags: Vec<Option<u8>>,
-    slot_pred: Vec<Option<u64>>,
-    slot_conf: Vec<bool>,
+    slot_tags: [Option<u8>; MAX_NPRED],
+    slot_pred: SlotPredictions,
+    slot_conf: [bool; MAX_NPRED],
 }
 
 /// The in-flight record pushed on the FIFO update queue for one block instance.
 #[derive(Debug, Clone)]
 struct BlockRecord {
-    block_pc: u64,
     lvt_index: usize,
     lvt_tag: u16,
     provider: Option<(usize, usize)>,
     /// Per tagged component, the (index, tag) computed at prediction time.
-    alloc_slots: Vec<(usize, u16)>,
-    slot_tags: Vec<Option<u8>>,
-    slot_pred: Vec<Option<u64>>,
-    provider_conf_levels: Vec<u8>,
-    provider_strides: Vec<i64>,
+    alloc_slots: [(usize, u16); MAX_TAGGED],
+    slot_tags: [Option<u8>; MAX_NPRED],
+    slot_pred: SlotPredictions,
+    provider_conf_levels: [u8; MAX_NPRED],
+    provider_strides: [i64; MAX_NPRED],
     /// Retired (byte index, actual value) pairs accumulated for this block.
     results: Vec<(u8, u64)>,
+}
+
+impl BlockRecord {
+    fn empty() -> Self {
+        BlockRecord {
+            lvt_index: 0,
+            lvt_tag: 0,
+            provider: None,
+            alloc_slots: [(0, 0); MAX_TAGGED],
+            slot_tags: [None; MAX_NPRED],
+            slot_pred: [None; MAX_NPRED],
+            provider_conf_levels: [0; MAX_NPRED],
+            provider_strides: [0; MAX_NPRED],
+            results: Vec::with_capacity(MAX_NPRED),
+        }
+    }
 }
 
 /// Block-based D-VTAGE with BeBoP.
@@ -195,8 +223,16 @@ pub struct BlockDVtage {
     lvt: Vec<LvtEntry>,
     vt0: Vec<Vt0Entry>,
     tagged: Vec<Vec<TaggedEntry>>,
+    comp: [CompParams; MAX_TAGGED],
+    /// `base_entries - 1` when the base is a power of two, else 0 (modulo path).
+    base_mask: u64,
+    /// `tagged_entries - 1` when tagged components are a power of two, else 0.
+    tagged_mask: u64,
+    tagged_index_bits: u32,
     window: SpeculativeWindow,
     fifo: FifoUpdateQueue<BlockRecord>,
+    /// Retired/squashed records recycled to keep the hot loop allocation-free.
+    record_pool: Vec<BlockRecord>,
     current: Option<CurrentBlock>,
     force_new_block: bool,
     /// Highest µ-op sequence number seen at retirement (drives eager application of
@@ -213,29 +249,59 @@ impl BlockDVtage {
     ///
     /// # Panics
     ///
-    /// Panics if `npred`, `base_entries`, `num_tagged` or `tagged_entries` is zero.
+    /// Panics if `npred`, `base_entries`, `num_tagged` or `tagged_entries` is zero,
+    /// if `npred > MAX_NPRED`, or if `num_tagged > MAX_TAGGED`.
     pub fn new(cfg: BlockDVtageConfig) -> Self {
-        assert!(cfg.npred > 0 && cfg.base_entries > 0 && cfg.num_tagged > 0 && cfg.tagged_entries > 0);
+        assert!(
+            cfg.npred > 0 && cfg.base_entries > 0 && cfg.num_tagged > 0 && cfg.tagged_entries > 0
+        );
+        assert!(
+            cfg.npred <= MAX_NPRED,
+            "npred {} exceeds MAX_NPRED {MAX_NPRED}",
+            cfg.npred
+        );
+        assert!(
+            cfg.num_tagged <= MAX_TAGGED,
+            "num_tagged {} exceeds MAX_TAGGED {MAX_TAGGED}",
+            cfg.num_tagged
+        );
         let lvt_entry = LvtEntry {
             valid: false,
             tag: 0,
-            slots: vec![LvtSlot::default(); cfg.npred],
+            slots: [LvtSlot::default(); MAX_NPRED],
         };
         let vt0_entry = Vt0Entry {
-            slots: vec![StrideSlot::default(); cfg.npred],
+            slots: [StrideSlot::default(); MAX_NPRED],
         };
         let tagged_entry = TaggedEntry {
             valid: false,
             tag: 0,
             useful: false,
-            slots: vec![StrideSlot::default(); cfg.npred],
+            slots: [StrideSlot::default(); MAX_NPRED],
         };
+        let mut comp = [CompParams::default(); MAX_TAGGED];
+        for (c, params) in comp.iter_mut().enumerate().take(cfg.num_tagged) {
+            *params = CompParams::new(cfg.history_length(c), cfg.tag_bits(c));
+        }
         BlockDVtage {
             lvt: vec![lvt_entry; cfg.base_entries],
             vt0: vec![vt0_entry; cfg.base_entries],
             tagged: vec![vec![tagged_entry; cfg.tagged_entries]; cfg.num_tagged],
+            comp,
+            base_mask: if cfg.base_entries.is_power_of_two() {
+                cfg.base_entries as u64 - 1
+            } else {
+                0
+            },
+            tagged_mask: if cfg.tagged_entries.is_power_of_two() {
+                cfg.tagged_entries as u64 - 1
+            } else {
+                0
+            },
+            tagged_index_bits: (cfg.tagged_entries as u64).trailing_zeros().max(1),
             window: SpeculativeWindow::with_size(cfg.spec_window, cfg.spec_window_tag_bits),
             fifo: FifoUpdateQueue::new(),
+            record_pool: Vec::new(),
             current: None,
             force_new_block: false,
             last_retired: None,
@@ -278,11 +344,7 @@ impl BlockDVtage {
                 break;
             }
         }
-        let horizon = self
-            .fifo
-            .front()
-            .map(|(s, _)| *s)
-            .unwrap_or(retired + 1);
+        let horizon = self.fifo.front().map(|(s, _)| *s).unwrap_or(retired + 1);
         self.window.prune_retired(horizon);
     }
 
@@ -300,7 +362,12 @@ impl BlockDVtage {
     }
 
     fn lvt_index(&self, block_pc: u64) -> usize {
-        (self.block_number(block_pc) % self.cfg.base_entries as u64) as usize
+        let bn = self.block_number(block_pc);
+        if self.base_mask != 0 {
+            (bn & self.base_mask) as usize
+        } else {
+            (bn % self.cfg.base_entries as u64) as usize
+        }
     }
 
     fn lvt_tag(&self, block_pc: u64) -> u16 {
@@ -313,8 +380,16 @@ impl BlockDVtage {
             return 0;
         }
         let len = len.min(64);
-        let mut h = if len >= 64 { history } else { history & ((1u64 << len) - 1) };
-        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let mut h = if len >= 64 {
+            history
+        } else {
+            history & ((1u64 << len) - 1)
+        };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         let mut acc = 0u64;
         while h != 0 {
             acc ^= h & mask;
@@ -324,21 +399,24 @@ impl BlockDVtage {
     }
 
     fn tagged_index(&self, block_pc: u64, ghist: u64, path: u64, comp: usize) -> usize {
-        let hl = self.cfg.history_length(comp);
+        let hl = self.comp[comp].hist_len;
         let bn = self.block_number(block_pc);
-        let bits = (self.cfg.tagged_entries as u64).trailing_zeros();
-        let folded = Self::fold(ghist, hl, bits.max(1));
-        let idx = bn ^ (bn >> bits.max(1)) ^ folded ^ (path & 0x3f);
-        (idx % self.cfg.tagged_entries as u64) as usize
+        let bits = self.tagged_index_bits;
+        let folded = Self::fold(ghist, hl, bits);
+        let idx = bn ^ (bn >> bits) ^ folded ^ (path & 0x3f);
+        if self.tagged_mask != 0 {
+            (idx & self.tagged_mask) as usize
+        } else {
+            (idx % self.cfg.tagged_entries as u64) as usize
+        }
     }
 
     fn tagged_tag(&self, block_pc: u64, ghist: u64, comp: usize) -> u16 {
-        let hl = self.cfg.history_length(comp);
-        let tb = self.cfg.tag_bits(comp);
+        let p = self.comp[comp];
         let bn = self.block_number(block_pc);
-        let f1 = Self::fold(ghist, hl, tb);
-        let f2 = Self::fold(ghist, hl, tb.saturating_sub(3).max(2));
-        ((bn ^ (bn >> 7) ^ f1 ^ (f2 << 2)) & ((1u64 << tb) - 1)) as u16
+        let f1 = Self::fold(ghist, p.hist_len, p.tag_bits);
+        let f2 = Self::fold(ghist, p.hist_len, p.tag_bits.saturating_sub(3).max(2));
+        ((bn ^ (bn >> 7) ^ f1 ^ (f2 << 2)) & p.tag_mask) as u16
     }
 
     /// Begins a new prediction-block instance for the fetch block at `block_pc`.
@@ -349,13 +427,14 @@ impl BlockDVtage {
         let lvt = &self.lvt[lvt_index];
         let lvt_hit = lvt.valid && lvt.tag == lvt_tag;
 
-        // Tagged component lookup (per block, not per slot).
-        let mut alloc_slots = Vec::with_capacity(self.cfg.num_tagged);
-        for comp in 0..self.cfg.num_tagged {
-            alloc_slots.push((
+        // Tagged component lookup: one precomputed index/tag pass over the
+        // components, then a single highest-component-wins probe.
+        let mut alloc_slots = [(0usize, 0u16); MAX_TAGGED];
+        for (comp, slot) in alloc_slots.iter_mut().enumerate().take(self.cfg.num_tagged) {
+            *slot = (
                 self.tagged_index(block_pc, ctx.global_history, ctx.path_history, comp),
                 self.tagged_tag(block_pc, ctx.global_history, comp),
-            ));
+            );
         }
         let mut provider = None;
         for comp in (0..self.cfg.num_tagged).rev() {
@@ -369,17 +448,16 @@ impl BlockDVtage {
 
         // Last values: the speculative window takes precedence over the retired LVT.
         self.window_lookups += 1;
-        let win_values: Option<Vec<Option<u64>>> =
-            self.window.lookup(block_pc).map(|e| e.values.clone());
+        let win_values: Option<SlotPredictions> = self.window.lookup(block_pc).map(|e| e.values);
         if win_values.is_some() {
             self.window_hits += 1;
         }
 
-        let mut slot_tags = vec![None; np];
-        let mut slot_pred = vec![None; np];
-        let mut slot_conf = vec![false; np];
-        let mut provider_conf_levels = vec![0u8; np];
-        let mut provider_strides = vec![0i64; np];
+        let mut slot_tags = [None; MAX_NPRED];
+        let mut slot_pred = [None; MAX_NPRED];
+        let mut slot_conf = [false; MAX_NPRED];
+        let mut provider_conf_levels = [0u8; MAX_NPRED];
+        let mut provider_strides = [0i64; MAX_NPRED];
 
         for i in 0..np {
             let (stride, conf) = match provider {
@@ -398,31 +476,25 @@ impl BlockDVtage {
 
             if lvt_hit && lvt.slots[i].valid {
                 slot_tags[i] = Some(lvt.slots[i].byte_tag);
-                let last = win_values
-                    .as_ref()
-                    .and_then(|v| v.get(i).copied().flatten())
-                    .unwrap_or(lvt.slots[i].last);
+                let last = win_values.and_then(|v| v[i]).unwrap_or(lvt.slots[i].last);
                 slot_pred[i] = Some(last.wrapping_add_signed(self.cfg.clamp_stride(stride)));
             }
         }
 
-        // Push the prediction block into the speculative window and the FIFO queue.
-        self.window.push(block_pc, first_seq, slot_pred.clone());
-        self.fifo.push(
-            first_seq,
-            BlockRecord {
-                block_pc,
-                lvt_index,
-                lvt_tag,
-                provider,
-                alloc_slots,
-                slot_tags: slot_tags.clone(),
-                slot_pred: slot_pred.clone(),
-                provider_conf_levels,
-                provider_strides,
-                results: Vec::with_capacity(np),
-            },
-        );
+        // Push the prediction block into the speculative window and the FIFO queue,
+        // reusing a pooled record so steady state allocates nothing.
+        self.window.push(block_pc, first_seq, slot_pred);
+        let mut rec = self.record_pool.pop().unwrap_or_else(BlockRecord::empty);
+        rec.lvt_index = lvt_index;
+        rec.lvt_tag = lvt_tag;
+        rec.provider = provider;
+        rec.alloc_slots = alloc_slots;
+        rec.slot_tags = slot_tags;
+        rec.slot_pred = slot_pred;
+        rec.provider_conf_levels = provider_conf_levels;
+        rec.provider_strides = provider_strides;
+        debug_assert!(rec.results.is_empty());
+        self.fifo.push(first_seq, rec);
         self.current = Some(CurrentBlock {
             block_pc,
             first_seq,
@@ -435,8 +507,9 @@ impl BlockDVtage {
         self.force_new_block = false;
     }
 
-    /// Applies the retirement update of one block record to the tables.
-    fn apply_update(&mut self, rec: BlockRecord) {
+    /// Applies the retirement update of one block record to the tables and
+    /// recycles the record's storage.
+    fn apply_update(&mut self, mut rec: BlockRecord) {
         self.updates += 1;
         let np = self.cfg.npred;
         let fpc = self.cfg.fpc.clone();
@@ -445,23 +518,28 @@ impl BlockDVtage {
         // Results whose byte index matches a slot tag go to that slot; the rest may
         // claim an unused slot or one with a *greater* byte tag (a greater tag never
         // replaces a lesser one, so entries learn the earliest entry point).
-        let mut consumed = vec![false; np];
-        let mut assignments: Vec<(usize, u8, u64)> = Vec::with_capacity(rec.results.len());
+        let mut consumed = [false; MAX_NPRED];
+        let mut assignments = [(0usize, 0u8, 0u64); MAX_NPRED];
+        let mut num_assigned = 0usize;
         let mut cursor = 0usize;
         for &(b, actual) in &rec.results {
             if let Some(i) = (cursor..np).find(|&i| !consumed[i] && rec.slot_tags[i] == Some(b)) {
                 consumed[i] = true;
                 cursor = i + 1;
-                assignments.push((i, b, actual));
+                assignments[num_assigned] = (i, b, actual);
+                num_assigned += 1;
             } else if let Some(i) = (0..np).find(|&i| {
                 !consumed[i] && (rec.slot_tags[i].is_none() || rec.slot_tags[i].unwrap() > b)
             }) {
                 consumed[i] = true;
-                assignments.push((i, b, actual));
+                assignments[num_assigned] = (i, b, actual);
+                num_assigned += 1;
             }
             // else: more results than Npred slots — dropped (coverage loss).
         }
-        if assignments.is_empty() {
+        if num_assigned == 0 {
+            rec.results.clear();
+            self.record_pool.push(rec);
             return;
         }
 
@@ -479,11 +557,16 @@ impl BlockDVtage {
             }
         }
 
-        let mut observed: Vec<(usize, Option<i64>, u64, bool)> = Vec::with_capacity(assignments.len());
-        for &(i, b, actual) in &assignments {
+        // Per assigned slot: (slot index, observed stride, correctness).
+        let mut observed = [(0usize, None::<i64>, false); MAX_NPRED];
+        for (&(i, b, actual), obs) in assignments[..num_assigned].iter().zip(observed.iter_mut()) {
             let e = &mut self.lvt[rec.lvt_index];
             let s = &mut e.slots[i];
-            let prev = if lvt_matched && s.valid { Some(s.last) } else { None };
+            let prev = if lvt_matched && s.valid {
+                Some(s.last)
+            } else {
+                None
+            };
             if !s.valid {
                 s.valid = true;
                 s.byte_tag = b;
@@ -494,22 +577,26 @@ impl BlockDVtage {
             s.last = actual;
             let stride = prev.map(|p| self.cfg.clamp_stride(actual.wrapping_sub(p) as i64));
             let correct = rec.slot_pred[i] == Some(actual);
-            observed.push((i, stride, actual, correct));
+            *obs = (i, stride, correct);
         }
+        let observed = &observed[..num_assigned];
 
         let any_wrong = observed
             .iter()
-            .any(|(i, _, _, correct)| !correct && rec.slot_pred[*i].is_some());
-        let any_correct = observed.iter().any(|(_, _, _, c)| *c);
+            .any(|(i, _, correct)| !correct && rec.slot_pred[*i].is_some());
+        let any_correct = observed.iter().any(|(_, _, c)| *c);
 
         // ---- Update the providing component -----------------------------------------
-        let entropy: Vec<u64> = observed.iter().map(|_| self.rand()).collect();
+        let mut entropy = [0u64; MAX_NPRED];
+        for e in entropy.iter_mut().take(num_assigned) {
+            *e = self.rand();
+        }
         match rec.provider {
             Some((c, idx)) => {
                 let (_, expected_tag) = rec.alloc_slots[c];
                 let e = &mut self.tagged[c][idx];
                 if e.valid && e.tag == expected_tag {
-                    for (&(i, stride, _, correct), &r) in observed.iter().zip(&entropy) {
+                    for (&(i, stride, correct), &r) in observed.iter().zip(&entropy) {
                         let slot = &mut e.slots[i];
                         if correct {
                             slot.conf.on_correct_with(&fpc, r);
@@ -525,7 +612,7 @@ impl BlockDVtage {
             }
             None => {
                 let e = &mut self.vt0[rec.lvt_index];
-                for (&(i, stride, _, correct), &r) in observed.iter().zip(&entropy) {
+                for (&(i, stride, correct), &r) in observed.iter().zip(&entropy) {
                     let slot = &mut e.slots[i];
                     if correct {
                         slot.conf.on_correct_with(&fpc, r);
@@ -544,24 +631,29 @@ impl BlockDVtage {
         if any_wrong {
             let start = rec.provider.map(|(c, _)| c + 1).unwrap_or(0);
             if start < self.cfg.num_tagged {
-                let candidates: Vec<usize> = (start..self.cfg.num_tagged)
-                    .filter(|&c| !self.tagged[c][rec.alloc_slots[c].0].useful)
-                    .collect();
-                if candidates.is_empty() {
+                let mut candidates = [0usize; MAX_TAGGED];
+                let mut num_candidates = 0usize;
+                for c in start..self.cfg.num_tagged {
+                    if !self.tagged[c][rec.alloc_slots[c].0].useful {
+                        candidates[num_candidates] = c;
+                        num_candidates += 1;
+                    }
+                }
+                if num_candidates == 0 {
                     for c in start..self.cfg.num_tagged {
                         self.tagged[c][rec.alloc_slots[c].0].useful = false;
                     }
                 } else {
-                    let pick = (self.rand() as usize) % candidates.len().min(2);
+                    let pick = (self.rand() as usize) % num_candidates.min(2);
                     let comp = candidates[pick];
                     let (idx, tag) = rec.alloc_slots[comp];
-                    let mut slots = vec![StrideSlot::default(); np];
-                    for i in 0..np {
+                    let mut slots = [StrideSlot::default(); MAX_NPRED];
+                    for (i, slot) in slots.iter_mut().enumerate().take(np) {
                         // Default: inherit the provider's stride and confidence.
-                        slots[i].stride = rec.provider_strides[i];
-                        slots[i].conf.set_level(rec.provider_conf_levels[i], &fpc);
+                        slot.stride = rec.provider_strides[i];
+                        slot.conf.set_level(rec.provider_conf_levels[i], &fpc);
                     }
-                    for &(i, stride, _, correct) in &observed {
+                    for &(i, stride, correct) in observed {
                         if !correct {
                             slots[i].stride = stride.unwrap_or(0);
                             slots[i].conf = ForwardProbabilisticCounter::new();
@@ -584,6 +676,9 @@ impl BlockDVtage {
                 }
             }
         }
+
+        rec.results.clear();
+        self.record_pool.push(rec);
     }
 }
 
@@ -608,10 +703,13 @@ impl ValuePredictor for BlockDVtage {
         }
 
         let byte = byte_index_in_block(uop.pc, self.cfg.fetch_block_bytes);
-        let cur = self.current.as_mut().expect("a block is always current here");
+        let np = self.cfg.npred;
+        let cur = self
+            .current
+            .as_mut()
+            .expect("a block is always current here");
         // Attribute the next matching prediction slot to this µ-op.
-        let slot = (cur.cursor..cur.slot_tags.len())
-            .find(|&i| cur.slot_tags[i] == Some(byte));
+        let slot = (cur.cursor..np).find(|&i| cur.slot_tags[i] == Some(byte));
         match slot {
             Some(i) => {
                 cur.cursor = i + 1;
@@ -654,7 +752,18 @@ impl ValuePredictor for BlockDVtage {
 
     fn squash(&mut self, info: &SquashInfo) {
         self.window.squash(info.flush_seq);
-        self.fifo.squash(info.flush_seq);
+        {
+            // Split borrows: recycle squashed FIFO records into the scratch pool.
+            let Self {
+                ref mut fifo,
+                ref mut record_pool,
+                ..
+            } = *self;
+            fifo.squash_with(info.flush_seq, |mut rec| {
+                rec.results.clear();
+                record_pool.push(rec);
+            });
+        }
         // Drop the block being assembled if it is younger than the flush point.
         if let Some(cur) = &self.current {
             if cur.first_seq > info.flush_seq {
@@ -763,8 +872,14 @@ mod tests {
     fn strided_block_is_learned_and_accurate() {
         let mut d = BlockDVtage::new(fast_cfg());
         let (predicted, correct) = run_loop(&mut d, 200, (8, 16));
-        assert!(predicted > 100, "predictor should become confident, got {predicted}");
-        assert_eq!(predicted, correct, "all confident predictions must be correct");
+        assert!(
+            predicted > 100,
+            "predictor should become confident, got {predicted}"
+        );
+        assert_eq!(
+            predicted, correct,
+            "all confident predictions must be correct"
+        );
     }
 
     #[test]
@@ -788,7 +903,11 @@ mod tests {
         // one tagged with byte 8 (value 9), not the slot for byte 0.
         let u2 = uop(seq, 0x2008, 9);
         let p = d.predict(&ctx(seq, 0x2008, true), &u2);
-        assert_eq!(p, Some(9), "entering mid-block must attribute the byte-8 slot");
+        assert_eq!(
+            p,
+            Some(9),
+            "entering mid-block must attribute the byte-8 slot"
+        );
     }
 
     #[test]
@@ -823,7 +942,10 @@ mod tests {
         let p2 = d.predict(&ctx(seq + 2, 0x3008, false), &us[2]);
         assert_eq!(p0, Some(1));
         assert_eq!(p1, Some(2));
-        assert_eq!(p2, None, "the third result has no prediction slot with Npred=2");
+        assert_eq!(
+            p2, None,
+            "the third result has no prediction slot with Npred=2"
+        );
     }
 
     #[test]
@@ -864,7 +986,10 @@ mod tests {
         };
         let good_with = check(&mut with_window);
         let good_without = check(&mut without_window);
-        assert!(good_with >= 7, "window should keep the chain alive, got {good_with}/8");
+        assert!(
+            good_with >= 7,
+            "window should keep the chain alive, got {good_with}/8"
+        );
         assert!(
             good_without <= 3,
             "without a window only the first in-flight instance can be right, got {good_without}/8"
@@ -953,5 +1078,26 @@ mod tests {
         assert!(d.window_hit_rate() >= 0.0);
         assert!(d.storage_bits() > 0);
         assert_eq!(d.name(), "BeBoP D-VTAGE");
+    }
+
+    #[test]
+    fn records_are_recycled_through_the_pool() {
+        let mut d = BlockDVtage::new(fast_cfg());
+        let _ = run_loop(&mut d, 100, (8, 16));
+        assert!(
+            !d.record_pool.is_empty(),
+            "retired block records must return to the scratch pool"
+        );
+        // The pool is bounded by the number of simultaneously in-flight blocks.
+        assert!(d.record_pool.len() <= 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn npred_above_max_is_rejected() {
+        let _ = BlockDVtage::new(BlockDVtageConfig {
+            npred: MAX_NPRED + 1,
+            ..BlockDVtageConfig::default()
+        });
     }
 }

@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn medium_is_the_headline_32kb_budget() {
         let kb = medium().storage_kb();
-        assert!((28.0..36.0).contains(&kb), "Medium should be ~32 KB, got {kb:.2}");
+        assert!(
+            (28.0..36.0).contains(&kb),
+            "Medium should be ~32 KB, got {kb:.2}"
+        );
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
 
     #[test]
     fn stride_sweep_storage_is_monotone() {
-        let sizes: Vec<u64> = stride_sweep().iter().map(|(_, c)| c.storage_bits()).collect();
+        let sizes: Vec<u64> = stride_sweep()
+            .iter()
+            .map(|(_, c)| c.storage_bits())
+            .collect();
         for w in sizes.windows(2) {
             assert!(w[1] < w[0], "shorter strides must shrink storage");
         }

@@ -3,12 +3,16 @@
 //! benchmark harness that regenerates the paper's figures.
 
 use crate::block_dvtage::{BlockDVtage, BlockDVtageConfig};
+use crate::par;
+use bebop_isa::DynUop;
 use bebop_trace::{TraceGenerator, WorkloadSpec};
 use bebop_uarch::{
-    gmean, NoValuePredictor, PerfectValuePredictor, Pipeline, PipelineConfig, SimStats,
-    ValuePredictor,
+    gmean, NoValuePredictor, PerfectValuePredictor, Pipeline, PipelineConfig, PredictCtx, SimStats,
+    SquashInfo, ValuePredictor,
 };
-use bebop_vp::{DVtage, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor, Vtage, VtageStrideHybrid};
+use bebop_vp::{
+    DVtage, LastValuePredictor, StridePredictor, TwoDeltaStridePredictor, Vtage, VtageStrideHybrid,
+};
 
 /// The value predictors that can be plugged into a simulation run.
 #[derive(Debug, Clone)]
@@ -34,19 +38,34 @@ pub enum PredictorKind {
 }
 
 impl PredictorKind {
-    /// Instantiates the predictor.
-    pub fn build(&self) -> Box<dyn ValuePredictor> {
+    /// Instantiates the predictor as the statically dispatched [`AnyPredictor`]
+    /// enum, which is what the simulation hot loop runs against.
+    pub fn build(&self) -> AnyPredictor {
         match self {
-            PredictorKind::None => Box::new(NoValuePredictor),
-            PredictorKind::Perfect => Box::new(PerfectValuePredictor),
-            PredictorKind::LastValue => Box::new(LastValuePredictor::default_config()),
-            PredictorKind::Stride => Box::new(StridePredictor::default_config()),
-            PredictorKind::TwoDeltaStride => Box::new(TwoDeltaStridePredictor::default_config()),
-            PredictorKind::Vtage => Box::new(Vtage::default_config()),
-            PredictorKind::VtageStrideHybrid => Box::new(VtageStrideHybrid::default_config()),
-            PredictorKind::DVtage => Box::new(DVtage::default_config()),
-            PredictorKind::BlockDVtage(cfg) => Box::new(BlockDVtage::new(cfg.clone())),
+            PredictorKind::None => AnyPredictor::None(NoValuePredictor),
+            PredictorKind::Perfect => AnyPredictor::Perfect(PerfectValuePredictor),
+            PredictorKind::LastValue => {
+                AnyPredictor::LastValue(LastValuePredictor::default_config())
+            }
+            PredictorKind::Stride => AnyPredictor::Stride(StridePredictor::default_config()),
+            PredictorKind::TwoDeltaStride => {
+                AnyPredictor::TwoDeltaStride(TwoDeltaStridePredictor::default_config())
+            }
+            PredictorKind::Vtage => AnyPredictor::Vtage(Vtage::default_config()),
+            PredictorKind::VtageStrideHybrid => {
+                AnyPredictor::VtageStrideHybrid(VtageStrideHybrid::default_config())
+            }
+            PredictorKind::DVtage => AnyPredictor::DVtage(DVtage::default_config()),
+            PredictorKind::BlockDVtage(cfg) => {
+                AnyPredictor::BlockDVtage(BlockDVtage::new(cfg.clone()))
+            }
         }
+    }
+
+    /// Instantiates the predictor behind a trait object, for callers that mix
+    /// built-in predictors with out-of-tree [`ValuePredictor`] implementations.
+    pub fn build_dyn(&self) -> Box<dyn ValuePredictor> {
+        Box::new(self.build())
     }
 
     /// The display label used in reports and figures.
@@ -65,6 +84,81 @@ impl PredictorKind {
     }
 }
 
+/// The statically dispatched union of every built-in value predictor.
+///
+/// The per-µop hot loop of [`Pipeline::run`] calls the predictor three times per
+/// eligible µ-op; going through `Box<dyn ValuePredictor>` made every one of those
+/// calls virtual. `AnyPredictor` keeps the [`ValuePredictor`] trait for
+/// extensibility (it implements the trait itself, so it composes with external
+/// predictors behind `dyn`) while giving the driver a concrete type: the match
+/// below compiles to a jump table and the per-variant bodies inline into the
+/// monomorphised pipeline loop.
+// One predictor instance exists per simulation run; its inline size is
+// irrelevant next to the indirection a Box per variant would add to every call.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum AnyPredictor {
+    /// No value prediction (baseline pipelines).
+    None(NoValuePredictor),
+    /// Oracle predictor.
+    Perfect(PerfectValuePredictor),
+    /// Last Value Predictor.
+    LastValue(LastValuePredictor),
+    /// Baseline stride predictor.
+    Stride(StridePredictor),
+    /// 2-delta stride predictor.
+    TwoDeltaStride(TwoDeltaStridePredictor),
+    /// VTAGE.
+    Vtage(Vtage),
+    /// Naive VTAGE + 2-delta stride hybrid.
+    VtageStrideHybrid(VtageStrideHybrid),
+    /// Instruction-based D-VTAGE.
+    DVtage(DVtage),
+    /// Block-based D-VTAGE with BeBoP.
+    BlockDVtage(BlockDVtage),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            AnyPredictor::None($p) => $body,
+            AnyPredictor::Perfect($p) => $body,
+            AnyPredictor::LastValue($p) => $body,
+            AnyPredictor::Stride($p) => $body,
+            AnyPredictor::TwoDeltaStride($p) => $body,
+            AnyPredictor::Vtage($p) => $body,
+            AnyPredictor::VtageStrideHybrid($p) => $body,
+            AnyPredictor::DVtage($p) => $body,
+            AnyPredictor::BlockDVtage($p) => $body,
+        }
+    };
+}
+
+impl ValuePredictor for AnyPredictor {
+    fn name(&self) -> &str {
+        dispatch!(self, p => p.name())
+    }
+
+    #[inline]
+    fn predict(&mut self, ctx: &PredictCtx, uop: &DynUop) -> Option<u64> {
+        dispatch!(self, p => p.predict(ctx, uop))
+    }
+
+    #[inline]
+    fn train(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>) {
+        dispatch!(self, p => p.train(uop, actual, predicted))
+    }
+
+    #[inline]
+    fn squash(&mut self, info: &SquashInfo) {
+        dispatch!(self, p => p.squash(info))
+    }
+
+    fn storage_bits(&self) -> u64 {
+        dispatch!(self, p => p.storage_bits())
+    }
+}
+
 /// Runs one workload on one pipeline configuration with one predictor for
 /// `max_uops` µ-ops and returns the statistics.
 pub fn run_one(
@@ -74,7 +168,7 @@ pub fn run_one(
     max_uops: u64,
 ) -> SimStats {
     let mut p = predictor.build();
-    Pipeline::new(pipeline.clone()).run(TraceGenerator::new(spec), p.as_mut(), max_uops)
+    Pipeline::new(pipeline.clone()).run(TraceGenerator::new(spec), &mut p, max_uops)
 }
 
 /// The speedup of one benchmark under a variant configuration relative to a
@@ -165,6 +259,11 @@ impl SpeedupSummary {
 /// Runs every workload in `specs` under both configurations and returns the
 /// per-benchmark comparison. This is the primitive every figure of the evaluation
 /// is built from.
+///
+/// The per-workload simulations are independent (each owns its predictor and
+/// pipeline instance), so they are fanned out across cores with
+/// [`par::par_map`]; results are ordering-stable and bit-identical to a serial
+/// run (`par::set_threads(1)` forces one).
 pub fn compare(
     specs: &[WorkloadSpec],
     baseline_pipeline: &PipelineConfig,
@@ -173,14 +272,11 @@ pub fn compare(
     variant_predictor: &PredictorKind,
     max_uops: u64,
 ) -> Vec<BenchResult> {
-    specs
-        .iter()
-        .map(|spec| BenchResult {
-            name: spec.name.clone(),
-            baseline: run_one(spec, baseline_pipeline, baseline_predictor, max_uops),
-            variant: run_one(spec, variant_pipeline, variant_predictor, max_uops),
-        })
-        .collect()
+    par::par_map(specs, |spec| BenchResult {
+        name: spec.name.clone(),
+        baseline: run_one(spec, baseline_pipeline, baseline_predictor, max_uops),
+        variant: run_one(spec, variant_pipeline, variant_predictor, max_uops),
+    })
 }
 
 #[cfg(test)]

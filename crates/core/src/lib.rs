@@ -51,14 +51,18 @@
 mod block_dvtage;
 pub mod configs;
 mod driver;
+pub mod par;
 mod recovery;
 mod spec_window;
 mod update_queue;
 
+pub use bebop_vp::MAX_TAGGED;
 pub use block_dvtage::{BlockDVtage, BlockDVtageConfig};
-pub use driver::{compare, run_one, BenchResult, PredictorKind, SpeedupSummary};
+pub use driver::{compare, run_one, AnyPredictor, BenchResult, PredictorKind, SpeedupSummary};
 pub use recovery::RecoveryPolicy;
-pub use spec_window::{SpecWindowEntry, SpecWindowSize, SpeculativeWindow};
+pub use spec_window::{
+    SlotPredictions, SpecWindowEntry, SpecWindowSize, SpeculativeWindow, MAX_NPRED,
+};
 pub use update_queue::FifoUpdateQueue;
 
 // Re-export the pieces downstream users almost always need alongside this crate.

@@ -1,0 +1,133 @@
+//! Deterministic parallel fan-out for per-workload simulations.
+//!
+//! Every figure of the evaluation runs 36 independent (workload, pipeline,
+//! predictor) simulations — an embarrassingly parallel population. [`par_map`]
+//! spreads a slice of such tasks over the machine's cores with scoped threads and
+//! an atomic work-stealing cursor, while keeping the output **ordering-stable and
+//! bit-identical to a serial run**: each result is written back to the slot of its
+//! input index, so scheduling nondeterminism never leaks into the results.
+//!
+//! The build environment is offline, so this is a dependency-free stand-in for a
+//! `rayon` parallel iterator; the API is deliberately tiny and the unit of work
+//! deliberately coarse (one full simulation), so the scheduling overhead is noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global thread-count override: 0 = auto (one thread per available core).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the number of worker threads used by [`par_map`] (0 restores the
+/// default of one thread per available core). `1` forces fully serial execution —
+/// useful for baselines and determinism checks; results are identical either way.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads [`par_map`] would use for `tasks` items.
+pub fn effective_threads(tasks: usize) -> usize {
+    let configured = THREADS.load(Ordering::SeqCst);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n = if configured == 0 { hw } else { configured };
+    n.min(tasks.max(1)).max(1)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Work is handed out item-by-item through an atomic cursor (dynamic load
+/// balancing: simulations of different workloads have different costs), and the
+/// result vector is assembled by input index, so the output is independent of
+/// thread scheduling. With one thread (or one item) this degenerates to a plain
+/// serial map with no thread spawned.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(n);
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("worker thread panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was assigned exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the global `THREADS` override, so they
+    /// cannot race each other under the default parallel test runner.
+    static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..64).collect();
+        let f = |&x: &u64| x.wrapping_mul(0x9e37_79b9).rotate_left(7);
+        let parallel = par_map(&items, f);
+        set_threads(1);
+        let serial = par_map(&items, f);
+        set_threads(0);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_threads_is_bounded() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        assert_eq!(effective_threads(0), 1);
+        assert_eq!(effective_threads(1), 1);
+        set_threads(4);
+        assert_eq!(effective_threads(100), 4);
+        assert_eq!(effective_threads(2), 2);
+        set_threads(0);
+        assert!(effective_threads(1000) >= 1);
+    }
+}

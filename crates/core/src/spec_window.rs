@@ -10,6 +10,15 @@
 use bebop_isa::SeqNum;
 use std::collections::VecDeque;
 
+/// The maximum number of prediction slots per entry (`Npred`) supported by the
+/// allocation-free hot path. The paper sweeps 4/6/8 (Figure 6a); fixing the upper
+/// bound lets prediction blocks live in copyable arrays instead of heap vectors.
+pub const MAX_NPRED: usize = 8;
+
+/// The per-slot speculative values of one prediction block: `None` where no
+/// prediction could be computed, and slots at `npred..` always `None`.
+pub type SlotPredictions = [Option<u64>; MAX_NPRED];
+
 /// The size of the speculative window (Figure 7b sweeps this from ∞ down to none).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecWindowSize {
@@ -33,7 +42,7 @@ impl SpecWindowSize {
 }
 
 /// One prediction block held in the speculative window.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpecWindowEntry {
     /// Partial tag of the fetch block (e.g. 15 bits; false positives are allowed
     /// since value prediction is speculative by nature).
@@ -42,7 +51,7 @@ pub struct SpecWindowEntry {
     pub seq: SeqNum,
     /// The per-slot speculative last values (the predictions made for this block
     /// instance); `None` where no prediction could be computed.
-    pub values: Vec<Option<u64>>,
+    pub values: SlotPredictions,
 }
 
 /// The block-based speculative window.
@@ -64,7 +73,10 @@ impl SpeculativeWindow {
     /// to model the "no speculative window" configuration.
     pub fn new(capacity: Option<usize>, tag_bits: u32) -> Self {
         if let Some(c) = capacity {
-            assert!(c > 0, "use SpeculativeWindow::disabled() for a zero-size window");
+            assert!(
+                c > 0,
+                "use SpeculativeWindow::disabled() for a zero-size window"
+            );
         }
         SpeculativeWindow {
             entries: VecDeque::new(),
@@ -126,7 +138,7 @@ impl SpeculativeWindow {
     /// Pushes the prediction block of a newly predicted fetch-block instance at the
     /// head. If the window is full, the oldest entry is overwritten (head overlaps
     /// tail, as described in the paper).
-    pub fn push(&mut self, block_pc: u64, seq: SeqNum, values: Vec<Option<u64>>) {
+    pub fn push(&mut self, block_pc: u64, seq: SeqNum, values: SlotPredictions) {
         if self.is_disabled() {
             return;
         }
@@ -186,7 +198,12 @@ impl SpeculativeWindow {
             return false;
         }
         let tag = self.partial_tag(block_pc);
-        if self.entries.back().map(|e| e.partial_tag == tag).unwrap_or(false) {
+        if self
+            .entries
+            .back()
+            .map(|e| e.partial_tag == tag)
+            .unwrap_or(false)
+        {
             self.entries.pop_back();
             true
         } else {
@@ -204,8 +221,10 @@ impl SpeculativeWindow {
 mod tests {
     use super::*;
 
-    fn vals(v: u64) -> Vec<Option<u64>> {
-        vec![Some(v), None]
+    fn vals(v: u64) -> SlotPredictions {
+        let mut values = [None; MAX_NPRED];
+        values[0] = Some(v);
+        values
     }
 
     #[test]
@@ -284,5 +303,64 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         let _ = SpeculativeWindow::new(Some(0), 15);
+    }
+
+    #[test]
+    fn squash_on_empty_window_is_a_noop() {
+        let mut w = SpeculativeWindow::new(Some(4), 15);
+        w.squash(0);
+        w.prune_retired(100);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn squash_everything_then_refill() {
+        let mut w = SpeculativeWindow::new(Some(4), 15);
+        w.push(0x1000, 10, vals(1));
+        w.push(0x2000, 20, vals(2));
+        w.squash(5); // flush point older than every entry
+        assert!(w.is_empty());
+        w.push(0x3000, 30, vals(3));
+        assert_eq!(w.lookup(0x3000).unwrap().seq, 30);
+    }
+
+    #[test]
+    fn squash_at_exact_seq_keeps_the_flushing_block() {
+        // The flushing µ-op's own block entry (seq == flush_seq) must survive:
+        // only strictly younger state rolls back.
+        let mut w = SpeculativeWindow::new(Some(8), 15);
+        w.push(0x1000, 1, vals(1));
+        w.push(0x1000, 5, vals(2));
+        w.push(0x1000, 9, vals(3));
+        w.squash(5);
+        let e = w.lookup(0x1000).unwrap();
+        assert_eq!(e.seq, 5);
+        assert_eq!(e.values, vals(2));
+    }
+
+    #[test]
+    fn full_window_rollback_then_push_reuses_capacity() {
+        let mut w = SpeculativeWindow::new(Some(2), 15);
+        w.push(0x1000, 1, vals(1));
+        w.push(0x2000, 2, vals(2)); // full
+        w.squash(1); // back to one entry
+        assert_eq!(w.len(), 1);
+        w.push(0x3000, 3, vals(3));
+        w.push(0x4000, 4, vals(4)); // evicts seq 1
+        assert_eq!(w.len(), 2);
+        assert!(w.lookup(0x1000).is_none());
+        assert!(w.lookup(0x3000).is_some() && w.lookup(0x4000).is_some());
+    }
+
+    #[test]
+    fn prune_retired_keeps_inflight_entries() {
+        let mut w = SpeculativeWindow::new(None, 15);
+        w.push(0x1000, 1, vals(1));
+        w.push(0x2000, 5, vals(2));
+        w.push(0x3000, 9, vals(3));
+        w.prune_retired(5);
+        assert_eq!(w.len(), 2);
+        assert!(w.lookup(0x1000).is_none());
+        assert_eq!(w.lookup(0x2000).unwrap().seq, 5);
     }
 }

@@ -96,9 +96,17 @@ impl<T> FifoUpdateQueue<T> {
     /// Rolls back on a pipeline flush: drops every record whose first µ-op is
     /// strictly younger than `flush_seq`.
     pub fn squash(&mut self, flush_seq: SeqNum) {
+        self.squash_with(flush_seq, |_| {});
+    }
+
+    /// Like [`FifoUpdateQueue::squash`], but hands every dropped record to
+    /// `recycle` so callers can return its heap storage to a scratch pool instead
+    /// of freeing it (the figure-regeneration hot loop squashes constantly).
+    pub fn squash_with(&mut self, flush_seq: SeqNum, mut recycle: impl FnMut(T)) {
         while let Some((seq, _)) = self.entries.back() {
             if *seq > flush_seq {
-                self.entries.pop_back();
+                let (_, record) = self.entries.pop_back().expect("back exists");
+                recycle(record);
             } else {
                 break;
             }
@@ -159,5 +167,59 @@ mod tests {
         let mut q = FifoUpdateQueue::new();
         q.push(10, ());
         q.push(5, ());
+    }
+
+    #[test]
+    fn drain_of_empty_queue_is_safe() {
+        let mut q: FifoUpdateQueue<u64> = FifoUpdateQueue::new();
+        assert_eq!(q.pop_front(), None);
+        assert_eq!(q.pop_back(), None);
+        assert_eq!(q.front(), None);
+        assert_eq!(q.back_mut(), None);
+        assert_eq!(q.next_block_seq(), None);
+        q.squash(0); // no-op
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_of_full_queue_preserves_order() {
+        let mut q = FifoUpdateQueue::new();
+        for i in 0..64u64 {
+            q.push(i * 2, i);
+        }
+        assert_eq!(q.len(), 64);
+        let drained: Vec<u64> = std::iter::from_fn(|| q.pop_front().map(|(_, v)| v)).collect();
+        assert_eq!(drained, (0..64).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_block_squash_keeps_the_flushed_blocks_record() {
+        // A same-block flush (Bnew == Bflush) squashes µ-ops strictly younger than
+        // the flush point: the record of the block containing the flush point
+        // (first_seq <= flush_seq) must stay so its older µ-ops still train.
+        let mut q = FifoUpdateQueue::new();
+        q.push(0, "blk0");
+        q.push(10, "blk1"); // flush happens inside this block...
+        q.push(20, "blk2");
+        q.squash(12); // ...at seq 12
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.back(), Some((&10, &"blk1")));
+    }
+
+    #[test]
+    fn squash_with_recycles_dropped_records() {
+        let mut q = FifoUpdateQueue::new();
+        q.push(0, vec![0u64; 4]);
+        q.push(10, vec![1u64; 4]);
+        q.push(20, vec![2u64; 4]);
+        let mut pool: Vec<Vec<u64>> = Vec::new();
+        q.squash_with(5, |rec| pool.push(rec));
+        assert_eq!(q.len(), 1);
+        assert_eq!(pool.len(), 2, "both dropped records must reach the pool");
+        // Equal seq is kept (strictly-younger semantics), nothing recycled.
+        q.squash_with(0, |rec| pool.push(rec));
+        assert_eq!(q.len(), 1);
+        assert_eq!(pool.len(), 2);
     }
 }

@@ -24,7 +24,10 @@ pub const DEFAULT_FETCH_BLOCK_BYTES: u64 = 16;
 /// assert_eq!(fetch_block_pc(0x1234, 16), 0x1230);
 /// ```
 pub fn fetch_block_pc(pc: u64, block_bytes: u64) -> u64 {
-    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two"
+    );
     pc & !(block_bytes - 1)
 }
 
@@ -42,7 +45,10 @@ pub fn fetch_block_pc(pc: u64, block_bytes: u64) -> u64 {
 /// assert_eq!(byte_index_in_block(0x1234, 16), 4);
 /// ```
 pub fn byte_index_in_block(pc: u64, block_bytes: u64) -> u8 {
-    assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        block_bytes.is_power_of_two(),
+        "block size must be a power of two"
+    );
     (pc & (block_bytes - 1)) as u8
 }
 

@@ -118,7 +118,11 @@ impl DynUop {
     /// Attaches a branch outcome to this µ-op.
     #[must_use]
     pub fn with_branch(mut self, kind: BranchKind, taken: bool, target: u64) -> Self {
-        self.branch = Some(BranchInfo { kind, taken, target });
+        self.branch = Some(BranchInfo {
+            kind,
+            taken,
+            target,
+        });
         self
     }
 
@@ -188,7 +192,8 @@ mod tests {
     #[test]
     fn next_pc_follows_taken_branches() {
         let br = Uop::new(UopKind::Branch, None, &[ArchReg::flags()]);
-        let taken = DynUop::new(0, 0x100, 2, 0, 1, br, 0).with_branch(BranchKind::Conditional, true, 0x80);
+        let taken =
+            DynUop::new(0, 0x100, 2, 0, 1, br, 0).with_branch(BranchKind::Conditional, true, 0x80);
         let not_taken =
             DynUop::new(1, 0x100, 2, 0, 1, br, 0).with_branch(BranchKind::Conditional, false, 0x80);
         assert_eq!(taken.next_pc(), 0x80);

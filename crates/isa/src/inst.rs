@@ -43,7 +43,10 @@ impl StaticInst {
             (1..=MAX_INST_BYTES).contains(&len_bytes),
             "instruction length {len_bytes} out of range"
         );
-        assert!(!uops.is_empty(), "an instruction must have at least one µ-op");
+        assert!(
+            !uops.is_empty(),
+            "an instruction must have at least one µ-op"
+        );
         assert!(
             uops.len() <= MAX_UOPS_PER_INST,
             "too many µ-ops: {}",
@@ -153,7 +156,10 @@ impl StaticInst {
 
     /// Returns `true` if the instruction ends with a branch µ-op.
     pub fn is_branch(&self) -> bool {
-        self.uops.last().map(|u| u.kind().is_branch()).unwrap_or(false)
+        self.uops
+            .last()
+            .map(|u| u.kind().is_branch())
+            .unwrap_or(false)
     }
 }
 

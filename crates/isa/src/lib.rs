@@ -45,7 +45,9 @@ mod program;
 mod reg;
 mod uop;
 
-pub use block::{byte_index_in_block, fetch_block_pc, BlockPc, FetchBlockLayout, DEFAULT_FETCH_BLOCK_BYTES};
+pub use block::{
+    byte_index_in_block, fetch_block_pc, BlockPc, FetchBlockLayout, DEFAULT_FETCH_BLOCK_BYTES,
+};
 pub use dynuop::{BranchInfo, BranchKind, DynUop, MemAccess, SeqNum};
 pub use inst::{InstBuilder, StaticInst, MAX_INST_BYTES, MAX_UOPS_PER_INST};
 pub use program::{BasicBlock, BasicBlockId, Program, ProgramBuilder, Terminator};

@@ -218,11 +218,16 @@ impl ProgramBuilder {
             .blocks
             .into_iter()
             .enumerate()
-            .map(|(i, b)| b.unwrap_or_else(|| panic!("basic block bb{i} reserved but never defined")))
+            .map(|(i, b)| {
+                b.unwrap_or_else(|| panic!("basic block bb{i} reserved but never defined"))
+            })
             .collect();
         assert!(entry.0 < blocks.len(), "entry block out of range");
         let check = |id: BasicBlockId| {
-            assert!(id.0 < blocks.len(), "terminator references unknown block {id}");
+            assert!(
+                id.0 < blocks.len(),
+                "terminator references unknown block {id}"
+            );
         };
         for b in &blocks {
             match b.terminator() {
@@ -283,7 +288,10 @@ mod tests {
     #[test]
     fn static_inst_pcs_enumerates_all_instructions() {
         let mut b = ProgramBuilder::new(0x100);
-        let bb = b.add(vec![simple_inst(4), simple_inst(2), simple_inst(6)], Terminator::Exit);
+        let bb = b.add(
+            vec![simple_inst(4), simple_inst(2), simple_inst(6)],
+            Terminator::Exit,
+        );
         let p = b.build(bb);
         let pcs: Vec<u64> = p.static_inst_pcs().keys().copied().collect();
         assert_eq!(pcs, vec![0x100, 0x104, 0x106]);

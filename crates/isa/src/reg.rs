@@ -56,7 +56,10 @@ impl ArchReg {
     ///
     /// Panics if `idx >= NUM_INT_REGS`.
     pub fn int(idx: u16) -> Self {
-        assert!(idx < NUM_INT_REGS, "integer register index {idx} out of range");
+        assert!(
+            idx < NUM_INT_REGS,
+            "integer register index {idx} out of range"
+        );
         ArchReg(idx)
     }
 

@@ -235,7 +235,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_many_sources_panics() {
-        let regs = [ArchReg::int(0), ArchReg::int(1), ArchReg::int(2), ArchReg::int(3)];
+        let regs = [
+            ArchReg::int(0),
+            ArchReg::int(1),
+            ArchReg::int(2),
+            ArchReg::int(3),
+        ];
         let _ = Uop::new(UopKind::Alu, None, &regs);
     }
 }

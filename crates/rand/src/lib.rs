@@ -1,0 +1,275 @@
+//! A minimal, deterministic stand-in for the subset of the [`rand`] crate API this
+//! workspace uses (`SmallRng`, `Rng::{gen, gen_bool, gen_range}`, `SeedableRng`).
+//!
+//! The build environment has no network access to crates.io, and the simulator
+//! only needs *reproducible* pseudo-randomness — every workload is seeded, and
+//! bit-identical traces across runs and machines are a correctness requirement
+//! (serial and parallel figure regeneration must agree exactly). A tiny local
+//! implementation keeps that guarantee explicit: the generator below is
+//! xoshiro256++ seeded through SplitMix64, the same algorithm family `rand`'s
+//! `SmallRng` uses on 64-bit targets.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64` (the only constructor the
+/// workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanded with SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit output source behind [`Rng`].
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from the full 64-bit output
+/// (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    /// Maps 64 uniform bits to a uniform `Self`.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1), as rand's Standard distribution.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled (`rng.gen_range(lo..hi)` / `lo..=hi`).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s behaviour.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1) as u64;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return Standard::from_bits(rng.next_u64());
+                }
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, usize, i8, i16, i32, i64);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                ((self.start as i128) + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                if span == 0 {
+                    return Standard::from_bits(rng.next_u64());
+                }
+                ((start as i128) + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64);
+
+/// The sampling interface, as a blanket extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample of `T` (`u64`, `u32`, `f64` in `[0, 1)`, integers, `bool`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let x: f64 = self.gen();
+        x < p
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256++ seeded via SplitMix64
+    /// (the algorithm family `rand`'s `SmallRng` uses on 64-bit platforms).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        let ratio = hits as f64 / 100_000.0;
+        assert!((ratio - 0.25).abs() < 0.01, "p=0.25 off: {ratio}");
+        let mut r2 = SmallRng::seed_from_u64(3);
+        assert!(!(0..1000).any(|_| r2.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r2.gen_bool(1.1)));
+    }
+
+    #[test]
+    fn ranges_are_inclusive_exclusive_as_written() {
+        let mut r = SmallRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let a = r.gen_range(16u64..256);
+            assert!((16..256).contains(&a));
+            let b = r.gen_range(2..=8usize);
+            assert!((2..=8).contains(&b));
+            let c = r.gen_range(1i64..=4);
+            assert!((1..=4).contains(&c));
+            let d = r.gen_range(0u8..3);
+            assert!(d < 3);
+        }
+        // Both endpoints of an inclusive range are reachable.
+        let mut seen = [false; 7];
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            seen[r.gen_range(2..=8usize) - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let mut r = SmallRng::seed_from_u64(6);
+        let _ = r.gen_range(5u64..5);
+    }
+}

@@ -4,9 +4,7 @@
 use crate::memory::{AddressPattern, AddressState};
 use crate::value::{ValuePattern, ValueState};
 use crate::workload::WorkloadSpec;
-use bebop_isa::{
-    BasicBlockId, BranchKind, DynUop, Program, SeqNum, Terminator, Uop, UopKind,
-};
+use bebop_isa::{BasicBlockId, BranchKind, DynUop, Program, SeqNum, Terminator, Uop, UopKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
@@ -86,7 +84,11 @@ impl TraceGenerator {
                         let pattern = Self::sample_addr_pattern(spec, &mut rng);
                         addr_states.insert(
                             id,
-                            AddressState::new(pattern, 0x1000_0000, spec.memory.working_set_bytes.max(64)),
+                            AddressState::new(
+                                pattern,
+                                0x1000_0000,
+                                spec.memory.working_set_bytes.max(64),
+                            ),
                         );
                         Some(pattern)
                     } else {
@@ -250,11 +252,16 @@ impl TraceGenerator {
                 if uop.kind().is_branch() && is_terminator_inst {
                     let taken = branch_taken.unwrap_or(false);
                     let (kind, target) = match terminator {
-                        Terminator::Conditional { taken: t, not_taken } => (
+                        Terminator::Conditional {
+                            taken: t,
+                            not_taken,
+                        } => (
                             BranchKind::Conditional,
                             self.program.block_pc(if taken { t } else { not_taken }),
                         ),
-                        Terminator::Jump(t) => (BranchKind::Unconditional, self.program.block_pc(t)),
+                        Terminator::Jump(t) => {
+                            (BranchKind::Unconditional, self.program.block_pc(t))
+                        }
                         _ => (BranchKind::Conditional, pc + u64::from(inst.len_bytes())),
                     };
                     d = d.with_branch(kind, taken, target);
@@ -279,15 +286,12 @@ impl TraceGenerator {
         branch_taken: Option<bool>,
     ) -> u64 {
         match uop.dst() {
-            Some(d) if d.is_flags() => {
+            Some(d) if d.is_flags() && is_terminator_inst => {
                 // The flags feeding the terminating branch encode its direction; other
                 // flag producers are don't-cares.
-                if is_terminator_inst {
-                    u64::from(branch_taken.unwrap_or(false))
-                } else {
-                    0
-                }
+                u64::from(branch_taken.unwrap_or(false))
             }
+            Some(d) if d.is_flags() => 0,
             Some(_) => {
                 let ghr = self.ghr;
                 match self.value_states.get_mut(&id) {
@@ -363,7 +367,10 @@ mod tests {
         let mut by_static: Map<(u64, u8), Vec<u64>> = Map::new();
         for u in &trace {
             if u.vp_eligible() && u.uop.dst().is_some() {
-                by_static.entry((u.pc, u.uop_idx)).or_default().push(u.value);
+                by_static
+                    .entry((u.pc, u.uop_idx))
+                    .or_default()
+                    .push(u.value);
             }
         }
         let mut strided = 0usize;
@@ -419,8 +426,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a: Vec<_> = TraceGenerator::new(&WorkloadSpec::new("a", 1)).take(1000).collect();
-        let b: Vec<_> = TraceGenerator::new(&WorkloadSpec::new("a", 2)).take(1000).collect();
+        let a: Vec<_> = TraceGenerator::new(&WorkloadSpec::new("a", 1))
+            .take(1000)
+            .collect();
+        let b: Vec<_> = TraceGenerator::new(&WorkloadSpec::new("a", 2))
+            .take(1000)
+            .collect();
         assert_ne!(a, b);
     }
 }

@@ -45,6 +45,8 @@ mod workload;
 
 pub use generator::TraceGenerator;
 pub use memory::{AddressPattern, AddressState};
-pub use spec::{all_spec_benchmarks, benchmark_class, spec_benchmark, BenchClass, SPEC_BENCHMARK_NAMES};
+pub use spec::{
+    all_spec_benchmarks, benchmark_class, spec_benchmark, BenchClass, SPEC_BENCHMARK_NAMES,
+};
 pub use value::{ValuePattern, ValueProfile, ValueState};
 pub use workload::{BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec};

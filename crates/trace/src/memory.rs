@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn streaming_addresses_advance_by_stride() {
         let mut st = AddressState::new(
-            AddressPattern::Streaming { base: 0, stride: 64 },
+            AddressPattern::Streaming {
+                base: 0,
+                stride: 64,
+            },
             0x10000,
             4096,
         );
@@ -109,7 +112,10 @@ mod tests {
     #[test]
     fn streaming_wraps_in_working_set() {
         let mut st = AddressState::new(
-            AddressPattern::Streaming { base: 0, stride: 64 },
+            AddressPattern::Streaming {
+                base: 0,
+                stride: 64,
+            },
             0x10000,
             128,
         );

@@ -80,42 +80,258 @@ struct BenchRow {
 /// The parameter table. `class` encodes the qualitative Figure 5a/8 outcome,
 /// `branchiness` the control-flow behaviour of the original code.
 const BENCH_TABLE: [BenchRow; 36] = [
-    BenchRow { name: "164.gzip", is_fp: false, table2_ipc: 0.845, class: BenchClass::ModerateVpGain, branchiness: 0.5 },
-    BenchRow { name: "168.wupwise", is_fp: true, table2_ipc: 1.303, class: BenchClass::HighVpGain, branchiness: 0.1 },
-    BenchRow { name: "171.swim", is_fp: true, table2_ipc: 1.745, class: BenchClass::HighVpGain, branchiness: 0.05 },
-    BenchRow { name: "172.mgrid", is_fp: true, table2_ipc: 2.361, class: BenchClass::HighVpGain, branchiness: 0.05 },
-    BenchRow { name: "173.applu", is_fp: true, table2_ipc: 1.481, class: BenchClass::HighVpGain, branchiness: 0.08 },
-    BenchRow { name: "175.vpr", is_fp: false, table2_ipc: 0.668, class: BenchClass::LowVpGain, branchiness: 0.6 },
-    BenchRow { name: "177.mesa", is_fp: true, table2_ipc: 1.021, class: BenchClass::ModerateVpGain, branchiness: 0.3 },
-    BenchRow { name: "179.art", is_fp: true, table2_ipc: 0.441, class: BenchClass::ModerateVpGain, branchiness: 0.2 },
-    BenchRow { name: "183.equake", is_fp: true, table2_ipc: 0.655, class: BenchClass::ModerateVpGain, branchiness: 0.25 },
-    BenchRow { name: "186.crafty", is_fp: false, table2_ipc: 1.562, class: BenchClass::LowVpGain, branchiness: 0.75 },
-    BenchRow { name: "188.ammp", is_fp: true, table2_ipc: 1.258, class: BenchClass::ModerateVpGain, branchiness: 0.2 },
-    BenchRow { name: "197.parser", is_fp: false, table2_ipc: 0.486, class: BenchClass::LowVpGain, branchiness: 0.65 },
-    BenchRow { name: "255.vortex", is_fp: false, table2_ipc: 1.526, class: BenchClass::ModerateVpGain, branchiness: 0.45 },
-    BenchRow { name: "300.twolf", is_fp: false, table2_ipc: 0.282, class: BenchClass::LowVpGain, branchiness: 0.7 },
-    BenchRow { name: "400.perlbench", is_fp: false, table2_ipc: 1.400, class: BenchClass::ModerateVpGain, branchiness: 0.55 },
-    BenchRow { name: "401.bzip2", is_fp: false, table2_ipc: 0.702, class: BenchClass::HighVpGain, branchiness: 0.4 },
-    BenchRow { name: "403.gcc", is_fp: false, table2_ipc: 1.002, class: BenchClass::ModerateVpGain, branchiness: 0.6 },
-    BenchRow { name: "416.gamess", is_fp: true, table2_ipc: 1.694, class: BenchClass::HighVpGain, branchiness: 0.15 },
-    BenchRow { name: "429.mcf", is_fp: false, table2_ipc: 0.113, class: BenchClass::LowVpGain, branchiness: 0.6 },
-    BenchRow { name: "433.milc", is_fp: true, table2_ipc: 0.501, class: BenchClass::ModerateVpGain, branchiness: 0.1 },
-    BenchRow { name: "435.gromacs", is_fp: true, table2_ipc: 0.753, class: BenchClass::ModerateVpGain, branchiness: 0.2 },
-    BenchRow { name: "437.leslie3d", is_fp: true, table2_ipc: 2.151, class: BenchClass::HighVpGain, branchiness: 0.08 },
-    BenchRow { name: "444.namd", is_fp: true, table2_ipc: 1.781, class: BenchClass::HighVpGain, branchiness: 0.12 },
-    BenchRow { name: "445.gobmk", is_fp: false, table2_ipc: 0.733, class: BenchClass::LowVpGain, branchiness: 0.8 },
-    BenchRow { name: "450.soplex", is_fp: true, table2_ipc: 0.271, class: BenchClass::LowVpGain, branchiness: 0.45 },
-    BenchRow { name: "453.povray", is_fp: true, table2_ipc: 1.465, class: BenchClass::LowVpGain, branchiness: 0.55 },
-    BenchRow { name: "456.hmmer", is_fp: false, table2_ipc: 2.037, class: BenchClass::ModerateVpGain, branchiness: 0.2 },
-    BenchRow { name: "458.sjeng", is_fp: false, table2_ipc: 1.182, class: BenchClass::LowVpGain, branchiness: 0.75 },
-    BenchRow { name: "459.GemsFDTD", is_fp: true, table2_ipc: 1.146, class: BenchClass::HighVpGain, branchiness: 0.1 },
-    BenchRow { name: "462.libquantum", is_fp: false, table2_ipc: 0.459, class: BenchClass::ModerateVpGain, branchiness: 0.15 },
-    BenchRow { name: "464.h264ref", is_fp: false, table2_ipc: 1.008, class: BenchClass::ModerateVpGain, branchiness: 0.4 },
-    BenchRow { name: "470.lbm", is_fp: true, table2_ipc: 0.380, class: BenchClass::ModerateVpGain, branchiness: 0.05 },
-    BenchRow { name: "471.omnetpp", is_fp: false, table2_ipc: 0.304, class: BenchClass::LowVpGain, branchiness: 0.6 },
-    BenchRow { name: "473.astar", is_fp: false, table2_ipc: 1.165, class: BenchClass::LowVpGain, branchiness: 0.65 },
-    BenchRow { name: "482.sphinx3", is_fp: true, table2_ipc: 0.803, class: BenchClass::ModerateVpGain, branchiness: 0.3 },
-    BenchRow { name: "483.xalancbmk", is_fp: false, table2_ipc: 1.835, class: BenchClass::ModerateVpGain, branchiness: 0.5 },
+    BenchRow {
+        name: "164.gzip",
+        is_fp: false,
+        table2_ipc: 0.845,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.5,
+    },
+    BenchRow {
+        name: "168.wupwise",
+        is_fp: true,
+        table2_ipc: 1.303,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.1,
+    },
+    BenchRow {
+        name: "171.swim",
+        is_fp: true,
+        table2_ipc: 1.745,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.05,
+    },
+    BenchRow {
+        name: "172.mgrid",
+        is_fp: true,
+        table2_ipc: 2.361,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.05,
+    },
+    BenchRow {
+        name: "173.applu",
+        is_fp: true,
+        table2_ipc: 1.481,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.08,
+    },
+    BenchRow {
+        name: "175.vpr",
+        is_fp: false,
+        table2_ipc: 0.668,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.6,
+    },
+    BenchRow {
+        name: "177.mesa",
+        is_fp: true,
+        table2_ipc: 1.021,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.3,
+    },
+    BenchRow {
+        name: "179.art",
+        is_fp: true,
+        table2_ipc: 0.441,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.2,
+    },
+    BenchRow {
+        name: "183.equake",
+        is_fp: true,
+        table2_ipc: 0.655,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.25,
+    },
+    BenchRow {
+        name: "186.crafty",
+        is_fp: false,
+        table2_ipc: 1.562,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.75,
+    },
+    BenchRow {
+        name: "188.ammp",
+        is_fp: true,
+        table2_ipc: 1.258,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.2,
+    },
+    BenchRow {
+        name: "197.parser",
+        is_fp: false,
+        table2_ipc: 0.486,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.65,
+    },
+    BenchRow {
+        name: "255.vortex",
+        is_fp: false,
+        table2_ipc: 1.526,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.45,
+    },
+    BenchRow {
+        name: "300.twolf",
+        is_fp: false,
+        table2_ipc: 0.282,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.7,
+    },
+    BenchRow {
+        name: "400.perlbench",
+        is_fp: false,
+        table2_ipc: 1.400,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.55,
+    },
+    BenchRow {
+        name: "401.bzip2",
+        is_fp: false,
+        table2_ipc: 0.702,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.4,
+    },
+    BenchRow {
+        name: "403.gcc",
+        is_fp: false,
+        table2_ipc: 1.002,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.6,
+    },
+    BenchRow {
+        name: "416.gamess",
+        is_fp: true,
+        table2_ipc: 1.694,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.15,
+    },
+    BenchRow {
+        name: "429.mcf",
+        is_fp: false,
+        table2_ipc: 0.113,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.6,
+    },
+    BenchRow {
+        name: "433.milc",
+        is_fp: true,
+        table2_ipc: 0.501,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.1,
+    },
+    BenchRow {
+        name: "435.gromacs",
+        is_fp: true,
+        table2_ipc: 0.753,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.2,
+    },
+    BenchRow {
+        name: "437.leslie3d",
+        is_fp: true,
+        table2_ipc: 2.151,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.08,
+    },
+    BenchRow {
+        name: "444.namd",
+        is_fp: true,
+        table2_ipc: 1.781,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.12,
+    },
+    BenchRow {
+        name: "445.gobmk",
+        is_fp: false,
+        table2_ipc: 0.733,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.8,
+    },
+    BenchRow {
+        name: "450.soplex",
+        is_fp: true,
+        table2_ipc: 0.271,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.45,
+    },
+    BenchRow {
+        name: "453.povray",
+        is_fp: true,
+        table2_ipc: 1.465,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.55,
+    },
+    BenchRow {
+        name: "456.hmmer",
+        is_fp: false,
+        table2_ipc: 2.037,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.2,
+    },
+    BenchRow {
+        name: "458.sjeng",
+        is_fp: false,
+        table2_ipc: 1.182,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.75,
+    },
+    BenchRow {
+        name: "459.GemsFDTD",
+        is_fp: true,
+        table2_ipc: 1.146,
+        class: BenchClass::HighVpGain,
+        branchiness: 0.1,
+    },
+    BenchRow {
+        name: "462.libquantum",
+        is_fp: false,
+        table2_ipc: 0.459,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.15,
+    },
+    BenchRow {
+        name: "464.h264ref",
+        is_fp: false,
+        table2_ipc: 1.008,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.4,
+    },
+    BenchRow {
+        name: "470.lbm",
+        is_fp: true,
+        table2_ipc: 0.380,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.05,
+    },
+    BenchRow {
+        name: "471.omnetpp",
+        is_fp: false,
+        table2_ipc: 0.304,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.6,
+    },
+    BenchRow {
+        name: "473.astar",
+        is_fp: false,
+        table2_ipc: 1.165,
+        class: BenchClass::LowVpGain,
+        branchiness: 0.65,
+    },
+    BenchRow {
+        name: "482.sphinx3",
+        is_fp: true,
+        table2_ipc: 0.803,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.3,
+    },
+    BenchRow {
+        name: "483.xalancbmk",
+        is_fp: false,
+        table2_ipc: 1.835,
+        class: BenchClass::ModerateVpGain,
+        branchiness: 0.5,
+    },
 ];
 
 fn value_profile_for(class: BenchClass, is_fp: bool) -> ValueProfile {
@@ -197,7 +413,14 @@ fn ilp_and_memory_for(ipc: f64, is_fp: bool) -> (usize, MemoryProfile, LoopProfi
             },
         )
     } else if ipc < 1.8 {
-        (5, if is_fp { MemoryProfile::streaming() } else { MemoryProfile::cache_friendly() })
+        (
+            5,
+            if is_fp {
+                MemoryProfile::streaming()
+            } else {
+                MemoryProfile::cache_friendly()
+            },
+        )
     } else {
         (7, MemoryProfile::cache_friendly())
     };
@@ -262,7 +485,10 @@ pub fn benchmark_class(name: &str) -> BenchClass {
 
 /// All 36 benchmark specifications, in Table II order.
 pub fn all_spec_benchmarks() -> Vec<WorkloadSpec> {
-    SPEC_BENCHMARK_NAMES.iter().map(|n| spec_benchmark(n)).collect()
+    SPEC_BENCHMARK_NAMES
+        .iter()
+        .map(|n| spec_benchmark(n))
+        .collect()
 }
 
 #[cfg(test)]

@@ -66,7 +66,9 @@ impl ValuePattern {
     pub fn stride_predictable(&self) -> bool {
         matches!(
             self,
-            ValuePattern::Constant(_) | ValuePattern::Strided { .. } | ValuePattern::PeriodicStrided { .. }
+            ValuePattern::Constant(_)
+                | ValuePattern::Strided { .. }
+                | ValuePattern::PeriodicStrided { .. }
         )
     }
 
@@ -129,7 +131,11 @@ impl ValueState {
                     self.current.wrapping_add_signed(*stride)
                 }
             }
-            ValuePattern::PeriodicStrided { base, stride, period } => {
+            ValuePattern::PeriodicStrided {
+                base,
+                stride,
+                period,
+            } => {
                 let p = u64::from((*period).max(1));
                 if self.instance % p == 0 {
                     *base
@@ -317,7 +323,10 @@ mod tests {
 
     #[test]
     fn strided_pattern_increments() {
-        let mut st = ValueState::new(ValuePattern::Strided { base: 100, stride: 3 });
+        let mut st = ValueState::new(ValuePattern::Strided {
+            base: 100,
+            stride: 3,
+        });
         let mut r = rng();
         let vals: Vec<u64> = (0..5).map(|_| st.next_value(0, &mut r)).collect();
         assert_eq!(vals, vec![100, 103, 106, 109, 112]);
@@ -325,7 +334,10 @@ mod tests {
 
     #[test]
     fn negative_stride_wraps() {
-        let mut st = ValueState::new(ValuePattern::Strided { base: 1, stride: -1 });
+        let mut st = ValueState::new(ValuePattern::Strided {
+            base: 1,
+            stride: -1,
+        });
         let mut r = rng();
         assert_eq!(st.next_value(0, &mut r), 1);
         assert_eq!(st.next_value(0, &mut r), 0);
@@ -347,7 +359,9 @@ mod tests {
     #[test]
     fn branch_correlated_follows_history() {
         let values = vec![5, 6, 7, 8];
-        let mut st = ValueState::new(ValuePattern::BranchCorrelated { values: values.clone() });
+        let mut st = ValueState::new(ValuePattern::BranchCorrelated {
+            values: values.clone(),
+        });
         let mut r = rng();
         for h in [0u64, 1, 2, 3, 7, 5] {
             let v = st.next_value(h, &mut r);

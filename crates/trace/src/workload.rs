@@ -480,6 +480,9 @@ mod tests {
         assert!(InstMix::fp_default().fp > 0.0);
         assert!(LoopProfile::large().body_insts > LoopProfile::tight().body_insts);
         assert!(BranchProfile::predictable().random_frac < BranchProfile::branchy().random_frac);
-        assert!(MemoryProfile::irregular().working_set_bytes > MemoryProfile::cache_friendly().working_set_bytes);
+        assert!(
+            MemoryProfile::irregular().working_set_bytes
+                > MemoryProfile::cache_friendly().working_set_bytes
+        );
     }
 }

@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn btb_evicts_lru_within_set() {
         let mut b = Btb::new(4, 2); // 2 sets of 2 ways
-        // Three branches mapping to the same set (stride of 2 sets * 4 bytes = 8).
+                                    // Three branches mapping to the same set (stride of 2 sets * 4 bytes = 8).
         b.update(0x0, 0xa);
         b.update(0x8, 0xb);
         b.update(0x10, 0xc); // evicts 0x0

@@ -179,13 +179,18 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut misses = 0;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 62) & 1 == 1;
             if u.predict_and_update(0x1000, 0x1004, cond(taken, 0x2000)) {
                 misses += 1;
             }
         }
-        assert!(misses > 400, "random branch should mispredict frequently, got {misses}");
+        assert!(
+            misses > 400,
+            "random branch should mispredict frequently, got {misses}"
+        );
     }
 
     #[test]
@@ -215,7 +220,10 @@ mod tests {
         };
         // Call from 0x1000 (fallthrough 0x1008), return to 0x1008.
         u.predict_and_update(0x1000, 0x1008, call);
-        assert!(!u.predict_and_update(0x9100, 0x9102, ret), "RAS should predict the return");
+        assert!(
+            !u.predict_and_update(0x9100, 0x9102, ret),
+            "RAS should predict the return"
+        );
     }
 
     #[test]

@@ -46,12 +46,18 @@ struct TaggedEntry {
     useful: u8,
 }
 
-/// A circular global-history register long enough for the largest history length,
-/// with folded-history helpers for index and tag computation.
+/// A circular global-history register long enough for the largest history length.
+///
+/// The hot path never walks this buffer: folded views are maintained
+/// incrementally by [`FoldedHistory`] and the most recent 64 outcomes by a plain
+/// shift register, both updated in O(1) per branch. The buffer itself only
+/// supplies the bit *leaving* each component's history window.
 #[derive(Debug, Clone)]
 struct HistoryRegister {
     bits: Vec<bool>,
     pos: usize,
+    /// The most recent 64 outcomes, bit 0 = most recent.
+    recent: u64,
 }
 
 impl HistoryRegister {
@@ -59,15 +65,31 @@ impl HistoryRegister {
         HistoryRegister {
             bits: vec![false; len.max(1)],
             pos: 0,
+            recent: 0,
         }
     }
 
     fn push(&mut self, taken: bool) {
         self.pos = (self.pos + 1) % self.bits.len();
         self.bits[self.pos] = taken;
+        self.recent = (self.recent << 1) | u64::from(taken);
     }
 
-    /// The most recent `n` outcomes folded by XOR into `out_bits` bits.
+    /// The outcome `age` steps ago (0 = most recent).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via index wrap-around otherwise) if `age` exceeds
+    /// the register length.
+    fn bit(&self, age: usize) -> u64 {
+        debug_assert!(age < self.bits.len());
+        let idx = (self.pos + self.bits.len() - age) % self.bits.len();
+        u64::from(self.bits[idx])
+    }
+
+    /// The most recent `n` outcomes folded by XOR into `out_bits` bits (slow
+    /// reference path, kept for tests; the predictor uses [`FoldedHistory`]).
+    #[cfg(test)]
     fn folded(&self, n: usize, out_bits: usize) -> u64 {
         if out_bits == 0 {
             return 0;
@@ -93,12 +115,40 @@ impl HistoryRegister {
 
     /// The most recent 64 outcomes as a plain shift register (bit 0 = most recent).
     fn raw(&self) -> u64 {
-        let mut v = 0u64;
-        for i in 0..64.min(self.bits.len()) {
-            let idx = (self.pos + self.bits.len() - i) % self.bits.len();
-            v |= u64::from(self.bits[idx]) << i;
+        self.recent
+    }
+}
+
+/// An incrementally maintained circular fold of the most recent `orig_len`
+/// history bits into `clen` bits (Seznec's folded-history registers). Updating on
+/// a new outcome is O(1): shift in the new bit, XOR out the bit leaving the
+/// window at its folded position, and wrap the carry.
+#[derive(Debug, Clone, Copy, Default)]
+struct FoldedHistory {
+    folded: u64,
+    clen: u32,
+    /// `orig_len % clen`: the folded position at which the leaving bit sits.
+    outpoint: u32,
+    mask: u64,
+}
+
+impl FoldedHistory {
+    fn new(orig_len: usize, clen: u32) -> Self {
+        let clen = clen.clamp(1, 63);
+        FoldedHistory {
+            folded: 0,
+            clen,
+            outpoint: (orig_len as u32) % clen,
+            mask: (1u64 << clen) - 1,
         }
-        v
+    }
+
+    #[inline]
+    fn update(&mut self, new_bit: u64, leaving_bit: u64) {
+        self.folded = (self.folded << 1) | new_bit;
+        self.folded ^= leaving_bit << self.outpoint;
+        self.folded ^= self.folded >> self.clen;
+        self.folded &= self.mask;
     }
 }
 
@@ -109,6 +159,13 @@ pub struct Tage {
     bimodal: Vec<u8>, // 2-bit counters
     tagged: Vec<Vec<TaggedEntry>>,
     history_lengths: Vec<usize>,
+    /// Per-component tag widths, precomputed.
+    tag_widths: Vec<u32>,
+    /// Per-component incrementally folded histories: index fold plus two tag
+    /// folds of different widths.
+    idx_fold: Vec<FoldedHistory>,
+    tag_fold1: Vec<FoldedHistory>,
+    tag_fold2: Vec<FoldedHistory>,
     ghist: HistoryRegister,
     path: u64,
     updates: u64,
@@ -130,10 +187,31 @@ impl Tage {
             };
             history_lengths.push(l.max(1));
         }
+        let tag_widths: Vec<u32> = (0..cfg.num_tagged)
+            .map(|c| (cfg.tag_bits + (c as u32) / 2).min(15))
+            .collect();
+        let idx_fold = history_lengths
+            .iter()
+            .map(|&hl| FoldedHistory::new(hl, cfg.log_tagged as u32))
+            .collect();
+        let tag_fold1 = history_lengths
+            .iter()
+            .zip(&tag_widths)
+            .map(|(&hl, &tb)| FoldedHistory::new(hl, tb))
+            .collect();
+        let tag_fold2 = history_lengths
+            .iter()
+            .zip(&tag_widths)
+            .map(|(&hl, &tb)| FoldedHistory::new(hl, tb.saturating_sub(3).max(2)))
+            .collect();
         Tage {
             bimodal: vec![2; 1 << cfg.log_base],
             tagged: vec![vec![TaggedEntry::default(); 1 << cfg.log_tagged]; cfg.num_tagged],
             history_lengths,
+            tag_widths,
+            idx_fold,
+            tag_fold1,
+            tag_fold2,
             ghist: HistoryRegister::new(cfg.max_history + 1),
             path: 0,
             updates: 0,
@@ -155,19 +233,17 @@ impl Tage {
     }
 
     fn tagged_index(&self, pc: u64, comp: usize) -> usize {
-        let hl = self.history_lengths[comp];
-        let folded = self.ghist.folded(hl, self.cfg.log_tagged);
+        let folded = self.idx_fold[comp].folded;
         let idx = (pc >> 2) ^ (pc >> (2 + self.cfg.log_tagged)) ^ folded ^ (self.path & 0xffff);
         (idx & ((1 << self.cfg.log_tagged) - 1)) as usize
     }
 
     fn tagged_tag(&self, pc: u64, comp: usize) -> u16 {
-        let hl = self.history_lengths[comp];
-        let tag_bits = (self.cfg.tag_bits + (comp as u32) / 2).min(15) as usize;
+        let tag_bits = self.tag_widths[comp] as usize;
         // Two folds of *different widths* so runs of identical outcomes cannot
         // cancel each other (they would with widths w and w-1 shifted by one).
-        let folded = self.ghist.folded(hl, tag_bits);
-        let folded2 = self.ghist.folded(hl, tag_bits.saturating_sub(3).max(2));
+        let folded = self.tag_fold1[comp].folded;
+        let folded2 = self.tag_fold2[comp].folded;
         let mix = (pc >> 2) ^ (pc >> (2 + tag_bits)) ^ folded ^ (folded2 << 2);
         (mix & ((1 << tag_bits) - 1)) as u16
     }
@@ -273,13 +349,12 @@ impl Tage {
                     // Decay usefulness so allocation can succeed later.
                     for c in start..self.cfg.num_tagged {
                         let idx = self.tagged_index(pc, c);
-                        self.tagged[c][idx].useful =
-                            self.tagged[c][idx].useful.saturating_sub(1);
+                        self.tagged[c][idx].useful = self.tagged[c][idx].useful.saturating_sub(1);
                     }
                 } else {
                     // Prefer shorter-history candidates with geometrically decreasing
                     // probability (as in the original TAGE).
-                    let pick = (self.rand() as usize) % candidates.len().min(2).max(1);
+                    let pick = (self.rand() as usize) % candidates.len().clamp(1, 2);
                     let comp = candidates[pick.min(candidates.len() - 1)];
                     let idx = self.tagged_index(pc, comp);
                     let tag = self.tagged_tag(pc, comp);
@@ -302,7 +377,17 @@ impl Tage {
             }
         }
 
-        // History updates.
+        // History updates: capture each component's leaving bit (the outcome that
+        // falls out of its history window) before shifting, then advance the
+        // incrementally folded views in O(1) per component.
+        let new_bit = u64::from(taken);
+        for comp in 0..self.cfg.num_tagged {
+            let hl = self.history_lengths[comp];
+            let leaving = self.ghist.bit(hl - 1);
+            self.idx_fold[comp].update(new_bit, leaving);
+            self.tag_fold1[comp].update(new_bit, leaving);
+            self.tag_fold2[comp].update(new_bit, leaving);
+        }
         self.ghist.push(taken);
         self.path = (self.path << 1) ^ ((pc >> 2) & 0x3f);
     }
@@ -326,7 +411,11 @@ mod tests {
     fn history_lengths_are_geometric_and_monotone() {
         let t = Tage::new(TageConfig::default());
         for w in t.history_lengths.windows(2) {
-            assert!(w[1] > w[0], "history lengths must increase: {:?}", t.history_lengths);
+            assert!(
+                w[1] > w[0],
+                "history lengths must increase: {:?}",
+                t.history_lengths
+            );
         }
         assert_eq!(*t.history_lengths.first().unwrap(), 4);
         assert_eq!(*t.history_lengths.last().unwrap(), 640);
@@ -377,11 +466,50 @@ mod tests {
     }
 
     #[test]
+    fn incremental_fold_depends_only_on_its_window() {
+        // Feed two FoldedHistory registers different prefixes followed by the same
+        // `orig_len` most recent outcomes: the folds must converge bit-for-bit.
+        // (This is the invariant that makes the O(1) incremental update a valid
+        // replacement for refolding the window from scratch.)
+        for (orig_len, clen) in [(7usize, 3u32), (64, 10), (129, 8), (640, 10)] {
+            let mut x = 0x1234_5678u64;
+            let mut lcg = move || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 62) & 1 == 1
+            };
+            let prefix_a: Vec<bool> = (0..1000).map(|_| lcg()).collect();
+            let prefix_b: Vec<bool> = (0..777).map(|_| lcg()).collect();
+            let suffix: Vec<bool> = (0..orig_len).map(|_| lcg()).collect();
+
+            let run = |prefix: &[bool]| {
+                let mut hist = HistoryRegister::new(orig_len + 1);
+                let mut fold = FoldedHistory::new(orig_len, clen);
+                for &b in prefix.iter().chain(suffix.iter()) {
+                    let leaving = hist.bit(orig_len - 1);
+                    fold.update(u64::from(b), leaving);
+                    hist.push(b);
+                }
+                fold.folded
+            };
+            assert_eq!(
+                run(&prefix_a),
+                run(&prefix_b),
+                "fold (len {orig_len}, width {clen}) leaked pre-window history"
+            );
+        }
+    }
+
+    #[test]
     fn storage_is_in_branch_predictor_range() {
         let t = Tage::new(TageConfig::default());
         let kb = t.storage_bits() as f64 / 8.0 / 1024.0;
         // Table I quotes roughly 32KB for the 1+12 component TAGE.
-        assert!(kb > 16.0 && kb < 64.0, "TAGE storage {kb} KB out of expected range");
+        assert!(
+            kb > 16.0 && kb < 64.0,
+            "TAGE storage {kb} KB out of expected range"
+        );
     }
 
     #[test]

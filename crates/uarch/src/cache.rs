@@ -43,7 +43,10 @@ impl SetAssocCache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr / self.line_bytes;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Accesses `addr`; returns `true` on a hit. Misses allocate the line (LRU
@@ -84,7 +87,7 @@ impl SetAssocCache {
     /// Returns `true` if the line containing `addr` is present (no LRU update).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|&t| t == tag)
+        self.sets[set].contains(&tag)
     }
 
     /// Number of accesses so far.

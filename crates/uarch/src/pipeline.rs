@@ -154,9 +154,15 @@ impl Pipeline {
 
     /// Runs the pipeline over (up to `max_uops` µ-ops of) `trace` with the given
     /// value predictor and returns the statistics.
-    pub fn run<I>(mut self, trace: I, predictor: &mut dyn ValuePredictor, max_uops: u64) -> SimStats
+    ///
+    /// The predictor parameter is generic so that a concrete predictor type (e.g.
+    /// the statically dispatched `AnyPredictor` enum of the `bebop` crate) gets a
+    /// fully monomorphic inner loop; `&mut dyn ValuePredictor` still works for
+    /// out-of-tree predictors.
+    pub fn run<I, P>(mut self, trace: I, predictor: &mut P, max_uops: u64) -> SimStats
     where
         I: IntoIterator<Item = DynUop>,
+        P: ValuePredictor + ?Sized,
     {
         for uop in trace.into_iter().take(max_uops as usize) {
             self.step(&uop, predictor);
@@ -172,7 +178,7 @@ impl Pipeline {
     }
 
     /// Processes one µ-op.
-    fn step(&mut self, uop: &DynUop, predictor: &mut dyn ValuePredictor) {
+    fn step<P: ValuePredictor + ?Sized>(&mut self, uop: &DynUop, predictor: &mut P) {
         let cfg_vp = self.cfg.value_prediction;
 
         // ---- Fetch -------------------------------------------------------------
@@ -192,7 +198,9 @@ impl Pipeline {
         // ---- Branch prediction ---------------------------------------------------
         let mut branch_mispredicted = false;
         if let Some(info) = uop.branch {
-            branch_mispredicted = self.bpu.predict_and_update(uop.pc, uop.fallthrough_pc(), info);
+            branch_mispredicted = self
+                .bpu
+                .predict_and_update(uop.pc, uop.fallthrough_pc(), info);
         }
 
         // ---- Value prediction ----------------------------------------------------
@@ -223,19 +231,20 @@ impl Pipeline {
         let prediction_correct = predicted.map(|v| v == uop.value).unwrap_or(false);
 
         // ---- Rename / dispatch -----------------------------------------------------
-        let rename_cycle = self.rename_pool.allocate(fetch_cycle + self.cfg.front_depth);
+        let rename_cycle = self
+            .rename_pool
+            .allocate(fetch_cycle + self.cfg.front_depth);
         let mut dispatch_floor = self.rob.constrain(rename_cycle);
 
         // ---- Execution mode ---------------------------------------------------------
         let kind = uop.uop.kind();
         let is_single_cycle_alu = matches!(kind, UopKind::Alu | UopKind::Nop | UopKind::Branch);
-        let srcs_in_frontend = uop
-            .uop
-            .srcs()
-            .all(|r| self.reg_frontend[r.raw() as usize]);
-        let mode = if free_imm {
-            ExecMode::Early
-        } else if self.cfg.has_eole() && is_single_cycle_alu && !kind.is_mem() && srcs_in_frontend {
+        let srcs_in_frontend = uop.uop.srcs().all(|r| self.reg_frontend[r.raw() as usize]);
+        // Early: a free-load immediate, or (with EOLE) a single-cycle ALU µ-op whose
+        // sources are all available in the front end.
+        let eole_early =
+            self.cfg.has_eole() && is_single_cycle_alu && !kind.is_mem() && srcs_in_frontend;
+        let mode = if free_imm || eole_early {
             ExecMode::Early
         } else if self.cfg.has_eole() && predicted_used && is_single_cycle_alu && !kind.is_mem() {
             ExecMode::Late
@@ -370,7 +379,11 @@ impl Pipeline {
             predictor.squash(&SquashInfo {
                 flush_seq: uop.seq,
                 flush_pc: uop.pc,
-                next_pc: if uop.is_last_uop() { uop.next_pc() } else { uop.pc },
+                next_pc: if uop.is_last_uop() {
+                    uop.next_pc()
+                } else {
+                    uop.pc
+                },
                 cause: SquashCause::ValueMispredict,
             });
         } else if predicted_used {
@@ -490,7 +503,12 @@ mod tests {
         spec.parallel_chains = 1; // fully serial: VP should break the chains
         let base = run(PipelineConfig::baseline_6_60(), &spec, 40_000);
         let mut perfect = PerfectValuePredictor;
-        let vp = run_with(PipelineConfig::baseline_vp_6_60(), &spec, 40_000, &mut perfect);
+        let vp = run_with(
+            PipelineConfig::baseline_vp_6_60(),
+            &spec,
+            40_000,
+            &mut perfect,
+        );
         assert!(
             vp.cycles < base.cycles,
             "perfect VP should speed up a serial workload: base {} vs vp {}",

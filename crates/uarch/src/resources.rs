@@ -27,7 +27,10 @@ impl SlotPool {
     ///
     /// Panics if `width` is zero.
     pub fn new(width: u16) -> Self {
-        assert!(width > 0, "a slot pool must have at least one slot per cycle");
+        assert!(
+            width > 0,
+            "a slot pool must have at least one slot per cycle"
+        );
         SlotPool {
             width,
             base: 0,

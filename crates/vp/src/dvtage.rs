@@ -10,10 +10,10 @@
 //! window is provided by the `bebop` core crate.
 
 use crate::fpc::{ForwardProbabilisticCounter, FpcParams};
-use crate::{fold_history, inst_key, Lfsr};
+use crate::{fold_history, inst_key, CompParams, Lfsr, MAX_TAGGED};
 use bebop_isa::{DynUop, SeqNum};
 use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// Configuration of an instruction-based D-VTAGE predictor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,12 +112,12 @@ struct TaggedEntry {
 }
 
 /// Prediction-time information carried to retirement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Inflight {
     base_index: usize,
     lvt_hit: bool,
     provider: Option<(usize, usize)>,
-    slots: Vec<(usize, u16)>,
+    slots: [(usize, u16); MAX_TAGGED],
     prediction: Option<u64>,
     alt_stride: i64,
 }
@@ -129,19 +129,38 @@ pub struct DVtage {
     lvt: Vec<LvtEntry>,
     vt0: Vec<Vt0Entry>,
     tagged: Vec<Vec<TaggedEntry>>,
-    inflight: HashMap<SeqNum, Inflight>,
+    /// Precomputed per-component history/tag parameters (keeps the per-µop lookup
+    /// free of the `powf` in [`DVtageConfig::history_length`]).
+    comp: [CompParams; MAX_TAGGED],
+    /// In-flight prediction records in program order. Predictions are made and
+    /// retired in sequence-number order, so a deque pop replaces a hash lookup.
+    inflight: VecDeque<(SeqNum, Inflight)>,
     rng: Lfsr,
     updates: u64,
 }
 
 impl DVtage {
     /// Creates a D-VTAGE predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tagged > MAX_TAGGED`.
     pub fn new(cfg: DVtageConfig) -> Self {
+        assert!(
+            cfg.num_tagged <= MAX_TAGGED,
+            "num_tagged {} exceeds MAX_TAGGED {MAX_TAGGED}",
+            cfg.num_tagged
+        );
+        let mut comp = [CompParams::default(); MAX_TAGGED];
+        for (c, params) in comp.iter_mut().enumerate().take(cfg.num_tagged) {
+            *params = CompParams::new(cfg.history_length(c), cfg.tag_bits(c));
+        }
         DVtage {
             lvt: vec![LvtEntry::default(); 1 << cfg.log_base],
             vt0: vec![Vt0Entry::default(); 1 << cfg.log_base],
             tagged: vec![vec![TaggedEntry::default(); 1 << cfg.log_tagged]; cfg.num_tagged],
-            inflight: HashMap::new(),
+            comp,
+            inflight: VecDeque::new(),
             rng: Lfsr::new(0xd7a6e),
             updates: 0,
             cfg,
@@ -167,18 +186,17 @@ impl DVtage {
     }
 
     fn tagged_index(&self, key: u64, ghist: u64, path: u64, comp: usize) -> usize {
-        let hl = self.cfg.history_length(comp);
+        let hl = self.comp[comp].hist_len;
         let folded = fold_history(ghist, hl, self.cfg.log_tagged);
         let idx = (key >> 1) ^ (key >> (1 + self.cfg.log_tagged)) ^ folded ^ (path & 0x3f);
         (idx & ((1 << self.cfg.log_tagged) - 1)) as usize
     }
 
     fn tagged_tag(&self, key: u64, ghist: u64, comp: usize) -> u16 {
-        let hl = self.cfg.history_length(comp);
-        let tb = self.cfg.tag_bits(comp);
-        let f1 = fold_history(ghist, hl, tb);
-        let f2 = fold_history(ghist, hl, tb.saturating_sub(3).max(2));
-        (((key >> 1) ^ (key >> 9) ^ f1 ^ (f2 << 2)) & ((1u64 << tb) - 1)) as u16
+        let p = self.comp[comp];
+        let f1 = fold_history(ghist, p.hist_len, p.tag_bits);
+        let f2 = fold_history(ghist, p.hist_len, p.tag_bits.saturating_sub(3).max(2));
+        (((key >> 1) ^ (key >> 9) ^ f1 ^ (f2 << 2)) & p.tag_mask) as u16
     }
 
     fn lookup(&self, key: u64, ghist: u64, path: u64) -> Inflight {
@@ -187,12 +205,12 @@ impl DVtage {
         let lvt = &self.lvt[base_index];
         let lvt_hit = lvt.valid && lvt.tag == lvt_tag;
 
-        let mut slots = Vec::with_capacity(self.cfg.num_tagged);
-        for comp in 0..self.cfg.num_tagged {
-            slots.push((
+        let mut slots = [(0usize, 0u16); MAX_TAGGED];
+        for (comp, slot) in slots.iter_mut().enumerate().take(self.cfg.num_tagged) {
+            *slot = (
                 self.tagged_index(key, ghist, path, comp),
                 self.tagged_tag(key, ghist, comp),
-            ));
+            );
         }
         let mut provider = None;
         let mut alt_stride = self.vt0[base_index].stride;
@@ -213,7 +231,11 @@ impl DVtage {
             None => self.vt0[base_index].stride,
         };
         let prediction = if lvt_hit {
-            let base = if lvt.spec_inflight > 0 { lvt.spec_last } else { lvt.last };
+            let base = if lvt.spec_inflight > 0 {
+                lvt.spec_last
+            } else {
+                lvt.last
+            };
             Some(base.wrapping_add_signed(self.cfg.clamp_stride(stride)))
         } else {
             None
@@ -271,14 +293,16 @@ impl DVtage {
         }
 
         // The stride observed at retirement.
-        let observed_stride = retired_last
-            .map(|last| self.cfg.clamp_stride(actual.wrapping_sub(last) as i64));
+        let observed_stride =
+            retired_last.map(|last| self.cfg.clamp_stride(actual.wrapping_sub(last) as i64));
 
         // Update the providing component.
         match info.provider {
             Some((c, i)) => {
                 let alt_would_match = retired_last
-                    .map(|last| last.wrapping_add_signed(self.cfg.clamp_stride(info.alt_stride)) == actual)
+                    .map(|last| {
+                        last.wrapping_add_signed(self.cfg.clamp_stride(info.alt_stride)) == actual
+                    })
                     .unwrap_or(false);
                 let e = &mut self.tagged[c][i];
                 if correct {
@@ -360,7 +384,8 @@ impl ValuePredictor for DVtage {
             lvt.spec_last = p;
             lvt.spec_inflight += 1;
         }
-        self.inflight.insert(uop.seq, info);
+        debug_assert!(self.inflight.back().map_or(true, |&(s, _)| s <= uop.seq));
+        self.inflight.push_back((uop.seq, info));
         match (confident, prediction) {
             (true, Some(p)) => Some(p),
             _ => None,
@@ -369,13 +394,25 @@ impl ValuePredictor for DVtage {
 
     fn train(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
         let key = inst_key(uop);
-        if let Some(info) = self.inflight.remove(&uop.seq) {
+        // Retirement follows program order, so the matching record — if its
+        // prediction was not squashed — is at the front of the deque.
+        while self.inflight.front().is_some_and(|&(s, _)| s < uop.seq) {
+            self.inflight.pop_front();
+        }
+        if self.inflight.front().is_some_and(|&(s, _)| s == uop.seq) {
+            let (_, info) = self.inflight.pop_front().expect("front exists");
             self.train_with(info, key, actual);
         }
     }
 
     fn squash(&mut self, info: &SquashInfo) {
-        self.inflight.retain(|&seq, _| seq <= info.flush_seq);
+        while self
+            .inflight
+            .back()
+            .is_some_and(|&(s, _)| s > info.flush_seq)
+        {
+            self.inflight.pop_back();
+        }
         // Idealistic recovery: resynchronise speculative last values with retired
         // state (the realistic checkpointed window lives in the `bebop` crate).
         for e in &mut self.lvt {
@@ -385,8 +422,7 @@ impl ValuePredictor for DVtage {
     }
 
     fn storage_bits(&self) -> u64 {
-        let lvt_bits =
-            (1u64 << self.cfg.log_base) * (1 + u64::from(self.cfg.lvt_tag_bits) + 64);
+        let lvt_bits = (1u64 << self.cfg.log_base) * (1 + u64::from(self.cfg.lvt_tag_bits) + 64);
         let vt0_bits = (1u64 << self.cfg.log_base) * (u64::from(self.cfg.stride_bits) + 3);
         let mut tagged_bits = 0u64;
         for c in 0..self.cfg.num_tagged {
@@ -515,8 +551,10 @@ mod tests {
 
     #[test]
     fn clamp_stride_sign_extends() {
-        let mut cfg = DVtageConfig::default();
-        cfg.stride_bits = 8;
+        let mut cfg = DVtageConfig {
+            stride_bits: 8,
+            ..Default::default()
+        };
         assert_eq!(cfg.clamp_stride(5), 5);
         assert_eq!(cfg.clamp_stride(-5), -5);
         assert_eq!(cfg.clamp_stride(127), 127);

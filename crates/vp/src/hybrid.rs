@@ -150,6 +150,9 @@ mod tests {
 
     #[test]
     fn name_matches_figure_5a() {
-        assert_eq!(VtageStrideHybrid::default_config().name(), "VTAGE-2d-Stride");
+        assert_eq!(
+            VtageStrideHybrid::default_config().name(),
+            "VTAGE-2d-Stride"
+        );
     }
 }

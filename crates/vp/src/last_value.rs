@@ -32,7 +32,7 @@ impl LastValuePredictor {
             index_mask: (1u64 << log_entries) - 1,
             tag_bits,
             params,
-            rng: Lfsr::new(0x1a57_0a1u64 ^ 0x5eed),
+            rng: Lfsr::new(0x01a5_70a1_u64 ^ 0x5eed),
         }
     }
 

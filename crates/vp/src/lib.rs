@@ -54,6 +54,36 @@ pub use vtage::{Vtage, VtageConfig};
 
 use bebop_isa::DynUop;
 
+/// The maximum number of tagged components supported by the precomputed lookup
+/// pass of the TAGE-like predictors (the paper uses 6).
+pub const MAX_TAGGED: usize = 8;
+
+/// Precomputed per-tagged-component lookup parameters. The geometric history
+/// length involves a `powf`; computing it once at construction keeps the per-µop
+/// probe loop integer-only. Shared with the block-based predictor in the `bebop`
+/// core crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompParams {
+    /// Global-history length of the component.
+    pub hist_len: usize,
+    /// Tag width of the component, in bits.
+    pub tag_bits: u32,
+    /// `(1 << tag_bits) - 1`.
+    pub tag_mask: u64,
+}
+
+impl CompParams {
+    /// Precomputes the parameters for a component with the given history length
+    /// and tag width.
+    pub fn new(hist_len: usize, tag_bits: u32) -> Self {
+        CompParams {
+            hist_len,
+            tag_bits,
+            tag_mask: (1u64 << tag_bits) - 1,
+        }
+    }
+}
+
 /// The key identifying a static µ-op in instruction-based predictors: the paper
 /// XORs the instruction PC with the µ-op index inside the instruction so that the
 /// µ-ops of one x86 instruction do not all map to the same entry.
@@ -68,8 +98,16 @@ pub(crate) fn fold_history(history: u64, len: usize, bits: u32) -> u64 {
         return 0;
     }
     let len = len.min(64);
-    let mut h = if len >= 64 { history } else { history & ((1u64 << len) - 1) };
-    let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let mut h = if len >= 64 {
+        history
+    } else {
+        history & ((1u64 << len) - 1)
+    };
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut acc = 0u64;
     while h != 0 {
         acc ^= h & mask;
@@ -87,9 +125,7 @@ pub(crate) struct Lfsr {
 
 impl Lfsr {
     pub(crate) fn new(seed: u64) -> Self {
-        Lfsr {
-            state: seed | 1,
-        }
+        Lfsr { state: seed | 1 }
     }
 
     pub(crate) fn next(&mut self) -> u64 {
@@ -117,8 +153,24 @@ mod tests {
 
     #[test]
     fn inst_key_distinguishes_uops_of_one_instruction() {
-        let u0 = DynUop::new(0, 0x1000, 4, 0, 2, Uop::new(UopKind::Load, Some(ArchReg::int(1)), &[]), 0);
-        let u1 = DynUop::new(1, 0x1000, 4, 1, 2, Uop::new(UopKind::Alu, Some(ArchReg::int(2)), &[]), 0);
+        let u0 = DynUop::new(
+            0,
+            0x1000,
+            4,
+            0,
+            2,
+            Uop::new(UopKind::Load, Some(ArchReg::int(1)), &[]),
+            0,
+        );
+        let u1 = DynUop::new(
+            1,
+            0x1000,
+            4,
+            1,
+            2,
+            Uop::new(UopKind::Alu, Some(ArchReg::int(2)), &[]),
+            0,
+        );
         assert_ne!(inst_key(&u0), inst_key(&u1));
     }
 
@@ -132,7 +184,10 @@ mod tests {
         let mut c = Lfsr::new(7);
         let hits = (0..16_000).filter(|_| c.one_in(16)).count();
         let ratio = hits as f64 / 16_000.0;
-        assert!((ratio - 1.0 / 16.0).abs() < 0.02, "1/16 probability off: {ratio}");
+        assert!(
+            (ratio - 1.0 / 16.0).abs() < 0.02,
+            "1/16 probability off: {ratio}"
+        );
         assert!(Lfsr::new(1).one_in(1));
         assert!(Lfsr::new(1).one_in(0));
     }

@@ -12,7 +12,7 @@ use crate::fpc::{ForwardProbabilisticCounter, FpcParams};
 use crate::{inst_key, Lfsr};
 use bebop_isa::{DynUop, SeqNum};
 use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct StrideEntry {
@@ -40,9 +40,10 @@ pub struct StrideCore {
     params: FpcParams,
     rng: Lfsr,
     two_delta: bool,
-    /// Internal predictions in flight, keyed by sequence number, so training can
-    /// know what this predictor speculated at prediction time.
-    inflight: HashMap<SeqNum, u64>,
+    /// Internal predictions in flight in program order, so training can know what
+    /// this predictor speculated at prediction time (predict and train both follow
+    /// sequence order, so a deque front-pop replaces a hash lookup).
+    inflight: VecDeque<(SeqNum, u64)>,
 }
 
 impl StrideCore {
@@ -54,7 +55,7 @@ impl StrideCore {
             params,
             rng: Lfsr::new(0x5712de),
             two_delta,
-            inflight: HashMap::new(),
+            inflight: VecDeque::new(),
         }
     }
 
@@ -74,13 +75,18 @@ impl StrideCore {
         if !(e.valid && e.tag == tag) {
             return None;
         }
-        let base = if e.spec_inflight > 0 { e.spec_last } else { e.last };
+        let base = if e.spec_inflight > 0 {
+            e.spec_last
+        } else {
+            e.last
+        };
         let prediction = base.wrapping_add_signed(e.stride);
         // Track the speculative instance regardless of confidence: the hardware
         // inserts every prediction block in the speculative window.
         e.spec_last = prediction;
         e.spec_inflight += 1;
-        self.inflight.insert(uop.seq, prediction);
+        debug_assert!(self.inflight.back().map_or(true, |&(s, _)| s <= uop.seq));
+        self.inflight.push_back((uop.seq, prediction));
         if e.conf.is_confident(&self.params) {
             Some(prediction)
         } else {
@@ -93,7 +99,16 @@ impl StrideCore {
         let idx = self.index(key);
         let tag = self.tag(key);
         let params = self.params.clone();
-        let internal = self.inflight.remove(&uop.seq);
+        // Retirement follows program order; a missing front entry means the
+        // prediction was squashed.
+        while self.inflight.front().is_some_and(|&(s, _)| s < uop.seq) {
+            self.inflight.pop_front();
+        }
+        let internal = if self.inflight.front().is_some_and(|&(s, _)| s == uop.seq) {
+            self.inflight.pop_front().map(|(_, p)| p)
+        } else {
+            None
+        };
         let two_delta = self.two_delta;
         let e = &mut self.entries[idx];
         if e.valid && e.tag == tag {
@@ -137,7 +152,13 @@ impl StrideCore {
     }
 
     fn squash_impl(&mut self, info: &SquashInfo) {
-        self.inflight.retain(|&seq, _| seq <= info.flush_seq);
+        while self
+            .inflight
+            .back()
+            .is_some_and(|&(s, _)| s > info.flush_seq)
+        {
+            self.inflight.pop_back();
+        }
         // Speculative last values computed past the flush point are gone; an
         // idealistic recovery resynchronises every entry with retired state.
         for e in &mut self.entries {

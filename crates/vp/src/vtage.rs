@@ -9,10 +9,10 @@
 //! D-VTAGE.
 
 use crate::fpc::{ForwardProbabilisticCounter, FpcParams};
-use crate::{fold_history, inst_key, Lfsr};
+use crate::{fold_history, inst_key, CompParams, Lfsr, MAX_TAGGED};
 use bebop_isa::{DynUop, SeqNum};
 use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// Configuration of a VTAGE predictor.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,13 +86,13 @@ struct TaggedEntry {
 
 /// Prediction-time information remembered until retirement (the role the FIFO
 /// update queue plays in hardware).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Inflight {
     /// Provider component (`None` = base) and its index.
     provider: Option<(usize, usize)>,
     base_index: usize,
     /// Index and tag of every tagged component at prediction time.
-    slots: Vec<(usize, u16)>,
+    slots: [(usize, u16); MAX_TAGGED],
     /// The value the predictor would predict (regardless of confidence).
     prediction: u64,
     /// The alternate prediction (next hitting component / base).
@@ -105,18 +105,35 @@ pub struct Vtage {
     cfg: VtageConfig,
     base: Vec<BaseEntry>,
     tagged: Vec<Vec<TaggedEntry>>,
-    inflight: HashMap<SeqNum, Inflight>,
+    /// Precomputed per-component history/tag parameters (no `powf` per lookup).
+    comp: [CompParams; MAX_TAGGED],
+    /// In-flight prediction records in program order (see `DVtage::inflight`).
+    inflight: VecDeque<(SeqNum, Inflight)>,
     rng: Lfsr,
     updates: u64,
 }
 
 impl Vtage {
     /// Creates a VTAGE predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_tagged > MAX_TAGGED`.
     pub fn new(cfg: VtageConfig) -> Self {
+        assert!(
+            cfg.num_tagged <= MAX_TAGGED,
+            "num_tagged {} exceeds MAX_TAGGED {MAX_TAGGED}",
+            cfg.num_tagged
+        );
+        let mut comp = [CompParams::default(); MAX_TAGGED];
+        for (c, params) in comp.iter_mut().enumerate().take(cfg.num_tagged) {
+            *params = CompParams::new(cfg.history_length(c), cfg.tag_bits(c));
+        }
         Vtage {
             base: vec![BaseEntry::default(); 1 << cfg.log_base],
             tagged: vec![vec![TaggedEntry::default(); 1 << cfg.log_tagged]; cfg.num_tagged],
-            inflight: HashMap::new(),
+            comp,
+            inflight: VecDeque::new(),
             rng: Lfsr::new(0x7a6e),
             updates: 0,
             cfg,
@@ -133,28 +150,28 @@ impl Vtage {
     }
 
     fn tagged_index(&self, key: u64, ghist: u64, path: u64, comp: usize) -> usize {
-        let hl = self.cfg.history_length(comp);
+        let hl = self.comp[comp].hist_len;
         let folded = fold_history(ghist, hl, self.cfg.log_tagged);
         let idx = (key >> 1) ^ (key >> (1 + self.cfg.log_tagged)) ^ folded ^ (path & 0x3f);
         (idx & ((1 << self.cfg.log_tagged) - 1)) as usize
     }
 
     fn tagged_tag(&self, key: u64, ghist: u64, comp: usize) -> u16 {
-        let hl = self.cfg.history_length(comp);
-        let tb = self.cfg.tag_bits(comp);
-        let f1 = fold_history(ghist, hl, tb);
-        let f2 = fold_history(ghist, hl, tb.saturating_sub(3).max(2));
-        (((key >> 1) ^ (key >> 9) ^ f1 ^ (f2 << 2)) & ((1u64 << tb) - 1)) as u16
+        let p = self.comp[comp];
+        let f1 = fold_history(ghist, p.hist_len, p.tag_bits);
+        let f2 = fold_history(ghist, p.hist_len, p.tag_bits.saturating_sub(3).max(2));
+        (((key >> 1) ^ (key >> 9) ^ f1 ^ (f2 << 2)) & p.tag_mask) as u16
     }
 
     /// Computes the prediction context for a µ-op: provider, alternates and slots.
     fn lookup(&self, key: u64, ghist: u64, path: u64) -> Inflight {
         let base_index = self.base_index(key);
-        let mut slots = Vec::with_capacity(self.cfg.num_tagged);
-        for comp in 0..self.cfg.num_tagged {
-            let idx = self.tagged_index(key, ghist, path, comp);
-            let tag = self.tagged_tag(key, ghist, comp);
-            slots.push((idx, tag));
+        let mut slots = [(0usize, 0u16); MAX_TAGGED];
+        for (comp, slot) in slots.iter_mut().enumerate().take(self.cfg.num_tagged) {
+            *slot = (
+                self.tagged_index(key, ghist, path, comp),
+                self.tagged_tag(key, ghist, comp),
+            );
         }
         let mut provider = None;
         let mut alt = None;
@@ -268,7 +285,8 @@ impl ValuePredictor for Vtage {
         let info = self.lookup(key, ctx.global_history, ctx.path_history);
         let confident = self.provider_confident(&info);
         let prediction = info.prediction;
-        self.inflight.insert(uop.seq, info);
+        debug_assert!(self.inflight.back().map_or(true, |&(s, _)| s <= uop.seq));
+        self.inflight.push_back((uop.seq, info));
         if confident {
             Some(prediction)
         } else {
@@ -277,13 +295,24 @@ impl ValuePredictor for Vtage {
     }
 
     fn train(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
-        if let Some(info) = self.inflight.remove(&uop.seq) {
+        // Retirement follows program order (see `DVtage::train`).
+        while self.inflight.front().is_some_and(|&(s, _)| s < uop.seq) {
+            self.inflight.pop_front();
+        }
+        if self.inflight.front().is_some_and(|&(s, _)| s == uop.seq) {
+            let (_, info) = self.inflight.pop_front().expect("front exists");
             self.train_with(info, actual);
         }
     }
 
     fn squash(&mut self, info: &SquashInfo) {
-        self.inflight.retain(|&seq, _| seq <= info.flush_seq);
+        while self
+            .inflight
+            .back()
+            .is_some_and(|&(s, _)| s > info.flush_seq)
+        {
+            self.inflight.pop_back();
+        }
     }
 
     fn storage_bits(&self) -> u64 {
@@ -416,6 +445,9 @@ mod tests {
     fn storage_is_hundreds_of_kilobytes_with_full_values() {
         // Full 64-bit values make VTAGE big — the motivation for D-VTAGE.
         let kb = Vtage::default_config().storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 100.0, "VTAGE with full values should exceed 100 KB, got {kb}");
+        assert!(
+            kb > 100.0,
+            "VTAGE with full values should exceed 100 KB, got {kb}"
+        );
     }
 }

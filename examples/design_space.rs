@@ -14,7 +14,12 @@ use bebop_uarch::PipelineConfig;
 fn speedup(cfg: BlockDVtageConfig, uops: u64) -> (f64, f64) {
     let spec = spec_benchmark("173.applu");
     let pipe = PipelineConfig::eole_4_60();
-    let base = run_one(&spec, &PipelineConfig::baseline_6_60(), &PredictorKind::None, uops);
+    let base = run_one(
+        &spec,
+        &PipelineConfig::baseline_6_60(),
+        &PredictorKind::None,
+        uops,
+    );
     let kb = cfg.storage_kb();
     let stats = run_one(&spec, &pipe, &PredictorKind::BlockDVtage(cfg), uops);
     (stats.speedup_over(&base), kb)
@@ -22,7 +27,9 @@ fn speedup(cfg: BlockDVtageConfig, uops: u64) -> (f64, f64) {
 
 fn main() {
     let uops = 120_000;
-    println!("BeBoP D-VTAGE design space on 173.applu ({uops} µ-ops), speedup over Baseline_6_60\n");
+    println!(
+        "BeBoP D-VTAGE design space on 173.applu ({uops} µ-ops), speedup over Baseline_6_60\n"
+    );
 
     println!("Predictions per entry (Npred):");
     for npred in [4usize, 6, 8] {

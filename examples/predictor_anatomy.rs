@@ -52,7 +52,9 @@ fn main() {
         let p1 = predictor.predict(&ctx(seq, 0x40_1000, true), &u1);
         let p2 = predictor.predict(&ctx(seq + 1, 0x40_1008, false), &u2);
         if i % 50 == 0 {
-            println!("  instance {i:>3}: byte0 -> {p1:?} (actual {v1}), byte8 -> {p2:?} (actual {v2})");
+            println!(
+                "  instance {i:>3}: byte0 -> {p1:?} (actual {v1}), byte8 -> {p2:?} (actual {v2})"
+            );
         }
         predictor.train(&u1, v1, p1);
         predictor.train(&u2, v2, p2);
@@ -69,7 +71,11 @@ fn main() {
         let p2 = predictor.predict(&ctx(seq + 1, 0x40_1008, false), &u2);
         println!(
             "  predicted ({p1:?}, {p2:?})  actual ({v1}, {v2})  {}",
-            if p1 == Some(v1) && p2 == Some(v2) { "ok" } else { "miss" }
+            if p1 == Some(v1) && p2 == Some(v2) {
+                "ok"
+            } else {
+                "miss"
+            }
         );
         seq += 2;
         v1 += 8;

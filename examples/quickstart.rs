@@ -15,7 +15,12 @@ fn main() {
 
     println!("workload: {} ({uops} µ-ops)", spec.name);
 
-    let baseline = run_one(&spec, &PipelineConfig::baseline_6_60(), &PredictorKind::None, uops);
+    let baseline = run_one(
+        &spec,
+        &PipelineConfig::baseline_6_60(),
+        &PredictorKind::None,
+        uops,
+    );
     println!(
         "Baseline_6_60          : {:>8} cycles, IPC {:.3}",
         baseline.cycles,

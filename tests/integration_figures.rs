@@ -11,10 +11,17 @@ const UOPS: u64 = 120_000;
 
 /// A representative slice of Table II: two of each gain class.
 fn slice() -> Vec<bebop_trace::WorkloadSpec> {
-    ["171.swim", "173.applu", "401.bzip2", "403.gcc", "429.mcf", "186.crafty"]
-        .iter()
-        .map(|n| spec_benchmark(n))
-        .collect()
+    [
+        "171.swim",
+        "173.applu",
+        "401.bzip2",
+        "403.gcc",
+        "429.mcf",
+        "186.crafty",
+    ]
+    .iter()
+    .map(|n| spec_benchmark(n))
+    .collect()
 }
 
 #[test]

@@ -25,7 +25,12 @@ fn value_prediction_with_real_predictors_never_collapses_performance() {
     // does not slow the machine down appreciably on any class of workload.
     for name in ["171.swim", "429.mcf", "186.crafty", "403.gcc"] {
         let spec = spec_benchmark(name);
-        let base = run_one(&spec, &PipelineConfig::baseline_6_60(), &PredictorKind::None, UOPS);
+        let base = run_one(
+            &spec,
+            &PipelineConfig::baseline_6_60(),
+            &PredictorKind::None,
+            UOPS,
+        );
         let vp = run_one(
             &spec,
             &PipelineConfig::baseline_vp_6_60(),
@@ -48,7 +53,12 @@ fn value_prediction_with_real_predictors_never_collapses_performance() {
 #[test]
 fn strided_fp_workload_gains_from_bebop_dvtage() {
     let spec = spec_benchmark("171.swim");
-    let base = run_one(&spec, &PipelineConfig::baseline_6_60(), &PredictorKind::None, UOPS);
+    let base = run_one(
+        &spec,
+        &PipelineConfig::baseline_6_60(),
+        &PredictorKind::None,
+        UOPS,
+    );
     let bebop = run_one(
         &spec,
         &PipelineConfig::eole_4_60(),
@@ -66,7 +76,12 @@ fn strided_fp_workload_gains_from_bebop_dvtage() {
 #[test]
 fn unpredictable_branchy_workload_neither_gains_nor_loses_much() {
     let spec = spec_benchmark("186.crafty");
-    let base = run_one(&spec, &PipelineConfig::baseline_6_60(), &PredictorKind::None, UOPS);
+    let base = run_one(
+        &spec,
+        &PipelineConfig::baseline_6_60(),
+        &PredictorKind::None,
+        UOPS,
+    );
     let bebop = run_one(
         &spec,
         &PipelineConfig::eole_4_60(),
@@ -93,7 +108,12 @@ fn eole_4_60_tracks_baseline_vp_6_60() {
             &PredictorKind::DVtage,
             UOPS,
         );
-        let eole = run_one(&spec, &PipelineConfig::eole_4_60(), &PredictorKind::DVtage, UOPS);
+        let eole = run_one(
+            &spec,
+            &PipelineConfig::eole_4_60(),
+            &PredictorKind::DVtage,
+            UOPS,
+        );
         slowdowns.push(eole.speedup_over(&base_vp));
     }
     let gmean = bebop_uarch::gmean(&slowdowns);

@@ -1,49 +1,78 @@
 //! Property-based tests on the core data structures and cross-crate invariants.
+//!
+//! The environment is offline, so instead of `proptest` these use a small
+//! seeded-case harness: each property is checked against a few hundred
+//! deterministic pseudo-random inputs (failures are reproducible by case index).
 
-use bebop::{BlockDVtageConfig, FifoUpdateQueue, SpecWindowSize, SpeculativeWindow};
+use bebop::{BlockDVtageConfig, FifoUpdateQueue, SpecWindowSize, SpeculativeWindow, MAX_NPRED};
 use bebop_isa::{byte_index_in_block, fetch_block_pc, FetchBlockLayout};
 use bebop_trace::{TraceGenerator, WorkloadSpec};
 use bebop_uarch::{gmean, OccupancyRing, SlotPool};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    /// Fetch-block arithmetic: the block PC is aligned, contains the PC, and the
-    /// byte index is the offset within the block.
-    #[test]
-    fn prop_fetch_block_arithmetic(pc in any::<u64>(), shift in 3u32..8) {
+const CASES: u64 = 200;
+
+fn rng(case: u64) -> SmallRng {
+    SmallRng::seed_from_u64(0x9e37_79b9 ^ case)
+}
+
+fn slot_values(v: u64) -> [Option<u64>; MAX_NPRED] {
+    let mut vals = [None; MAX_NPRED];
+    vals[0] = Some(v);
+    vals
+}
+
+/// Fetch-block arithmetic: the block PC is aligned, contains the PC, and the
+/// byte index is the offset within the block.
+#[test]
+fn prop_fetch_block_arithmetic() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let pc: u64 = r.gen();
+        let shift = r.gen_range(3u32..8);
         let block_bytes = 1u64 << shift;
         let block = fetch_block_pc(pc, block_bytes);
         let byte = byte_index_in_block(pc, block_bytes);
-        prop_assert_eq!(block % block_bytes, 0);
-        prop_assert!(pc >= block && pc < block + block_bytes);
-        prop_assert_eq!(block + u64::from(byte), pc);
+        assert_eq!(block % block_bytes, 0);
+        assert!(pc >= block && pc < block + block_bytes);
+        assert_eq!(block + u64::from(byte), pc, "case {case}");
     }
+}
 
-    /// Block layouts never place an instruction past the end of the block and keep
-    /// boundaries strictly increasing.
-    #[test]
-    fn prop_fetch_block_layout(lengths in proptest::collection::vec(1u8..=8, 1..10)) {
+/// Block layouts never place an instruction past the end of the block and keep
+/// boundaries strictly increasing.
+#[test]
+fn prop_fetch_block_layout() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let n = r.gen_range(1usize..10);
+        let lengths: Vec<u8> = (0..n).map(|_| r.gen_range(1u8..=8)).collect();
         let layout = FetchBlockLayout::from_lengths(16, &lengths);
         let bounds = layout.boundaries();
         for w in bounds.windows(2) {
-            prop_assert!(w[1] > w[0]);
+            assert!(w[1] > w[0], "case {case}");
         }
         for &b in bounds {
-            prop_assert!(u64::from(b) < 16);
+            assert!(u64::from(b) < 16, "case {case}");
         }
     }
+}
 
-    /// The speculative window always returns the most recent matching entry, and a
-    /// squash removes exactly the entries younger than the flush point.
-    #[test]
-    fn prop_spec_window_most_recent_and_squash(
-        blocks in proptest::collection::vec(0u64..8, 1..200),
-        capacity in 1usize..64,
-        flush_at in 0usize..200,
-    ) {
+/// The speculative window always returns the most recent matching entry, and a
+/// squash removes exactly the entries younger than the flush point.
+#[test]
+fn prop_spec_window_most_recent_and_squash() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let n = r.gen_range(1usize..200);
+        let blocks: Vec<u64> = (0..n).map(|_| r.gen_range(0u64..8)).collect();
+        let capacity = r.gen_range(1usize..64);
+        let flush_at = r.gen_range(0usize..200);
+
         let mut w = SpeculativeWindow::new(Some(capacity), 15);
         for (seq, b) in blocks.iter().enumerate() {
-            w.push(b * 16, seq as u64, vec![Some(seq as u64)]);
+            w.push(b * 16, seq as u64, slot_values(seq as u64));
         }
         // Most recent matching entry wins.
         for b in 0u64..8 {
@@ -54,7 +83,7 @@ proptest! {
                     .rev()
                     .find(|(seq, &blk)| blk == b && *seq >= blocks.len().saturating_sub(capacity))
                     .map(|(seq, _)| seq as u64);
-                prop_assert_eq!(Some(e.seq), expected);
+                assert_eq!(Some(e.seq), expected, "case {case}");
             }
         }
         // Squash drops strictly younger entries only.
@@ -62,15 +91,22 @@ proptest! {
         w.squash(flush_seq);
         for b in 0u64..8 {
             if let Some(e) = w.lookup(b * 16) {
-                prop_assert!(e.seq <= flush_seq);
+                assert!(e.seq <= flush_seq, "case {case}");
             }
         }
     }
+}
 
-    /// The FIFO update queue preserves order and rollback never leaves younger
-    /// entries behind.
-    #[test]
-    fn prop_fifo_order_and_rollback(seqs in proptest::collection::vec(1u64..50, 1..50), flush in 0u64..2000) {
+/// The FIFO update queue preserves order and rollback never leaves younger
+/// entries behind.
+#[test]
+fn prop_fifo_order_and_rollback() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let n = r.gen_range(1usize..50);
+        let seqs: Vec<u64> = (0..n).map(|_| r.gen_range(1u64..50)).collect();
+        let flush = r.gen_range(0u64..2000);
+
         let mut q = FifoUpdateQueue::new();
         let mut acc = 0u64;
         let mut pushed = Vec::new();
@@ -82,49 +118,63 @@ proptest! {
         q.squash(flush);
         let remaining: Vec<u64> = std::iter::from_fn(|| q.pop_front().map(|(s, _)| s)).collect();
         let expected: Vec<u64> = pushed.into_iter().filter(|&s| s <= flush).collect();
-        prop_assert_eq!(remaining, expected);
+        assert_eq!(remaining, expected, "case {case}");
     }
+}
 
-    /// Slot pools never exceed their per-cycle width and never go backwards.
-    #[test]
-    fn prop_slot_pool_width(width in 1u16..8, requests in proptest::collection::vec(0u64..100, 1..200)) {
+/// Slot pools never exceed their per-cycle width and never go backwards.
+#[test]
+fn prop_slot_pool_width() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let width = r.gen_range(1u16..8);
+        let n = r.gen_range(1usize..200);
         let mut pool = SlotPool::new(width);
         let mut per_cycle = std::collections::HashMap::new();
-        for t in requests {
+        for _ in 0..n {
+            let t = r.gen_range(0u64..100);
             let c = pool.allocate(t);
-            prop_assert!(c >= t);
-            let n = per_cycle.entry(c).or_insert(0u16);
-            *n += 1;
-            prop_assert!(*n <= width);
+            assert!(c >= t, "case {case}");
+            let count = per_cycle.entry(c).or_insert(0u16);
+            *count += 1;
+            assert!(*count <= width, "case {case}");
         }
     }
+}
 
-    /// Occupancy rings never allow more in-flight entries than their capacity:
-    /// the constrained allocation cycle is at or after the release of the entry
-    /// `capacity` positions earlier.
-    #[test]
-    fn prop_occupancy_ring(capacity in 1usize..16, releases in proptest::collection::vec(1u64..1000, 1..100)) {
+/// Occupancy rings never allow more in-flight entries than their capacity:
+/// the constrained allocation cycle is at or after the release of the entry
+/// `capacity` positions earlier.
+#[test]
+fn prop_occupancy_ring() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let capacity = r.gen_range(1usize..16);
+        let n = r.gen_range(1usize..100);
+        let releases: Vec<u64> = (0..n).map(|_| r.gen_range(1u64..1000)).collect();
         let mut ring = OccupancyRing::new(capacity);
         let mut history: Vec<u64> = Vec::new();
-        for (i, r) in releases.iter().enumerate() {
+        for (i, rel) in releases.iter().enumerate() {
             let constrained = ring.constrain(0);
             if i >= capacity {
-                prop_assert!(constrained >= history[i - capacity]);
+                assert!(constrained >= history[i - capacity], "case {case}");
             }
-            let release = constrained + r;
+            let release = constrained + rel;
             ring.push(release);
             history.push(release);
         }
     }
+}
 
-    /// Storage accounting is monotone in every size parameter.
-    #[test]
-    fn prop_storage_monotone(
-        base in 64usize..1024,
-        tagged in 64usize..512,
-        npred in 1usize..8,
-        stride_bits in proptest::sample::select(vec![8u32, 16, 32, 64]),
-    ) {
+/// Storage accounting is monotone in every size parameter.
+#[test]
+fn prop_storage_monotone() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let base = r.gen_range(64usize..1024);
+        let tagged = r.gen_range(64usize..512);
+        let npred = r.gen_range(1usize..MAX_NPRED);
+        let stride_bits = [8u32, 16, 32, 64][r.gen_range(0usize..4)];
         let cfg = BlockDVtageConfig {
             npred,
             base_entries: base,
@@ -133,38 +183,68 @@ proptest! {
             spec_window: SpecWindowSize::Entries(32),
             ..BlockDVtageConfig::default()
         };
-        let bigger_base = BlockDVtageConfig { base_entries: base * 2, ..cfg.clone() };
-        let bigger_tagged = BlockDVtageConfig { tagged_entries: tagged * 2, ..cfg.clone() };
-        let more_preds = BlockDVtageConfig { npred: npred + 1, ..cfg.clone() };
-        prop_assert!(bigger_base.storage_bits() > cfg.storage_bits());
-        prop_assert!(bigger_tagged.storage_bits() > cfg.storage_bits());
-        prop_assert!(more_preds.storage_bits() > cfg.storage_bits());
+        let bigger_base = BlockDVtageConfig {
+            base_entries: base * 2,
+            ..cfg.clone()
+        };
+        let bigger_tagged = BlockDVtageConfig {
+            tagged_entries: tagged * 2,
+            ..cfg.clone()
+        };
+        let more_preds = BlockDVtageConfig {
+            npred: npred + 1,
+            ..cfg.clone()
+        };
+        assert!(
+            bigger_base.storage_bits() > cfg.storage_bits(),
+            "case {case}"
+        );
+        assert!(
+            bigger_tagged.storage_bits() > cfg.storage_bits(),
+            "case {case}"
+        );
+        assert!(
+            more_preds.storage_bits() > cfg.storage_bits(),
+            "case {case}"
+        );
     }
+}
 
-    /// Trace generation is deterministic and PC-continuous for arbitrary seeds.
-    #[test]
-    fn prop_trace_determinism(seed in any::<u64>()) {
+/// Trace generation is deterministic and PC-continuous for arbitrary seeds.
+#[test]
+fn prop_trace_determinism() {
+    for case in 0..50 {
+        let seed: u64 = rng(case).gen();
         let spec = WorkloadSpec::new("prop", seed);
         let a: Vec<_> = TraceGenerator::new(&spec).take(300).collect();
         let b: Vec<_> = TraceGenerator::new(&spec).take(300).collect();
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b, "case {case}");
         for w in a.windows(2) {
             if w[0].is_last_uop() {
-                prop_assert_eq!(w[1].pc, w[0].next_pc());
+                assert_eq!(w[1].pc, w[0].next_pc(), "case {case}");
             } else {
-                prop_assert_eq!(w[1].pc, w[0].pc);
+                assert_eq!(w[1].pc, w[0].pc, "case {case}");
             }
         }
     }
+}
 
-    /// The geometric mean lies between min and max and is scale-covariant.
-    #[test]
-    fn prop_gmean_bounds(values in proptest::collection::vec(0.1f64..10.0, 1..20), k in 0.1f64..10.0) {
+/// The geometric mean lies between min and max and is scale-covariant.
+#[test]
+fn prop_gmean_bounds() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let n = r.gen_range(1usize..20);
+        let values: Vec<f64> = (0..n).map(|_| 0.1 + r.gen::<f64>() * 9.9).collect();
+        let k = 0.1 + r.gen::<f64>() * 9.9;
         let g = gmean(&values);
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+        assert!(g >= min - 1e-9 && g <= max + 1e-9, "case {case}");
         let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
-        prop_assert!((gmean(&scaled) - g * k).abs() < 1e-6 * g.max(1.0) * k.max(1.0));
+        assert!(
+            (gmean(&scaled) - g * k).abs() < 1e-6 * g.max(1.0) * k.max(1.0),
+            "case {case}"
+        );
     }
 }
