@@ -2,19 +2,21 @@
 //! full-length runs).
 
 use bebop::SpeedupSummary;
-use bebop_bench::{format_summary, run_fig5a, run_fig5b, workloads, BENCH_UOPS};
+use bebop_bench::{
+    format_summary, run_fig5a, run_fig5b, workloads, TraceCachePolicy, TraceSet, BENCH_UOPS,
+};
 
 fn main() {
-    let specs = workloads(true);
+    let set = TraceSet::build(&workloads(true), BENCH_UOPS, &TraceCachePolicy::default());
     println!("[bench] Figure 5a: predictors over Baseline_6_60 ({BENCH_UOPS} uops)");
-    for (label, results) in run_fig5a(&specs, BENCH_UOPS) {
+    for (label, results) in run_fig5a(&set, BENCH_UOPS).groups {
         println!(
             "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))
         );
     }
     println!("[bench] Figure 5b: EOLE_4_60 over Baseline_VP_6_60");
-    let results = run_fig5b(&specs, BENCH_UOPS);
+    let results = run_fig5b(&set, BENCH_UOPS);
     println!(
         "{}",
         format_summary(

@@ -1,28 +1,31 @@
 //! Regenerates Figure 6a/6b and the partial-stride study (reduced µ-op budget).
 
 use bebop::SpeedupSummary;
-use bebop_bench::{format_summary, run_fig6a, run_fig6b, run_strides, workloads, BENCH_UOPS};
+use bebop_bench::{
+    format_summary, run_fig6a, run_fig6b, run_strides, workloads, TraceCachePolicy, TraceSet,
+    BENCH_UOPS,
+};
 
 fn main() {
-    let specs = workloads(true);
+    let set = TraceSet::build(&workloads(true), BENCH_UOPS, &TraceCachePolicy::default());
     println!("[bench] Figure 6a: predictions per entry ({BENCH_UOPS} uops)");
-    for (label, results) in run_fig6a(&specs, BENCH_UOPS) {
+    for (label, results) in run_fig6a(&set, BENCH_UOPS).groups {
         println!(
             "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))
         );
     }
     println!("[bench] Figure 6b: table geometry");
-    for (label, results) in run_fig6b(&specs, BENCH_UOPS) {
+    for (label, results) in run_fig6b(&set, BENCH_UOPS).groups {
         println!(
             "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))
         );
     }
     println!("[bench] Partial strides");
-    for (label, kb, results) in run_strides(&specs, BENCH_UOPS) {
+    for (label, results) in run_strides(&set, BENCH_UOPS).groups {
         println!(
-            "{}  [{kb:.1} KB]",
+            "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))
         );
     }

@@ -2,19 +2,21 @@
 //! with a reduced µ-op budget.
 
 use bebop::SpeedupSummary;
-use bebop_bench::{format_summary, run_fig7a, run_fig7b, workloads, BENCH_UOPS};
+use bebop_bench::{
+    format_summary, run_fig7a, run_fig7b, workloads, TraceCachePolicy, TraceSet, BENCH_UOPS,
+};
 
 fn main() {
-    let specs = workloads(true);
+    let set = TraceSet::build(&workloads(true), BENCH_UOPS, &TraceCachePolicy::default());
     println!("[bench] Figure 7a: recovery policies ({BENCH_UOPS} uops)");
-    for (label, results) in run_fig7a(&specs, BENCH_UOPS) {
+    for (label, results) in run_fig7a(&set, BENCH_UOPS).groups {
         println!(
             "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))
         );
     }
     println!("[bench] Figure 7b: speculative window size");
-    for (label, results) in run_fig7b(&specs, BENCH_UOPS) {
+    for (label, results) in run_fig7b(&set, BENCH_UOPS).groups {
         println!(
             "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))

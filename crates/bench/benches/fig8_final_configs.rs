@@ -2,16 +2,18 @@
 //! Baseline_6_60), with a reduced µ-op budget.
 
 use bebop::SpeedupSummary;
-use bebop_bench::{format_summary, run_fig8, run_table3, workloads, BENCH_UOPS};
+use bebop_bench::{
+    format_summary, run_fig8, run_table3, workloads, TraceCachePolicy, TraceSet, BENCH_UOPS,
+};
 
 fn main() {
     println!("[bench] Table III: storage budgets");
     for (name, kb) in run_table3() {
         println!("    {name:<9} {kb:.2} KB");
     }
-    let specs = workloads(true);
+    let set = TraceSet::build(&workloads(true), BENCH_UOPS, &TraceCachePolicy::default());
     println!("[bench] Figure 8: final configurations over Baseline_6_60 ({BENCH_UOPS} uops)");
-    for (label, results) in run_fig8(&specs, BENCH_UOPS) {
+    for (label, results) in run_fig8(&set, BENCH_UOPS).groups {
         println!(
             "{}",
             format_summary(&label, &SpeedupSummary::from_results(&results))

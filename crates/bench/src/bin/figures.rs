@@ -4,13 +4,21 @@
 //! cargo run -p bebop-bench --release --bin figures -- --all
 //! cargo run -p bebop-bench --release --bin figures -- --fig8 --uops 1000000
 //! cargo run -p bebop-bench --release --bin figures -- --all --json BENCH_figures.json
+//! cargo run -p bebop-bench --release --bin figures -- --all --trace-cache-mb 64
 //! ```
 //!
 //! Each experiment prints the series the paper reports: per-benchmark speedups and
-//! the `[min, max]` box plus geometric mean. Workloads are fanned out across all
-//! cores by default; `--serial` forces one thread (the figure output is
-//! bit-identical either way), and `--json <path>` writes per-experiment wall-clock
-//! and µops/sec so perf regressions are visible across commits.
+//! the `[min, max]` box plus geometric mean.
+//!
+//! Every workload's µ-op stream is recorded into a shared trace buffer once up
+//! front (~6–7 MiB per 200K-µop trace; `--trace-cache-mb` caps the total,
+//! `--no-trace-cache` streams everything), and every (config, workload)
+//! simulation replays the shared recording — so a config sweep pays trace
+//! generation once, not once per configuration. Simulations are fanned out
+//! across all cores by default; `--serial` forces one thread (the figure output
+//! is bit-identical either way), and `--json <path>` writes per-experiment
+//! wall-clock and µops/sec so perf regressions are visible across commits (the
+//! `perf_gate` binary turns that diff into a CI failure).
 
 use bebop::SpeedupSummary;
 use bebop_bench::*;
@@ -22,6 +30,7 @@ struct Options {
     which: Vec<String>,
     json: Option<String>,
     threads: usize,
+    trace_cache: TraceCachePolicy,
 }
 
 fn parse_args() -> Options {
@@ -31,6 +40,7 @@ fn parse_args() -> Options {
         which: Vec::new(),
         json: None,
         threads: 0,
+        trace_cache: TraceCachePolicy::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -52,6 +62,14 @@ fn parse_args() -> Options {
             }
             "--serial" => opts.threads = 1,
             "--subset" => opts.subset = true,
+            "--no-trace-cache" => opts.trace_cache = TraceCachePolicy::disabled(),
+            "--trace-cache-mb" => {
+                let mb = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--trace-cache-mb needs a number of MiB");
+                opts.trace_cache = TraceCachePolicy::capped_mb(mb);
+            }
             "--all" => opts.which.push("all".to_string()),
             other => opts.which.push(other.trim_start_matches("--").to_string()),
         }
@@ -90,16 +108,6 @@ fn print_grouped(title: &str, groups: &[(String, Vec<bebop::BenchResult>)], per_
     }
 }
 
-/// Committed µ-ops across a set of grouped comparison results (baseline +
-/// variant runs both count — they were both simulated).
-fn grouped_uops(groups: &[(String, Vec<bebop::BenchResult>)]) -> u64 {
-    groups
-        .iter()
-        .flat_map(|(_, results)| results)
-        .map(|r| r.baseline.uops + r.variant.uops)
-        .sum()
-}
-
 /// One timed experiment in the JSON perf report.
 struct Timing {
     name: &'static str,
@@ -130,9 +138,9 @@ fn timed(report: &mut Vec<Timing>, name: &'static str, f: impl FnOnce() -> u64) 
 }
 
 fn write_json(path: &str, report: &[Timing], opts: &Options, benchmarks: usize) {
-    // The same thread count the experiments actually fanned out with (the
-    // per-workload task count bounds the workers), matching the printed header.
-    let threads = bebop::par::effective_threads(benchmarks);
+    // The worker-pool width the experiments actually fanned out with (the
+    // flattened (config × workload) task lists of the sweeps saturate it).
+    let threads = bebop::par::worker_threads();
     let total_wall: f64 = report.iter().map(|t| t.wall_s).sum();
     let total_uops: u64 = report.iter().map(|t| t.uops).sum();
     let mut out = String::new();
@@ -177,8 +185,44 @@ fn main() {
         "BeBoP figure harness: {} benchmarks, {} µ-ops per run, {} worker thread(s)",
         specs.len(),
         uops,
-        bebop::par::effective_threads(specs.len())
+        bebop::par::worker_threads()
     );
+
+    // Record every workload's trace once; all experiments replay the shared
+    // buffers. The recording cost shows up as its own perf-report entry so the
+    // µops/sec trajectory stays honest. Runs that only print static tables
+    // (table1/table3) skip recording entirely.
+    const SIMULATING: [&str; 9] = [
+        "table2", "fig5a", "fig5b", "fig6a", "fig6b", "strides", "fig7a", "fig7b", "fig8",
+    ];
+    let needs_traces = SIMULATING.iter().any(|e| wants(&opts, e));
+    let start = Instant::now();
+    let set = if needs_traces {
+        TraceSet::build(&specs, uops, &opts.trace_cache)
+    } else {
+        TraceSet::streaming(&specs)
+    };
+    let tracegen_wall = start.elapsed().as_secs_f64();
+    if set.cached_count() > 0 {
+        let mib = set.footprint_bytes() as f64 / (1024.0 * 1024.0);
+        println!(
+            "Trace cache: {}/{} workloads recorded, {:.1} MiB total ({:.1} MiB per {}-uop trace)",
+            set.cached_count(),
+            set.len(),
+            mib,
+            mib / set.cached_count() as f64,
+            uops
+        );
+        report.push(Timing {
+            name: "tracegen",
+            wall_s: tracegen_wall,
+            uops: set.generated_uops(),
+        });
+    } else if needs_traces {
+        println!("Trace cache: disabled, workloads stream live generation");
+    } else {
+        println!("Trace cache: not needed by the requested experiments");
+    }
 
     if wants(&opts, "table1") {
         println!("\n=== Table I: pipeline configuration ===");
@@ -188,30 +232,30 @@ fn main() {
 
     if wants(&opts, "table2") {
         timed(&mut report, "table2", || {
-            let rows = run_table2(&specs, uops);
+            let rows = run_table2(&set, uops);
             println!("\n=== Table II: baseline IPC per benchmark (Baseline_6_60) ===");
             for (name, ipc) in rows {
                 println!("    {name:<18} {ipc:.3}");
             }
-            specs.len() as u64 * uops
+            set.len() as u64 * uops
         });
     }
 
     if wants(&opts, "fig5a") {
         timed(&mut report, "fig5a", || {
-            let groups = run_fig5a(&specs, uops);
+            let out = run_fig5a(&set, uops);
             print_grouped(
                 "Figure 5a: value predictors over Baseline_6_60 (idealistic infrastructure)",
-                &groups,
+                &out.groups,
                 true,
             );
-            grouped_uops(&groups)
+            out.simulated_uops
         });
     }
 
     if wants(&opts, "fig5b") {
         timed(&mut report, "fig5b", || {
-            let results = run_fig5b(&specs, uops);
+            let results = run_fig5b(&set, uops);
             let summary = SpeedupSummary::from_results(&results);
             println!("\n=== Figure 5b: EOLE_4_60 (D-VTAGE) over Baseline_VP_6_60 ===");
             println!("{}", format_summary("EOLE_4_60 w/ D-VTAGE", &summary));
@@ -225,66 +269,57 @@ fn main() {
 
     if wants(&opts, "fig6a") {
         timed(&mut report, "fig6a", || {
-            let groups = run_fig6a(&specs, uops);
+            let out = run_fig6a(&set, uops);
             print_grouped(
                 "Figure 6a: predictions per entry (BeBoP D-VTAGE) over EOLE_4_60",
-                &groups,
+                &out.groups,
                 false,
             );
-            grouped_uops(&groups)
+            out.simulated_uops
         });
     }
 
     if wants(&opts, "fig6b") {
         timed(&mut report, "fig6b", || {
-            let groups = run_fig6b(&specs, uops);
+            let out = run_fig6b(&set, uops);
             print_grouped(
                 "Figure 6b: base/tagged component sizes (Npred=6) over EOLE_4_60",
-                &groups,
+                &out.groups,
                 false,
             );
-            grouped_uops(&groups)
+            out.simulated_uops
         });
     }
 
     if wants(&opts, "strides") {
         timed(&mut report, "strides", || {
-            let rows = run_strides(&specs, uops);
-            println!("\n=== Section VI-B(a): partial strides ===");
-            let mut total = 0;
-            for (label, kb, results) in rows {
-                let summary = SpeedupSummary::from_results(&results);
-                println!("{}  [{kb:.1} KB]", format_summary(&label, &summary));
-                total += results
-                    .iter()
-                    .map(|r| r.baseline.uops + r.variant.uops)
-                    .sum::<u64>();
-            }
-            total
+            let out = run_strides(&set, uops);
+            print_grouped("Section VI-B(a): partial strides", &out.groups, false);
+            out.simulated_uops
         });
     }
 
     if wants(&opts, "fig7a") {
         timed(&mut report, "fig7a", || {
-            let groups = run_fig7a(&specs, uops);
+            let out = run_fig7a(&set, uops);
             print_grouped(
                 "Figure 7a: speculative window recovery policies over EOLE_4_60",
-                &groups,
+                &out.groups,
                 false,
             );
-            grouped_uops(&groups)
+            out.simulated_uops
         });
     }
 
     if wants(&opts, "fig7b") {
         timed(&mut report, "fig7b", || {
-            let groups = run_fig7b(&specs, uops);
+            let out = run_fig7b(&set, uops);
             print_grouped(
                 "Figure 7b: speculative window size (DnRDnR) over EOLE_4_60",
-                &groups,
+                &out.groups,
                 false,
             );
-            grouped_uops(&groups)
+            out.simulated_uops
         });
     }
 
@@ -300,17 +335,17 @@ fn main() {
 
     if wants(&opts, "fig8") {
         timed(&mut report, "fig8", || {
-            let groups = run_fig8(&specs, uops);
+            let out = run_fig8(&set, uops);
             print_grouped(
                 "Figure 8: final configurations over Baseline_6_60",
-                &groups,
+                &out.groups,
                 true,
             );
-            grouped_uops(&groups)
+            out.simulated_uops
         });
     }
 
     if let Some(path) = &opts.json {
-        write_json(path, &report, &opts, specs.len());
+        write_json(path, &report, &opts, set.len());
     }
 }

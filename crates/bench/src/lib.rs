@@ -5,12 +5,32 @@
 //! paper's evaluation (Section VI) has a `run_*` function here that produces the
 //! same rows/series the paper reports: per-benchmark speedups plus the
 //! `[min, max]` box and geometric mean used in the figures.
+//!
+//! # Execution model
+//!
+//! The figures are config sweeps over a fixed workload population, so the
+//! harness is built around two cost separations:
+//!
+//! * **Trace generation is paid once per workload**, not once per run: a
+//!   [`TraceSet`] records every workload's µ-op stream into a shared
+//!   [`bebop::TraceBuffer`] up front, and every simulation replays it
+//!   (bit-identically) instead of regenerating it.
+//! * **Baseline simulations are paid once per sweep**, not once per variant:
+//!   [`run_sweep`] simulates the common baseline configuration once per
+//!   workload and shares the statistics across every variant group, then fans
+//!   the whole (variant × workload) product out over the cores.
 
 #![warn(missing_docs)]
 
-use bebop::{compare, configs, BenchResult, PredictorKind, SpeedupSummary};
+use bebop::{configs, par, run_source, BenchResult, PredictorKind, SimStats, SpeedupSummary};
 use bebop_trace::{all_spec_benchmarks, WorkloadSpec};
 use bebop_uarch::PipelineConfig;
+
+mod trace_set;
+
+pub mod perf_json;
+
+pub use trace_set::{TraceCachePolicy, TraceSet};
 
 /// Number of µ-ops simulated per benchmark when regenerating figures
 /// (200K µ-ops). The paper simulates 100M instructions per benchmark; the default
@@ -68,36 +88,121 @@ pub fn format_per_bench(results: &[BenchResult]) -> String {
     out
 }
 
+/// Runs every workload of the set under both configurations and returns the
+/// per-benchmark comparison, fanned out across cores. The trace-sharing
+/// counterpart of [`bebop::compare`]: each simulation replays the set's shared
+/// recording instead of regenerating the workload.
+pub fn compare_traced(
+    set: &TraceSet,
+    baseline_pipeline: &PipelineConfig,
+    baseline_predictor: &PredictorKind,
+    variant_pipeline: &PipelineConfig,
+    variant_predictor: &PredictorKind,
+    max_uops: u64,
+) -> Vec<BenchResult> {
+    set.assert_covers(max_uops);
+    let idx: Vec<usize> = (0..set.len()).collect();
+    par::par_map(&idx, |&i| BenchResult {
+        name: set.name(i).to_string(),
+        baseline: run_source(
+            set.source(i),
+            baseline_pipeline,
+            baseline_predictor,
+            max_uops,
+        ),
+        variant: run_source(set.source(i), variant_pipeline, variant_predictor, max_uops),
+    })
+}
+
+/// One variant group of a sweep: display label, pipeline and predictor.
+pub type SweepVariant = (String, PipelineConfig, PredictorKind);
+
+/// The outcome of [`run_sweep`]: per-group comparison results plus the number
+/// of µ-ops actually simulated (baselines are shared across groups, so this is
+/// `(1 + groups) × workloads × uops`, not `2 × groups × workloads × uops`).
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// `(label, per-benchmark results)` per variant group, in input order.
+    pub groups: Vec<(String, Vec<BenchResult>)>,
+    /// Committed µ-ops across every simulation the sweep ran.
+    pub simulated_uops: u64,
+}
+
+/// Runs a config sweep over the shared trace set: the baseline configuration is
+/// simulated once per workload, every `(variant, workload)` pair is fanned out
+/// over the cores as one flat task list, and each variant group's results reuse
+/// the shared baseline statistics.
+///
+/// Results are ordering-stable and bit-identical to a serial run (the fan-out
+/// is [`par::par_map`]), and — because replay is bit-identical to live
+/// generation — to the legacy per-config [`bebop::compare`] path as well.
+pub fn run_sweep(
+    set: &TraceSet,
+    baseline_pipeline: &PipelineConfig,
+    baseline_predictor: &PredictorKind,
+    variants: &[SweepVariant],
+    uops: u64,
+) -> SweepOutcome {
+    set.assert_covers(uops);
+    let idx: Vec<usize> = (0..set.len()).collect();
+    let baselines: Vec<SimStats> = par::par_map(&idx, |&i| {
+        run_source(set.source(i), baseline_pipeline, baseline_predictor, uops)
+    });
+
+    let tasks: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|g| (0..set.len()).map(move |i| (g, i)))
+        .collect();
+    let variant_stats: Vec<SimStats> = par::par_map(&tasks, |&(g, i)| {
+        let (_, pipeline, predictor) = &variants[g];
+        run_source(set.source(i), pipeline, predictor, uops)
+    });
+
+    let groups = variants
+        .iter()
+        .enumerate()
+        .map(|(g, (label, _, _))| {
+            let results = (0..set.len())
+                .map(|i| BenchResult {
+                    name: set.name(i).to_string(),
+                    baseline: baselines[i],
+                    variant: variant_stats[g * set.len() + i],
+                })
+                .collect();
+            (label.clone(), results)
+        })
+        .collect();
+    SweepOutcome {
+        groups,
+        simulated_uops: (1 + variants.len() as u64) * set.len() as u64 * uops,
+    }
+}
+
 /// Figure 5a: speedup of 2d-Stride, VTAGE, VTAGE-2d-Stride and D-VTAGE (idealistic
 /// instruction-based infrastructure) on the 6-issue baseline, over `Baseline_6_60`.
-pub fn run_fig5a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
-    let baseline = PipelineConfig::baseline_6_60();
+pub fn run_fig5a(set: &TraceSet, uops: u64) -> SweepOutcome {
     let vp_pipe = PipelineConfig::baseline_vp_6_60();
-    [
+    let variants: Vec<SweepVariant> = [
         PredictorKind::TwoDeltaStride,
         PredictorKind::Vtage,
         PredictorKind::VtageStrideHybrid,
         PredictorKind::DVtage,
     ]
     .into_iter()
-    .map(|kind| {
-        let results = compare(
-            specs,
-            &baseline,
-            &PredictorKind::None,
-            &vp_pipe,
-            &kind,
-            uops,
-        );
-        (kind.label(), results)
-    })
-    .collect()
+    .map(|kind| (kind.label(), vp_pipe.clone(), kind))
+    .collect();
+    run_sweep(
+        set,
+        &PipelineConfig::baseline_6_60(),
+        &PredictorKind::None,
+        &variants,
+        uops,
+    )
 }
 
 /// Figure 5b: EOLE_4_60 with instruction-based D-VTAGE over Baseline_VP_6_60.
-pub fn run_fig5b(specs: &[WorkloadSpec], uops: u64) -> Vec<BenchResult> {
-    compare(
-        specs,
+pub fn run_fig5b(set: &TraceSet, uops: u64) -> Vec<BenchResult> {
+    compare_traced(
+        set,
         &PipelineConfig::baseline_vp_6_60(),
         &PredictorKind::DVtage,
         &PipelineConfig::eole_4_60(),
@@ -109,13 +214,13 @@ pub fn run_fig5b(specs: &[WorkloadSpec], uops: u64) -> Vec<BenchResult> {
 /// Runs one BeBoP block D-VTAGE configuration on EOLE_4_60 against the EOLE_4_60 +
 /// instruction-based D-VTAGE reference (the baseline of Figures 6 and 7).
 pub fn run_bebop_config(
-    specs: &[WorkloadSpec],
+    set: &TraceSet,
     cfg: bebop::BlockDVtageConfig,
     uops: u64,
 ) -> Vec<BenchResult> {
     let eole = PipelineConfig::eole_4_60();
-    compare(
-        specs,
+    compare_traced(
+        set,
         &eole,
         &PredictorKind::DVtage,
         &eole,
@@ -124,47 +229,52 @@ pub fn run_bebop_config(
     )
 }
 
-/// Figure 6a: predictions per entry (4/6/8) at roughly constant storage.
-pub fn run_fig6a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
-    configs::fig6a_sweep()
+/// Shared shape of Figures 6/7: BeBoP configurations over the EOLE_4_60 +
+/// instruction-based D-VTAGE reference, baseline simulated once for the sweep.
+fn run_bebop_sweep(
+    set: &TraceSet,
+    sweep: Vec<(String, bebop::BlockDVtageConfig)>,
+    uops: u64,
+) -> SweepOutcome {
+    let eole = PipelineConfig::eole_4_60();
+    let variants: Vec<SweepVariant> = sweep
         .into_iter()
-        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
-        .collect()
+        .map(|(label, cfg)| (label, eole.clone(), PredictorKind::BlockDVtage(cfg)))
+        .collect();
+    run_sweep(set, &eole, &PredictorKind::DVtage, &variants, uops)
+}
+
+/// Figure 6a: predictions per entry (4/6/8) at roughly constant storage.
+pub fn run_fig6a(set: &TraceSet, uops: u64) -> SweepOutcome {
+    run_bebop_sweep(set, configs::fig6a_sweep(), uops)
 }
 
 /// Figure 6b: base/tagged component sizes with 6 predictions per entry.
-pub fn run_fig6b(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
-    configs::fig6b_sweep()
-        .into_iter()
-        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
-        .collect()
+pub fn run_fig6b(set: &TraceSet, uops: u64) -> SweepOutcome {
+    run_bebop_sweep(set, configs::fig6b_sweep(), uops)
 }
 
-/// Section VI-B(a): partial stride widths (64/32/16/8 bits), with storage.
-pub fn run_strides(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, f64, Vec<BenchResult>)> {
-    configs::stride_sweep()
+/// Section VI-B(a): partial stride widths (64/32/16/8 bits). Each group label
+/// carries the configuration's storage budget, e.g. `8-bit strides [37.8 KB]`.
+pub fn run_strides(set: &TraceSet, uops: u64) -> SweepOutcome {
+    let sweep = configs::stride_sweep()
         .into_iter()
         .map(|(label, cfg)| {
-            let kb = cfg.storage_kb();
-            (label, kb, run_bebop_config(specs, cfg, uops))
+            let label = format!("{label} [{:.1} KB]", cfg.storage_kb());
+            (label, cfg)
         })
-        .collect()
+        .collect();
+    run_bebop_sweep(set, sweep, uops)
 }
 
 /// Figure 7a: recovery policies with an infinite speculative window.
-pub fn run_fig7a(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
-    configs::fig7a_sweep()
-        .into_iter()
-        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
-        .collect()
+pub fn run_fig7a(set: &TraceSet, uops: u64) -> SweepOutcome {
+    run_bebop_sweep(set, configs::fig7a_sweep(), uops)
 }
 
 /// Figure 7b: speculative window sizes under DnRDnR.
-pub fn run_fig7b(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
-    configs::fig7b_sweep()
-        .into_iter()
-        .map(|(label, cfg)| (label, run_bebop_config(specs, cfg, uops)))
-        .collect()
+pub fn run_fig7b(set: &TraceSet, uops: u64) -> SweepOutcome {
+    run_bebop_sweep(set, configs::fig7b_sweep(), uops)
 }
 
 /// Table III: the final configurations and their storage budgets in KB.
@@ -176,61 +286,54 @@ pub fn run_table3() -> Vec<(String, f64)> {
 }
 
 /// Figure 8: the final configurations (plus Baseline_VP_6_60 and EOLE_4_60 with
-/// instruction-based D-VTAGE) over Baseline_6_60.
-pub fn run_fig8(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, Vec<BenchResult>)> {
-    let baseline = PipelineConfig::baseline_6_60();
-    let mut out = Vec::new();
-    out.push((
-        "Baseline_VP_6_60".to_string(),
-        compare(
-            specs,
-            &baseline,
-            &PredictorKind::None,
-            &PipelineConfig::baseline_vp_6_60(),
-            &PredictorKind::DVtage,
-            uops,
+/// instruction-based D-VTAGE) over Baseline_6_60. All seven groups share one
+/// Baseline_6_60 simulation per workload.
+pub fn run_fig8(set: &TraceSet, uops: u64) -> SweepOutcome {
+    let eole = PipelineConfig::eole_4_60();
+    let mut variants: Vec<SweepVariant> = vec![
+        (
+            "Baseline_VP_6_60".to_string(),
+            PipelineConfig::baseline_vp_6_60(),
+            PredictorKind::DVtage,
         ),
-    ));
-    out.push((
-        "EOLE_4_60".to_string(),
-        compare(
-            specs,
-            &baseline,
-            &PredictorKind::None,
-            &PipelineConfig::eole_4_60(),
-            &PredictorKind::DVtage,
-            uops,
-        ),
-    ));
+        ("EOLE_4_60".to_string(), eole.clone(), PredictorKind::DVtage),
+    ];
     for (name, cfg) in configs::table3_configs() {
-        out.push((
+        variants.push((
             name.to_string(),
-            compare(
-                specs,
-                &baseline,
-                &PredictorKind::None,
-                &PipelineConfig::eole_4_60(),
-                &PredictorKind::BlockDVtage(cfg),
-                uops,
-            ),
+            eole.clone(),
+            PredictorKind::BlockDVtage(cfg),
         ));
     }
-    out
+    run_sweep(
+        set,
+        &PipelineConfig::baseline_6_60(),
+        &PredictorKind::None,
+        &variants,
+        uops,
+    )
 }
 
 /// Table II reproduction: baseline IPC of every synthetic benchmark on
 /// `Baseline_6_60`. Fanned out across cores like every other experiment.
-pub fn run_table2(specs: &[WorkloadSpec], uops: u64) -> Vec<(String, f64)> {
+pub fn run_table2(set: &TraceSet, uops: u64) -> Vec<(String, f64)> {
+    set.assert_covers(uops);
     let baseline = PipelineConfig::baseline_6_60();
-    bebop::par::par_map(specs, |s| {
-        let stats = bebop::run_one(s, &baseline, &PredictorKind::None, uops);
-        (s.name.clone(), stats.inst_ipc())
+    let idx: Vec<usize> = (0..set.len()).collect();
+    par::par_map(&idx, |&i| {
+        let stats = run_source(set.source(i), &baseline, &PredictorKind::None, uops);
+        (set.name(i).to_string(), stats.inst_ipc())
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn demo_set(names: &[&str], uops: u64) -> TraceSet {
+        let specs: Vec<WorkloadSpec> = names.iter().map(|n| WorkloadSpec::named_demo(*n)).collect();
+        TraceSet::build(&specs, uops, &TraceCachePolicy::default())
+    }
 
     #[test]
     fn subset_is_a_strict_subset() {
@@ -250,18 +353,20 @@ mod tests {
 
     #[test]
     fn fig5a_runs_on_a_tiny_population() {
-        let specs = vec![WorkloadSpec::named_demo("tiny")];
-        let out = run_fig5a(&specs, 3_000);
-        assert_eq!(out.len(), 4);
-        for (_, results) in out {
+        let set = demo_set(&["tiny"], 3_000);
+        let out = run_fig5a(&set, 3_000);
+        assert_eq!(out.groups.len(), 4);
+        for (_, results) in &out.groups {
             assert_eq!(results.len(), 1);
         }
+        // One shared baseline + four variants, one workload.
+        assert_eq!(out.simulated_uops, 5 * 3_000);
     }
 
     #[test]
     fn formatting_helpers_produce_text() {
-        let specs = vec![WorkloadSpec::named_demo("fmt")];
-        let results = run_fig5b(&specs, 2_000);
+        let set = demo_set(&["fmt"], 2_000);
+        let results = run_fig5b(&set, 2_000);
         let summary = SpeedupSummary::from_results(&results);
         assert!(format_summary("x", &summary).contains("gmean"));
         assert!(format_per_bench(&results).contains("fmt"));
@@ -271,26 +376,73 @@ mod tests {
     fn uops_budget_plumbs_through_every_experiment() {
         // `--uops` must reach every simulation: each run commits exactly the
         // requested budget, for every experiment entry point.
-        let specs: Vec<WorkloadSpec> = ["tiny-a", "tiny-b"]
-            .iter()
-            .map(|n| WorkloadSpec::named_demo(*n))
-            .collect();
         let uops = 1_500;
-        for (_, results) in run_fig5a(&specs, uops) {
+        let set = demo_set(&["tiny-a", "tiny-b"], uops);
+        for (_, results) in run_fig5a(&set, uops).groups {
             for r in &results {
                 assert_eq!(r.baseline.uops, uops);
                 assert_eq!(r.variant.uops, uops);
             }
         }
-        for r in run_fig5b(&specs, uops) {
+        for r in run_fig5b(&set, uops) {
             assert_eq!(r.baseline.uops, uops);
             assert_eq!(r.variant.uops, uops);
         }
-        for (_, results) in run_fig7b(&specs, uops).into_iter().take(2) {
+        for (_, results) in run_fig7b(&set, uops).groups.into_iter().take(2) {
             for r in &results {
                 assert_eq!(r.baseline.uops, uops);
             }
         }
+    }
+
+    #[test]
+    fn sweep_matches_the_legacy_per_config_compare_path() {
+        // The shared-trace, shared-baseline sweep must reproduce exactly what
+        // the legacy path (regenerate + resimulate everything per config)
+        // produced: replay is bit-identical to live generation and the
+        // baseline statistics are deterministic.
+        let uops = 2_500;
+        let specs: Vec<WorkloadSpec> = ["sw-a", "sw-b"]
+            .iter()
+            .map(|n| WorkloadSpec::named_demo(*n))
+            .collect();
+        let set = TraceSet::build(&specs, uops, &TraceCachePolicy::default());
+        let eole = PipelineConfig::eole_4_60();
+        let sweep = configs::stride_sweep();
+
+        let outcome = run_strides(&set, uops);
+        assert_eq!(outcome.groups.len(), sweep.len());
+        for ((label, results), (legacy_label, cfg)) in outcome.groups.iter().zip(sweep) {
+            // run_strides appends the storage budget to the legacy label.
+            assert!(
+                label.starts_with(&legacy_label) && label.ends_with("KB]"),
+                "unexpected stride label {label:?}"
+            );
+            let legacy = bebop::compare(
+                &specs,
+                &eole,
+                &PredictorKind::DVtage,
+                &eole,
+                &PredictorKind::BlockDVtage(cfg),
+                uops,
+            );
+            assert_eq!(*results, legacy, "sweep diverged for {label}");
+        }
+    }
+
+    #[test]
+    fn sweeps_run_identically_with_and_without_the_trace_cache() {
+        let uops = 2_000;
+        let specs: Vec<WorkloadSpec> = ["nc-a", "nc-b"]
+            .iter()
+            .map(|n| WorkloadSpec::named_demo(*n))
+            .collect();
+        let cached = TraceSet::build(&specs, uops, &TraceCachePolicy::default());
+        let streaming = TraceSet::build(&specs, uops, &TraceCachePolicy::disabled());
+        let a = run_fig8(&cached, uops);
+        let b = run_fig8(&streaming, uops);
+        assert_eq!(a.groups, b.groups);
+        assert_eq!(a.simulated_uops, b.simulated_uops);
     }
 
     #[test]
@@ -301,15 +453,16 @@ mod tests {
         // bit-identical `SimStats`.
         let specs = workloads(true);
         let uops = 3_000;
+        let set = TraceSet::build(&specs, uops, &TraceCachePolicy::default());
 
         bebop::par::set_threads(1);
-        let serial = run_fig5b(&specs, uops);
-        let serial_t2 = run_table2(&specs, uops);
+        let serial = run_fig5b(&set, uops);
+        let serial_t2 = run_table2(&set, uops);
         // Force real worker threads even on a single-core machine, so the
         // parallel path is exercised everywhere this test runs.
         bebop::par::set_threads(4);
-        let parallel = run_fig5b(&specs, uops);
-        let parallel_t2 = run_table2(&specs, uops);
+        let parallel = run_fig5b(&set, uops);
+        let parallel_t2 = run_table2(&set, uops);
         bebop::par::set_threads(0);
 
         assert_eq!(serial, parallel, "SimStats must match bit-for-bit");

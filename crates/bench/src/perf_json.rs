@@ -1,0 +1,213 @@
+//! Reading and diffing the `figures --json` perf reports.
+//!
+//! The report format is this repository's own (`bebop-bench-figures/v1`,
+//! written by the `figures` binary), so a dependency-free field scanner is
+//! enough: no external JSON crate is available in the offline build image, and
+//! none is needed. The `perf_gate` binary uses [`diff`] in CI to fail pull
+//! requests whose aggregate µops/sec regresses more than the tolerance against
+//! the committed `BENCH_figures.json` baseline.
+
+/// One parsed perf report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Worker threads the run fanned out over.
+    pub threads: u64,
+    /// µ-ops simulated per run (`--uops`).
+    pub uops_per_run: u64,
+    /// Aggregate simulation throughput over every experiment.
+    pub total_uops_per_sec: f64,
+    /// `(experiment name, µops/sec)` rows, in report order.
+    pub experiments: Vec<(String, f64)>,
+}
+
+/// Extracts the JSON number following `"key":` in `text`, starting at `from`.
+fn number_after(text: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let pat = format!("\"{key}\"");
+    let at = text[from..].find(&pat)? + from + pat.len();
+    let rest = text[at..].trim_start_matches([':', ' ', '\t']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    let value: f64 = rest[..end].parse().ok()?;
+    Some((value, at))
+}
+
+/// Extracts the JSON string following `"key":` in `text`, starting at `from`.
+fn string_after(text: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let pat = format!("\"{key}\"");
+    let at = text[from..].find(&pat)? + from + pat.len();
+    let open = text[at..].find('"')? + at + 1;
+    let close = text[open..].find('"')? + open;
+    Some((text[open..close].to_string(), close))
+}
+
+/// Parses a `bebop-bench-figures/v1` report.
+///
+/// Returns `None` when the schema marker or any required field is missing, so
+/// callers fail loudly on truncated or foreign files instead of gating on
+/// garbage.
+pub fn parse(text: &str) -> Option<PerfReport> {
+    if !text.contains("bebop-bench-figures/v1") {
+        return None;
+    }
+    let threads = number_after(text, "threads", 0)?.0 as u64;
+    let uops_per_run = number_after(text, "uops_per_run", 0)?.0 as u64;
+    let total_uops_per_sec = number_after(text, "total_uops_per_sec", 0)?.0;
+
+    let exp_at = text.find("\"experiments\"")?;
+    let mut experiments = Vec::new();
+    let mut cursor = exp_at;
+    while let Some((name, after_name)) = string_after(text, "name", cursor) {
+        let (ups, after_ups) = number_after(text, "uops_per_sec", after_name)?;
+        experiments.push((name, ups));
+        cursor = after_ups;
+    }
+    if experiments.is_empty() {
+        return None;
+    }
+    Some(PerfReport {
+        threads,
+        uops_per_run,
+        total_uops_per_sec,
+        experiments,
+    })
+}
+
+/// The verdict of a baseline-vs-current comparison.
+#[derive(Debug, Clone)]
+pub struct PerfDiff {
+    /// Human-readable comparison rows (one per experiment plus the total).
+    pub lines: Vec<String>,
+    /// `Some(message)` when the aggregate throughput regressed beyond the
+    /// tolerance — the CI-failing condition.
+    pub failure: Option<String>,
+}
+
+fn ratio_row(name: &str, base: f64, cur: f64, tolerance: f64) -> (String, bool) {
+    if base <= 0.0 {
+        return (format!("  {name:<12} baseline unusable ({base})"), false);
+    }
+    let ratio = cur / base;
+    let regressed = ratio < 1.0 - tolerance;
+    let marker = if regressed { "  << REGRESSION" } else { "" };
+    (
+        format!("  {name:<12} {base:>12.0} -> {cur:>12.0} uops/s  ({ratio:.2}x){marker}",),
+        regressed,
+    )
+}
+
+/// Compares `current` against `baseline` with a relative `tolerance`
+/// (0.20 = fail on a >20% drop). The gate fires on the *aggregate*
+/// µops/sec only; per-experiment regressions are reported as context (single
+/// experiments are noisy on shared CI runners, the aggregate is not).
+pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> PerfDiff {
+    let mut lines = Vec::new();
+    if baseline.threads != current.threads || baseline.uops_per_run != current.uops_per_run {
+        lines.push(format!(
+            "  note: baseline ran {} thread(s) x {} uops, current {} thread(s) x {} uops",
+            baseline.threads, baseline.uops_per_run, current.threads, current.uops_per_run
+        ));
+    }
+    for (name, base_ups) in &baseline.experiments {
+        if let Some((_, cur_ups)) = current.experiments.iter().find(|(n, _)| n == name) {
+            lines.push(ratio_row(name, *base_ups, *cur_ups, tolerance).0);
+        } else {
+            lines.push(format!("  {name:<12} missing from the current report"));
+        }
+    }
+    let (total_line, regressed) = ratio_row(
+        "TOTAL",
+        baseline.total_uops_per_sec,
+        current.total_uops_per_sec,
+        tolerance,
+    );
+    lines.push(total_line);
+    let failure = regressed.then(|| {
+        format!(
+            "aggregate throughput regressed >{:.0}%: {:.0} -> {:.0} uops/s",
+            tolerance * 100.0,
+            baseline.total_uops_per_sec,
+            current.total_uops_per_sec
+        )
+    });
+    PerfDiff { lines, failure }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total: f64, fig8: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 4,
+  "uops_per_run": 200000,
+  "benchmarks": 36,
+  "total_wall_s": 10.5,
+  "total_uops": 1000,
+  "total_uops_per_sec": {total},
+  "experiments": [
+    {{"name": "table2", "wall_s": 1.0, "uops": 500, "uops_per_sec": 500.0}},
+    {{"name": "fig8", "wall_s": 9.5, "uops": 500, "uops_per_sec": {fig8}}}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn parses_the_report_shape_figures_emits() {
+        let r = parse(&report(2843903.0, 3491105.2)).expect("parse");
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.uops_per_run, 200_000);
+        assert!((r.total_uops_per_sec - 2843903.0).abs() < 1e-6);
+        assert_eq!(r.experiments.len(), 2);
+        assert_eq!(r.experiments[0].0, "table2");
+        assert!((r.experiments[1].1 - 3491105.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_figures.json"
+        ))
+        .expect("committed baseline exists");
+        let r = parse(&text).expect("baseline parses");
+        assert!(r.total_uops_per_sec > 0.0);
+        assert!(!r.experiments.is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_or_truncated_files() {
+        assert!(parse("{}").is_none());
+        assert!(parse("{\"schema\": \"bebop-bench-figures/v1\"}").is_none());
+        assert!(parse("not json at all").is_none());
+    }
+
+    #[test]
+    fn diff_passes_within_tolerance() {
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let cur = parse(&report(900.0, 500.0)).unwrap();
+        // Total dropped 10% (within 20%); fig8 dropped 50% but only informs.
+        let d = diff(&base, &cur, 0.20);
+        assert!(d.failure.is_none(), "{:?}", d.lines);
+        assert!(d.lines.iter().any(|l| l.contains("REGRESSION")));
+    }
+
+    #[test]
+    fn diff_fails_on_aggregate_regression() {
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let cur = parse(&report(700.0, 1000.0)).unwrap();
+        let d = diff(&base, &cur, 0.20);
+        assert!(d.failure.is_some());
+    }
+
+    #[test]
+    fn diff_improvements_never_fail() {
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let cur = parse(&report(5000.0, 5000.0)).unwrap();
+        assert!(diff(&base, &cur, 0.20).failure.is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Shared trace recordings for config sweeps.
+//!
+//! A figure experiment simulates many (pipeline, predictor) configurations over
+//! the *same* workload population. A [`TraceSet`] records each workload's µ-op
+//! stream into a [`TraceBuffer`] exactly once — fanned out across cores — and
+//! then hands every simulation a borrowed [`UopSource`], so a sweep of `k`
+//! configurations pays trace generation once instead of `k` times, and all
+//! worker threads replay the same shared, read-only buffers.
+//!
+//! Memory is bounded by a [`TraceCachePolicy`]: each 200K-µop trace costs
+//! roughly 6–7 MiB (the structure-of-arrays lanes of
+//! [`TraceBuffer::footprint_bytes`]; the full 36-benchmark population is about
+//! a quarter of a GiB). Runs on memory-constrained machines can cap the cache
+//! (`--trace-cache-mb`) or disable it (`--no-trace-cache`), in which case the
+//! uncached workloads fall back to streaming live generation — results are
+//! bit-identical either way, only the cost moves.
+
+use bebop::{par, UopSource, WorkloadSpec};
+use bebop_trace::TraceBuffer;
+
+/// How much memory a [`TraceSet`] may spend on recorded traces.
+#[derive(Debug, Clone)]
+pub struct TraceCachePolicy {
+    /// When false, nothing is recorded and every source streams live.
+    pub enabled: bool,
+    /// Optional cap on the total recorded footprint, in bytes. Workloads that
+    /// do not fit under the cap stream live instead.
+    pub cap_bytes: Option<u64>,
+}
+
+impl Default for TraceCachePolicy {
+    fn default() -> Self {
+        TraceCachePolicy {
+            enabled: true,
+            cap_bytes: None,
+        }
+    }
+}
+
+impl TraceCachePolicy {
+    /// The policy selected by `--no-trace-cache`: stream everything.
+    pub fn disabled() -> Self {
+        TraceCachePolicy {
+            enabled: false,
+            cap_bytes: None,
+        }
+    }
+
+    /// A cache capped at `mb` mebibytes (the `--trace-cache-mb` flag).
+    pub fn capped_mb(mb: u64) -> Self {
+        TraceCachePolicy {
+            enabled: true,
+            cap_bytes: Some(mb * 1024 * 1024),
+        }
+    }
+}
+
+struct TraceSetEntry {
+    spec: WorkloadSpec,
+    buf: Option<TraceBuffer>,
+}
+
+impl std::fmt::Debug for TraceSetEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSetEntry")
+            .field("spec", &self.spec.name)
+            .field("cached", &self.buf.is_some())
+            .finish()
+    }
+}
+
+/// A workload population with per-workload trace recordings (where the cache
+/// policy allows), handing out [`UopSource`]s for simulations.
+#[derive(Debug)]
+pub struct TraceSet {
+    uops: u64,
+    entries: Vec<TraceSetEntry>,
+}
+
+impl TraceSet {
+    /// Records up to `uops` µ-ops per workload under `policy`, fanning the
+    /// recordings out across cores with [`par::par_map`].
+    ///
+    /// When a footprint cap is set, one workload is recorded first to measure
+    /// the per-trace cost (all workloads share the µ-op budget, so one
+    /// recording is representative), and only as many traces as fit under the
+    /// cap are kept; the rest stream live.
+    pub fn build(specs: &[WorkloadSpec], uops: u64, policy: &TraceCachePolicy) -> Self {
+        if !policy.enabled || specs.is_empty() {
+            return Self::streaming(specs);
+        }
+        let cached = match policy.cap_bytes {
+            None => specs.len(),
+            Some(cap) => {
+                let probe = TraceBuffer::record(&specs[0], uops);
+                let per_trace = (probe.footprint_bytes() as u64).max(1);
+                let fit = (cap / per_trace) as usize;
+                if fit == 0 {
+                    return Self::streaming(specs);
+                }
+                // Reuse the probe as the first entry below.
+                let fit = fit.min(specs.len());
+                let mut entries: Vec<TraceSetEntry> = Vec::with_capacity(specs.len());
+                entries.push(TraceSetEntry {
+                    spec: specs[0].clone(),
+                    buf: Some(probe),
+                });
+                entries.extend(par::par_map(&specs[1..fit], |spec| TraceSetEntry {
+                    spec: spec.clone(),
+                    buf: Some(TraceBuffer::record(spec, uops)),
+                }));
+                entries.extend(specs[fit..].iter().map(|spec| TraceSetEntry {
+                    spec: spec.clone(),
+                    buf: None,
+                }));
+                return TraceSet { uops, entries };
+            }
+        };
+        let entries = par::par_map(&specs[..cached], |spec| TraceSetEntry {
+            spec: spec.clone(),
+            buf: Some(TraceBuffer::record(spec, uops)),
+        });
+        TraceSet { uops, entries }
+    }
+
+    /// A set with no recordings: every source streams live generation.
+    pub fn streaming(specs: &[WorkloadSpec]) -> Self {
+        TraceSet {
+            uops: 0,
+            entries: specs
+                .iter()
+                .map(|spec| TraceSetEntry {
+                    spec: spec.clone(),
+                    buf: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of workloads in the set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the set holds no workloads.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The benchmark name of workload `i`.
+    pub fn name(&self, i: usize) -> &str {
+        &self.entries[i].spec.name
+    }
+
+    /// The µ-op source for workload `i`: a replay of the shared recording when
+    /// one exists, live generation otherwise.
+    pub fn source(&self, i: usize) -> UopSource<'_> {
+        match &self.entries[i].buf {
+            Some(buf) => UopSource::Replay(buf),
+            None => UopSource::Live(&self.entries[i].spec),
+        }
+    }
+
+    /// Number of workloads with a recorded trace.
+    pub fn cached_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.buf.is_some()).count()
+    }
+
+    /// Total heap footprint of the recordings, in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| e.buf.as_ref())
+            .map(|b| b.footprint_bytes() as u64)
+            .sum()
+    }
+
+    /// Total µ-ops generated into recordings when the set was built (the
+    /// one-time cost the replay fast path amortises).
+    pub fn generated_uops(&self) -> u64 {
+        self.cached_count() as u64 * self.uops
+    }
+
+    /// Asserts that every recorded trace covers a `max_uops` simulation.
+    ///
+    /// A cursor over a too-short recording would exhaust early and silently
+    /// commit fewer µ-ops than the live path; the experiment runners call this
+    /// so a budget/recording mismatch fails loudly instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set holds recordings shorter than `max_uops`.
+    pub fn assert_covers(&self, max_uops: u64) {
+        assert!(
+            self.cached_count() == 0 || self.uops >= max_uops,
+            "trace set was recorded with {} uops per workload but the run asks for {max_uops}",
+            self.uops
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bebop::{run_source, PipelineConfig, PredictorKind};
+
+    fn tiny_specs() -> Vec<WorkloadSpec> {
+        ["ts-a", "ts-b", "ts-c"]
+            .iter()
+            .map(|n| WorkloadSpec::named_demo(*n))
+            .collect()
+    }
+
+    #[test]
+    fn full_cache_records_every_workload() {
+        let specs = tiny_specs();
+        let set = TraceSet::build(&specs, 2_000, &TraceCachePolicy::default());
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.cached_count(), 3);
+        assert_eq!(set.generated_uops(), 6_000);
+        assert!(set.footprint_bytes() > 0);
+        assert!(matches!(set.source(0), UopSource::Replay(_)));
+    }
+
+    #[test]
+    fn disabled_cache_streams_everything() {
+        let specs = tiny_specs();
+        let set = TraceSet::build(&specs, 2_000, &TraceCachePolicy::disabled());
+        assert_eq!(set.cached_count(), 0);
+        assert_eq!(set.footprint_bytes(), 0);
+        assert_eq!(set.generated_uops(), 0);
+        assert!(matches!(set.source(0), UopSource::Live(_)));
+    }
+
+    #[test]
+    fn cap_limits_the_number_of_recordings() {
+        let specs = tiny_specs();
+        let full = TraceSet::build(&specs, 2_000, &TraceCachePolicy::default());
+        let per_trace = full.footprint_bytes() / 3;
+        // Room for roughly two traces: the third must fall back to streaming.
+        let set = TraceSet::build(
+            &specs,
+            2_000,
+            &TraceCachePolicy {
+                enabled: true,
+                cap_bytes: Some(per_trace * 2 + per_trace / 2),
+            },
+        );
+        assert_eq!(set.cached_count(), 2);
+        assert!(matches!(set.source(0), UopSource::Replay(_)));
+        assert!(matches!(set.source(2), UopSource::Live(_)));
+        // A cap below one trace streams everything.
+        let none = TraceSet::build(
+            &specs,
+            2_000,
+            &TraceCachePolicy {
+                enabled: true,
+                cap_bytes: Some(16),
+            },
+        );
+        assert_eq!(none.cached_count(), 0);
+    }
+
+    #[test]
+    fn cached_and_streaming_sources_simulate_identically() {
+        let specs = tiny_specs();
+        let cached = TraceSet::build(&specs, 3_000, &TraceCachePolicy::default());
+        let streaming = TraceSet::streaming(&specs);
+        for i in 0..specs.len() {
+            let a = run_source(
+                cached.source(i),
+                &PipelineConfig::eole_4_60(),
+                &PredictorKind::DVtage,
+                3_000,
+            );
+            let b = run_source(
+                streaming.source(i),
+                &PipelineConfig::eole_4_60(),
+                &PredictorKind::DVtage,
+                3_000,
+            );
+            assert_eq!(a, b, "replay diverged for {}", cached.name(i));
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //!   instead of being reallocated per block instance.
 
 use crate::recovery::RecoveryPolicy;
+use crate::slot_simd;
 use crate::spec_window::{SlotPredictions, SpecWindowSize, SpeculativeWindow, MAX_NPRED};
 use crate::update_queue::FifoUpdateQueue;
 use bebop_isa::{byte_index_in_block, fetch_block_pc, DynUop, SeqNum};
@@ -138,29 +139,56 @@ impl BlockDVtageConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct LvtSlot {
-    valid: bool,
-    byte_tag: u8,
-    last: u64,
-}
-
+/// Last-value-table entry, slots stored structure-of-arrays: the byte-tag and
+/// last-value lanes are read/written as whole arrays by the vectorised block
+/// paths, and slot validity is a bitmask so "which slots participate" composes
+/// with the lane masks produced by [`slot_simd`].
 #[derive(Debug, Clone, Copy)]
 struct LvtEntry {
     valid: bool,
     tag: u16,
-    slots: [LvtSlot; MAX_NPRED],
+    /// Bit `i` set when slot `i` holds a retired value.
+    slot_valid: u8,
+    byte_tags: [u8; MAX_NPRED],
+    lasts: [u64; MAX_NPRED],
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct StrideSlot {
-    stride: i64,
-    conf: ForwardProbabilisticCounter,
+impl LvtEntry {
+    fn reset_slots(&mut self) {
+        self.slot_valid = 0;
+        self.byte_tags = [0; MAX_NPRED];
+        self.lasts = [0; MAX_NPRED];
+    }
+}
+
+/// The per-slot stride/confidence payload of a VT0 or tagged entry, stored
+/// structure-of-arrays so the per-slot stride add/compare runs as flat lanes.
+#[derive(Debug, Clone, Copy)]
+struct SlotStrides {
+    strides: [i64; MAX_NPRED],
+    conf: [ForwardProbabilisticCounter; MAX_NPRED],
+}
+
+impl SlotStrides {
+    fn cleared() -> Self {
+        SlotStrides {
+            strides: [0; MAX_NPRED],
+            conf: [ForwardProbabilisticCounter::new(); MAX_NPRED],
+        }
+    }
+
+    fn conf_levels(&self) -> [u8; MAX_NPRED] {
+        let mut out = [0u8; MAX_NPRED];
+        for (o, c) in out.iter_mut().zip(&self.conf) {
+            *o = c.level();
+        }
+        out
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Vt0Entry {
-    slots: [StrideSlot; MAX_NPRED],
+    slots: SlotStrides,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -168,7 +196,7 @@ struct TaggedEntry {
     valid: bool,
     tag: u16,
     useful: bool,
-    slots: [StrideSlot; MAX_NPRED],
+    slots: SlotStrides,
 }
 
 /// The prediction block currently being attributed to fetched µ-ops.
@@ -268,16 +296,18 @@ impl BlockDVtage {
         let lvt_entry = LvtEntry {
             valid: false,
             tag: 0,
-            slots: [LvtSlot::default(); MAX_NPRED],
+            slot_valid: 0,
+            byte_tags: [0; MAX_NPRED],
+            lasts: [0; MAX_NPRED],
         };
         let vt0_entry = Vt0Entry {
-            slots: [StrideSlot::default(); MAX_NPRED],
+            slots: SlotStrides::cleared(),
         };
         let tagged_entry = TaggedEntry {
             valid: false,
             tag: 0,
             useful: false,
-            slots: [StrideSlot::default(); MAX_NPRED],
+            slots: SlotStrides::cleared(),
         };
         let mut comp = [CompParams::default(); MAX_TAGGED];
         for (c, params) in comp.iter_mut().enumerate().take(cfg.num_tagged) {
@@ -453,31 +483,39 @@ impl BlockDVtage {
             self.window_hits += 1;
         }
 
+        // Provider slot payload as flat lanes: one array copy instead of a
+        // per-slot provider match.
+        let provider_slots = match provider {
+            Some((c, idx)) => self.tagged[c][idx].slots,
+            None => self.vt0[lvt_index].slots,
+        };
+        let provider_strides = provider_slots.strides;
+        let provider_conf_levels = provider_slots.conf_levels();
+        let confident = slot_simd::confident_mask(&provider_conf_levels, self.cfg.fpc.max_level());
+
+        // Last values: speculative-window lanes take precedence over the
+        // retired LVT lanes, then the vectorised stride add produces every
+        // slot's prediction at once (truncate each stride lane to the partial
+        // width, add onto the last-value lanes).
+        let mut lasts = lvt.lasts;
+        if let Some(win) = win_values {
+            for (last, w) in lasts.iter_mut().zip(win.iter()) {
+                if let Some(v) = *w {
+                    *last = v;
+                }
+            }
+        }
+        let clamped = slot_simd::clamp_strides(&provider_strides, self.cfg.stride_bits);
+        let preds = slot_simd::add_strides(&lasts, &clamped);
+
         let mut slot_tags = [None; MAX_NPRED];
         let mut slot_pred = [None; MAX_NPRED];
         let mut slot_conf = [false; MAX_NPRED];
-        let mut provider_conf_levels = [0u8; MAX_NPRED];
-        let mut provider_strides = [0i64; MAX_NPRED];
-
         for i in 0..np {
-            let (stride, conf) = match provider {
-                Some((c, idx)) => {
-                    let s = &self.tagged[c][idx].slots[i];
-                    (s.stride, s.conf)
-                }
-                None => {
-                    let s = &self.vt0[lvt_index].slots[i];
-                    (s.stride, s.conf)
-                }
-            };
-            provider_conf_levels[i] = conf.level();
-            provider_strides[i] = stride;
-            slot_conf[i] = conf.is_confident(&self.cfg.fpc);
-
-            if lvt_hit && lvt.slots[i].valid {
-                slot_tags[i] = Some(lvt.slots[i].byte_tag);
-                let last = win_values.and_then(|v| v[i]).unwrap_or(lvt.slots[i].last);
-                slot_pred[i] = Some(last.wrapping_add_signed(self.cfg.clamp_stride(stride)));
+            slot_conf[i] = confident & (1 << i) != 0;
+            if lvt_hit && lvt.slot_valid & (1 << i) != 0 {
+                slot_tags[i] = Some(lvt.byte_tags[i]);
+                slot_pred[i] = Some(preds[i]);
             }
         }
 
@@ -551,33 +589,46 @@ impl BlockDVtage {
             if !lvt_matched {
                 e.valid = true;
                 e.tag = rec.lvt_tag;
-                for s in &mut e.slots {
-                    *s = LvtSlot::default();
-                }
+                e.reset_slots();
             }
         }
 
+        // Dense actual-value lanes for the vectorised compare / stride diff.
+        let mut actuals = [0u64; MAX_NPRED];
+        let mut assigned_mask = 0u8;
+        for &(i, _, actual) in &assignments[..num_assigned] {
+            actuals[i] = actual;
+            assigned_mask |= 1 << i;
+        }
+        let (prev_lasts, prev_valid) = {
+            let e = &self.lvt[rec.lvt_index];
+            (e.lasts, if lvt_matched { e.slot_valid } else { 0 })
+        };
+        // Vectorised slot compare: which assigned slots' block predictions
+        // matched the retired values.
+        let (pred_vals, pred_mask) = slot_simd::split_predictions(&rec.slot_pred);
+        let correct_mask = slot_simd::eq_mask(&pred_vals, &actuals) & pred_mask & assigned_mask;
+        // Vectorised stride observation: actual minus previous last value,
+        // truncated to the configured partial width, over all lanes at once.
+        let diffs = slot_simd::sub_lanes(&actuals, &prev_lasts);
+        let clamped_diffs = slot_simd::clamp_strides(&diffs, self.cfg.stride_bits);
+
+        // Scalar tail: learn byte tags and write back last values per slot.
         // Per assigned slot: (slot index, observed stride, correctness).
         let mut observed = [(0usize, None::<i64>, false); MAX_NPRED];
         for (&(i, b, actual), obs) in assignments[..num_assigned].iter().zip(observed.iter_mut()) {
             let e = &mut self.lvt[rec.lvt_index];
-            let s = &mut e.slots[i];
-            let prev = if lvt_matched && s.valid {
-                Some(s.last)
-            } else {
-                None
-            };
-            if !s.valid {
-                s.valid = true;
-                s.byte_tag = b;
-            } else if b < s.byte_tag {
+            let bit = 1u8 << i;
+            if e.slot_valid & bit == 0 {
+                e.slot_valid |= bit;
+                e.byte_tags[i] = b;
+            } else if b < e.byte_tags[i] {
                 // A lesser byte index may replace a greater one, never the opposite.
-                s.byte_tag = b;
+                e.byte_tags[i] = b;
             }
-            s.last = actual;
-            let stride = prev.map(|p| self.cfg.clamp_stride(actual.wrapping_sub(p) as i64));
-            let correct = rec.slot_pred[i] == Some(actual);
-            *obs = (i, stride, correct);
+            e.lasts[i] = actual;
+            let stride = (prev_valid & bit != 0).then(|| clamped_diffs[i]);
+            *obs = (i, stride, correct_mask & bit != 0);
         }
         let observed = &observed[..num_assigned];
 
@@ -597,13 +648,12 @@ impl BlockDVtage {
                 let e = &mut self.tagged[c][idx];
                 if e.valid && e.tag == expected_tag {
                     for (&(i, stride, correct), &r) in observed.iter().zip(&entropy) {
-                        let slot = &mut e.slots[i];
                         if correct {
-                            slot.conf.on_correct_with(&fpc, r);
+                            e.slots.conf[i].on_correct_with(&fpc, r);
                         } else {
-                            slot.conf.on_wrong();
+                            e.slots.conf[i].on_wrong();
                             if let Some(s) = stride {
-                                slot.stride = s;
+                                e.slots.strides[i] = s;
                             }
                         }
                     }
@@ -613,13 +663,12 @@ impl BlockDVtage {
             None => {
                 let e = &mut self.vt0[rec.lvt_index];
                 for (&(i, stride, correct), &r) in observed.iter().zip(&entropy) {
-                    let slot = &mut e.slots[i];
                     if correct {
-                        slot.conf.on_correct_with(&fpc, r);
+                        e.slots.conf[i].on_correct_with(&fpc, r);
                     } else {
-                        slot.conf.on_wrong();
+                        e.slots.conf[i].on_wrong();
                         if let Some(s) = stride {
-                            slot.stride = s;
+                            e.slots.strides[i] = s;
                         }
                     }
                 }
@@ -647,16 +696,16 @@ impl BlockDVtage {
                     let pick = (self.rand() as usize) % num_candidates.min(2);
                     let comp = candidates[pick];
                     let (idx, tag) = rec.alloc_slots[comp];
-                    let mut slots = [StrideSlot::default(); MAX_NPRED];
-                    for (i, slot) in slots.iter_mut().enumerate().take(np) {
+                    let mut slots = SlotStrides::cleared();
+                    for i in 0..np {
                         // Default: inherit the provider's stride and confidence.
-                        slot.stride = rec.provider_strides[i];
-                        slot.conf.set_level(rec.provider_conf_levels[i], &fpc);
+                        slots.strides[i] = rec.provider_strides[i];
+                        slots.conf[i].set_level(rec.provider_conf_levels[i], &fpc);
                     }
                     for &(i, stride, correct) in observed {
                         if !correct {
-                            slots[i].stride = stride.unwrap_or(0);
-                            slots[i].conf = ForwardProbabilisticCounter::new();
+                            slots.strides[i] = stride.unwrap_or(0);
+                            slots.conf[i] = ForwardProbabilisticCounter::new();
                         }
                     }
                     self.tagged[comp][idx] = TaggedEntry {

@@ -5,7 +5,7 @@
 use crate::block_dvtage::{BlockDVtage, BlockDVtageConfig};
 use crate::par;
 use bebop_isa::DynUop;
-use bebop_trace::{TraceGenerator, WorkloadSpec};
+use bebop_trace::{TraceBuffer, TraceCursor, TraceGenerator, WorkloadSpec};
 use bebop_uarch::{
     gmean, NoValuePredictor, PerfectValuePredictor, Pipeline, PipelineConfig, PredictCtx, SimStats,
     SquashInfo, ValuePredictor,
@@ -159,16 +159,82 @@ impl ValuePredictor for AnyPredictor {
     }
 }
 
-/// Runs one workload on one pipeline configuration with one predictor for
+/// Where a simulation draws its dynamic µ-op stream from.
+///
+/// The two variants yield bit-identical streams for the same workload (the
+/// `integration_replay` suite asserts `SimStats` equality for every
+/// [`PredictorKind`]); the difference is pure cost. `Live` pays trace
+/// generation inside the simulation loop, which is the right trade for a
+/// one-off run. `Replay` walks a pre-recorded [`TraceBuffer`], which is the
+/// right trade for config sweeps: the buffer is recorded once and shared by
+/// reference across every configuration and worker thread.
+#[derive(Debug, Clone, Copy)]
+pub enum UopSource<'a> {
+    /// Generate the stream live from the workload specification.
+    Live(&'a WorkloadSpec),
+    /// Replay a shared pre-recorded trace.
+    Replay(&'a TraceBuffer),
+}
+
+impl<'a> UopSource<'a> {
+    /// Opens the µ-op stream at its start.
+    pub fn stream(&self) -> UopStream<'a> {
+        match self {
+            UopSource::Live(spec) => UopStream::Live(TraceGenerator::new(spec)),
+            UopSource::Replay(buf) => UopStream::Replay(buf.replay()),
+        }
+    }
+}
+
+/// The iterator behind a [`UopSource`]: a live generator or a replay cursor.
+///
+/// An enum rather than `Box<dyn Iterator>` so the pipeline's monomorphised run
+/// loop keeps a concrete item-producing type (the match compiles to a branch,
+/// not a virtual call per µ-op).
+// One stream instance exists per simulation run; its inline size is irrelevant
+// next to an indirection on every `next` call.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum UopStream<'a> {
+    /// Live trace generation.
+    Live(TraceGenerator),
+    /// Zero-copy replay of a recorded trace.
+    Replay(TraceCursor<'a>),
+}
+
+impl Iterator for UopStream<'_> {
+    type Item = DynUop;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynUop> {
+        match self {
+            UopStream::Live(g) => g.next(),
+            UopStream::Replay(c) => c.next(),
+        }
+    }
+}
+
+/// Runs one µ-op source on one pipeline configuration with one predictor for
 /// `max_uops` µ-ops and returns the statistics.
+pub fn run_source(
+    source: UopSource<'_>,
+    pipeline: &PipelineConfig,
+    predictor: &PredictorKind,
+    max_uops: u64,
+) -> SimStats {
+    let mut p = predictor.build();
+    Pipeline::new(pipeline.clone()).run(source.stream(), &mut p, max_uops)
+}
+
+/// Runs one workload (generated live) on one pipeline configuration with one
+/// predictor for `max_uops` µ-ops and returns the statistics.
 pub fn run_one(
     spec: &WorkloadSpec,
     pipeline: &PipelineConfig,
     predictor: &PredictorKind,
     max_uops: u64,
 ) -> SimStats {
-    let mut p = predictor.build();
-    Pipeline::new(pipeline.clone()).run(TraceGenerator::new(spec), &mut p, max_uops)
+    run_source(UopSource::Live(spec), pipeline, predictor, max_uops)
 }
 
 /// The speedup of one benchmark under a variant configuration relative to a
@@ -316,6 +382,31 @@ mod tests {
         for kind in kinds {
             let stats = run_one(&demo(), &PipelineConfig::baseline_vp_6_60(), &kind, 2_000);
             assert_eq!(stats.uops, 2_000, "{} failed to run", kind.label());
+        }
+    }
+
+    #[test]
+    fn replay_source_matches_live_source() {
+        let spec = demo();
+        let buf = bebop_trace::TraceBuffer::record(&spec, 8_000);
+        for kind in [
+            PredictorKind::None,
+            PredictorKind::DVtage,
+            PredictorKind::BlockDVtage(configs::medium()),
+        ] {
+            let live = run_source(
+                UopSource::Live(&spec),
+                &PipelineConfig::baseline_vp_6_60(),
+                &kind,
+                8_000,
+            );
+            let replayed = run_source(
+                UopSource::Replay(&buf),
+                &PipelineConfig::baseline_vp_6_60(),
+                &kind,
+                8_000,
+            );
+            assert_eq!(live, replayed, "{} diverged under replay", kind.label());
         }
     }
 

@@ -53,12 +53,16 @@ pub mod configs;
 mod driver;
 pub mod par;
 mod recovery;
+pub mod slot_simd;
 mod spec_window;
 mod update_queue;
 
 pub use bebop_vp::MAX_TAGGED;
 pub use block_dvtage::{BlockDVtage, BlockDVtageConfig};
-pub use driver::{compare, run_one, AnyPredictor, BenchResult, PredictorKind, SpeedupSummary};
+pub use driver::{
+    compare, run_one, run_source, AnyPredictor, BenchResult, PredictorKind, SpeedupSummary,
+    UopSource, UopStream,
+};
 pub use recovery::RecoveryPolicy;
 pub use spec_window::{
     SlotPredictions, SpecWindowEntry, SpecWindowSize, SpeculativeWindow, MAX_NPRED,
@@ -66,5 +70,7 @@ pub use spec_window::{
 pub use update_queue::FifoUpdateQueue;
 
 // Re-export the pieces downstream users almost always need alongside this crate.
-pub use bebop_trace::{all_spec_benchmarks, spec_benchmark, WorkloadSpec, SPEC_BENCHMARK_NAMES};
+pub use bebop_trace::{
+    all_spec_benchmarks, spec_benchmark, TraceBuffer, WorkloadSpec, SPEC_BENCHMARK_NAMES,
+};
 pub use bebop_uarch::{PipelineConfig, SimStats};

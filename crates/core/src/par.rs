@@ -33,6 +33,13 @@ pub fn effective_threads(tasks: usize) -> usize {
     n.min(tasks.max(1)).max(1)
 }
 
+/// The size of the worker pool itself: the number of threads a sufficiently
+/// large task population fans out over (the configured override, or one per
+/// available core). This is what perf reports should record as "threads".
+pub fn worker_threads() -> usize {
+    effective_threads(usize::MAX)
+}
+
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
 /// Work is handed out item-by-item through an atomic cursor (dynamic load

@@ -1,0 +1,345 @@
+//! Replayable packed trace buffers.
+//!
+//! The figure sweeps of the evaluation simulate dozens of predictor
+//! configurations over the *same* dynamic µ-op stream. Regenerating the stream
+//! with [`TraceGenerator`] for every configuration pays the generator cost
+//! (pattern sampling, RNG draws, hash-map walks) once per run; a [`TraceBuffer`]
+//! pays it once per workload and lets every configuration — and every worker
+//! thread — replay the identical stream from shared memory.
+//!
+//! The buffer is a structure-of-arrays recording: one flat `Vec` lane per
+//! [`DynUop`] field group (pc, static µ-op, produced value, packed per-µop
+//! metadata) plus *sparse* lanes for memory addresses and branch targets, which
+//! only memory/branch µ-ops consume. There is no per-µop allocation and no
+//! `Option` padding in the hot lanes, so a 200K-µop trace costs a few megabytes
+//! (see [`TraceBuffer::footprint_bytes`]) and replay is a linear scan.
+//!
+//! Replay is zero-copy: [`TraceCursor`] borrows the buffer and materialises each
+//! [`DynUop`] from the lanes on the fly, yielding a stream that is bit-identical
+//! to live generation (asserted by the `replay_*` tests here and the
+//! `integration_replay` suite).
+
+use crate::generator::TraceGenerator;
+use crate::workload::WorkloadSpec;
+use bebop_isa::{BranchKind, DynUop, MemAccess, Uop};
+
+/// Packed per-µop metadata lane layout (one `u32` per µ-op).
+mod meta {
+    /// Bits 0..8: macro-instruction byte length.
+    pub const INST_LEN_SHIFT: u32 = 0;
+    /// Bits 8..16: µ-op index within the macro-instruction.
+    pub const UOP_IDX_SHIFT: u32 = 8;
+    /// Bits 16..24: µ-op count of the macro-instruction.
+    pub const NUM_UOPS_SHIFT: u32 = 16;
+    /// Bit 24: µ-op has a memory access (consumes the sparse mem lanes).
+    pub const HAS_MEM: u32 = 1 << 24;
+    /// Bit 25: µ-op has a branch outcome (consumes the sparse branch lane).
+    pub const HAS_BRANCH: u32 = 1 << 25;
+    /// Bits 26..29: branch kind (see `encode_kind`).
+    pub const BRANCH_KIND_SHIFT: u32 = 26;
+    /// Bit 29: branch taken.
+    pub const BRANCH_TAKEN: u32 = 1 << 29;
+    /// Bit 30: the immediate is available at decode.
+    pub const IMM_AT_DECODE: u32 = 1 << 30;
+}
+
+fn encode_kind(kind: BranchKind) -> u32 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn decode_kind(bits: u32) -> BranchKind {
+    match bits {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        _ => BranchKind::Indirect,
+    }
+}
+
+/// A packed structure-of-arrays recording of a dynamic µ-op stream.
+///
+/// # Example
+///
+/// ```
+/// use bebop_trace::{TraceBuffer, TraceGenerator, WorkloadSpec};
+/// let spec = WorkloadSpec::named_demo("replay");
+/// let buf = TraceBuffer::record(&spec, 1_000);
+/// let live: Vec<_> = TraceGenerator::new(&spec).take(1_000).collect();
+/// let replayed: Vec<_> = buf.replay().collect();
+/// assert_eq!(live, replayed);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    /// PC of each µ-op's macro-instruction.
+    pc: Vec<u64>,
+    /// The static µ-op (kind, destination, sources).
+    uop: Vec<Uop>,
+    /// Architectural value produced.
+    value: Vec<u64>,
+    /// Packed lengths/indices/flags (see the `meta` module).
+    meta: Vec<u32>,
+    /// Effective addresses, one per µ-op with `meta::HAS_MEM`, in stream order.
+    mem_addr: Vec<u64>,
+    /// Access sizes, parallel to `mem_addr`.
+    mem_size: Vec<u8>,
+    /// Branch targets, one per µ-op with `meta::HAS_BRANCH`, in stream order.
+    br_target: Vec<u64>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer with room for `n` µ-ops in the dense lanes.
+    pub fn with_capacity(n: usize) -> Self {
+        TraceBuffer {
+            pc: Vec::with_capacity(n),
+            uop: Vec::with_capacity(n),
+            value: Vec::with_capacity(n),
+            meta: Vec::with_capacity(n),
+            // Sparse lanes grow on demand; memory/branch density is workload
+            // dependent (~10-35% of µ-ops each for the SPEC-like mixes).
+            mem_addr: Vec::new(),
+            mem_size: Vec::new(),
+            br_target: Vec::new(),
+        }
+    }
+
+    /// Records the first `n` µ-ops of a live generation of `spec`.
+    ///
+    /// The recorded stream starts at sequence number 0, so replay can derive
+    /// sequence numbers from lane indices instead of storing them.
+    pub fn record(spec: &WorkloadSpec, n: u64) -> Self {
+        let mut buf = TraceBuffer::with_capacity(n as usize);
+        for u in TraceGenerator::new(spec).take(n as usize) {
+            buf.push(&u);
+        }
+        buf
+    }
+
+    /// Appends one µ-op to the recording.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.seq` is not the next sequence number of the recording
+    /// (replay regenerates `seq` from the lane index, so gaps would make the
+    /// replayed stream diverge from the recorded one).
+    pub fn push(&mut self, u: &DynUop) {
+        assert_eq!(
+            u.seq,
+            self.pc.len() as u64,
+            "trace recordings must be contiguous from seq 0"
+        );
+        let mut m = (u32::from(u.inst_len) << meta::INST_LEN_SHIFT)
+            | (u32::from(u.uop_idx) << meta::UOP_IDX_SHIFT)
+            | (u32::from(u.inst_num_uops) << meta::NUM_UOPS_SHIFT);
+        if u.imm_available_at_decode {
+            m |= meta::IMM_AT_DECODE;
+        }
+        if let Some(mem) = u.mem {
+            m |= meta::HAS_MEM;
+            self.mem_addr.push(mem.addr);
+            self.mem_size.push(mem.size);
+        }
+        if let Some(b) = u.branch {
+            m |= meta::HAS_BRANCH | (encode_kind(b.kind) << meta::BRANCH_KIND_SHIFT);
+            if b.taken {
+                m |= meta::BRANCH_TAKEN;
+            }
+            self.br_target.push(b.target);
+        }
+        self.pc.push(u.pc);
+        self.uop.push(u.uop);
+        self.value.push(u.value);
+        self.meta.push(m);
+    }
+
+    /// Number of recorded µ-ops.
+    pub fn len(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pc.is_empty()
+    }
+
+    /// Heap footprint of the recording in bytes (lane capacities).
+    pub fn footprint_bytes(&self) -> usize {
+        self.pc.capacity() * std::mem::size_of::<u64>()
+            + self.uop.capacity() * std::mem::size_of::<Uop>()
+            + self.value.capacity() * std::mem::size_of::<u64>()
+            + self.meta.capacity() * std::mem::size_of::<u32>()
+            + self.mem_addr.capacity() * std::mem::size_of::<u64>()
+            + self.mem_size.capacity()
+            + self.br_target.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// A zero-copy cursor replaying the recording from the start. Any number of
+    /// cursors (on any number of threads) can replay one shared buffer.
+    pub fn replay(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            buf: self,
+            i: 0,
+            mem_i: 0,
+            br_i: 0,
+        }
+    }
+}
+
+/// A sequential replay cursor over a [`TraceBuffer`].
+///
+/// Yields µ-ops bit-identical to the live generation the buffer recorded. The
+/// sparse memory/branch lanes are consumed with their own cursors, so each
+/// `next` is O(1) with no searching.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    buf: &'a TraceBuffer,
+    i: usize,
+    mem_i: usize,
+    br_i: usize,
+}
+
+impl Iterator for TraceCursor<'_> {
+    type Item = DynUop;
+
+    fn next(&mut self) -> Option<DynUop> {
+        let b = self.buf;
+        let i = self.i;
+        if i >= b.pc.len() {
+            return None;
+        }
+        self.i += 1;
+        let m = b.meta[i];
+        let mut u = DynUop::new(
+            i as u64,
+            b.pc[i],
+            (m >> meta::INST_LEN_SHIFT) as u8,
+            (m >> meta::UOP_IDX_SHIFT) as u8,
+            (m >> meta::NUM_UOPS_SHIFT) as u8,
+            b.uop[i],
+            b.value[i],
+        );
+        // `DynUop::new` derives this from the µ-op kind; restore the recorded
+        // bit so replay is faithful even for hand-built streams.
+        u.imm_available_at_decode = m & meta::IMM_AT_DECODE != 0;
+        if m & meta::HAS_MEM != 0 {
+            u.mem = Some(MemAccess {
+                addr: b.mem_addr[self.mem_i],
+                size: b.mem_size[self.mem_i],
+            });
+            self.mem_i += 1;
+        }
+        if m & meta::HAS_BRANCH != 0 {
+            u = u.with_branch(
+                decode_kind((m >> meta::BRANCH_KIND_SHIFT) & 0x7),
+                m & meta::BRANCH_TAKEN != 0,
+                b.br_target[self.br_i],
+            );
+            self.br_i += 1;
+        }
+        Some(u)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.buf.pc.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TraceCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bebop_isa::{ArchReg, UopKind};
+
+    fn specs() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::named_demo("buf-demo"),
+            WorkloadSpec::new("buf-mixed", 99),
+        ]
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_live_generation() {
+        for spec in specs() {
+            let live: Vec<_> = TraceGenerator::new(&spec).take(20_000).collect();
+            let buf = TraceBuffer::record(&spec, 20_000);
+            assert_eq!(buf.len(), 20_000);
+            let replayed: Vec<_> = buf.replay().collect();
+            assert_eq!(live, replayed, "replay diverged for {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn multiple_cursors_replay_independently() {
+        let buf = TraceBuffer::record(&WorkloadSpec::named_demo("multi"), 5_000);
+        let a: Vec<_> = buf.replay().collect();
+        let mut c1 = buf.replay();
+        let mut c2 = buf.replay();
+        let _ = c1.by_ref().take(100).count();
+        let b: Vec<_> = c2.by_ref().collect();
+        assert_eq!(a, b);
+        // The partially consumed cursor continues from where it stopped.
+        assert_eq!(c1.next().unwrap(), a[100]);
+    }
+
+    #[test]
+    fn sparse_lanes_only_hold_mem_and_branch_uops() {
+        let spec = WorkloadSpec::new("sparse", 7);
+        let buf = TraceBuffer::record(&spec, 10_000);
+        let live: Vec<_> = TraceGenerator::new(&spec).take(10_000).collect();
+        let mems = live.iter().filter(|u| u.mem.is_some()).count();
+        let brs = live.iter().filter(|u| u.branch.is_some()).count();
+        assert_eq!(buf.mem_addr.len(), mems);
+        assert_eq!(buf.mem_size.len(), mems);
+        assert_eq!(buf.br_target.len(), brs);
+        assert!(mems > 0 && brs > 0);
+    }
+
+    #[test]
+    fn footprint_is_reported_and_bounded() {
+        let buf = TraceBuffer::record(&WorkloadSpec::named_demo("foot"), 10_000);
+        let bytes = buf.footprint_bytes();
+        // Dense lanes alone are 20 bytes + sizeof(Uop) per µ-op; the whole
+        // recording must stay well under a naive Vec<DynUop>.
+        let dense_min = 10_000 * (20 + std::mem::size_of::<Uop>());
+        let aos = 10_000 * std::mem::size_of::<DynUop>() * 2;
+        assert!(bytes >= dense_min, "footprint {bytes} under dense minimum");
+        assert!(bytes < aos, "footprint {bytes} not better than 2x AoS");
+    }
+
+    #[test]
+    fn exact_size_cursor() {
+        let buf = TraceBuffer::record(&WorkloadSpec::named_demo("len"), 1_234);
+        let mut c = buf.replay();
+        assert_eq!(c.len(), 1_234);
+        c.next();
+        assert_eq!(c.len(), 1_233);
+    }
+
+    #[test]
+    fn imm_at_decode_flag_round_trips() {
+        // A hand-built stream whose flag disagrees with what `DynUop::new`
+        // would derive must still replay bit-identically.
+        let mut buf = TraceBuffer::default();
+        let li = Uop::new(UopKind::LoadImm, Some(ArchReg::int(1)), &[]);
+        let mut u = DynUop::new(0, 0x100, 4, 0, 1, li, 7);
+        u.imm_available_at_decode = false;
+        buf.push(&u);
+        assert_eq!(buf.replay().next().unwrap(), u);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_recording_is_rejected() {
+        let mut buf = TraceBuffer::default();
+        let alu = Uop::new(UopKind::Alu, Some(ArchReg::int(1)), &[]);
+        buf.push(&DynUop::new(5, 0x100, 4, 0, 1, alu, 0));
+    }
+}

@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod buffer;
 mod generator;
 mod memory;
 mod spec;
 mod value;
 mod workload;
 
+pub use buffer::{TraceBuffer, TraceCursor};
 pub use generator::TraceGenerator;
 pub use memory::{AddressPattern, AddressState};
 pub use spec::{

@@ -52,12 +52,43 @@ struct PendingTrain {
     predicted: Option<u64>,
 }
 
+/// Upper bound on distinct fetch blocks per cycle (the paper fetches two; the
+/// inline array leaves headroom for wider configs without heap allocation).
+const MAX_FETCH_BLOCKS: usize = 8;
+
 /// The current fetch group being assembled (one cycle's worth of fetch).
-#[derive(Debug, Clone, Default)]
+///
+/// A new group starts every cycle or redirect — well inside the per-µop hot
+/// loop — so the block list is a fixed inline array, not a `Vec`: the previous
+/// heap-backed version allocated roughly once per simulated cycle.
+#[derive(Debug, Clone, Copy, Default)]
 struct FetchGroup {
     cycle: u64,
     uops: u8,
-    blocks: Vec<u64>,
+    num_blocks: u8,
+    blocks: [u64; MAX_FETCH_BLOCKS],
+}
+
+impl FetchGroup {
+    fn at_cycle(cycle: u64) -> Self {
+        FetchGroup {
+            cycle,
+            ..FetchGroup::default()
+        }
+    }
+
+    fn contains(&self, block: u64) -> bool {
+        self.blocks[..self.num_blocks as usize].contains(&block)
+    }
+
+    fn push_block(&mut self, block: u64) {
+        // `Pipeline::new` rejects configs with more blocks per cycle than the
+        // inline capacity, so the group is always full before this saturates.
+        if (self.num_blocks as usize) < MAX_FETCH_BLOCKS {
+            self.blocks[self.num_blocks as usize] = block;
+            self.num_blocks += 1;
+        }
+    }
 }
 
 /// The pipeline simulator. Create one per (configuration, run), feed it a trace and
@@ -109,7 +140,17 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Builds a pipeline for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fetch_blocks_per_cycle` exceeds the fetch group's inline
+    /// block capacity (`MAX_FETCH_BLOCKS` = 8; the paper fetches two).
     pub fn new(cfg: PipelineConfig) -> Self {
+        assert!(
+            cfg.fetch_blocks_per_cycle as usize <= MAX_FETCH_BLOCKS,
+            "fetch_blocks_per_cycle {} exceeds the supported maximum {MAX_FETCH_BLOCKS}",
+            cfg.fetch_blocks_per_cycle
+        );
         let tage_cfg = TageConfig {
             log_base: cfg.tage_log_base,
             num_tagged: cfg.tage_tagged_components,
@@ -432,26 +473,18 @@ impl Pipeline {
 
         // A redirect forces a new group at the resume cycle.
         if self.fetch_resume > self.group.cycle {
-            self.group = FetchGroup {
-                cycle: self.fetch_resume,
-                uops: 0,
-                blocks: Vec::with_capacity(2),
-            };
+            self.group = FetchGroup::at_cycle(self.fetch_resume);
         }
 
         let fits_width = self.group.uops < self.cfg.front_width;
-        let known_block = self.group.blocks.contains(&block);
-        let fits_blocks =
-            known_block || self.group.blocks.len() < self.cfg.fetch_blocks_per_cycle as usize;
+        let known_block = self.group.contains(block);
+        let fits_blocks = known_block
+            || (self.group.num_blocks as usize) < self.cfg.fetch_blocks_per_cycle as usize;
         if !(fits_width && fits_blocks) {
-            self.group = FetchGroup {
-                cycle: self.group.cycle + 1,
-                uops: 0,
-                blocks: Vec::with_capacity(2),
-            };
+            self.group = FetchGroup::at_cycle(self.group.cycle + 1);
         }
-        if !self.group.blocks.contains(&block) {
-            self.group.blocks.push(block);
+        if !self.group.contains(block) {
+            self.group.push_block(block);
         }
         self.group.uops += 1;
         self.group.cycle
