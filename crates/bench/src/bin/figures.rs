@@ -5,6 +5,7 @@
 //! cargo run -p bebop-bench --release --bin figures -- --fig8 --uops 1000000
 //! cargo run -p bebop-bench --release --bin figures -- --all --json BENCH_figures.json
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-cache-mb 64
+//! cargo run -p bebop-bench --release --bin figures -- --all --trace-dir .trace-store
 //! ```
 //!
 //! Each experiment prints the series the paper reports: per-benchmark speedups and
@@ -14,7 +15,11 @@
 //! front (~6–7 MiB per 200K-µop trace; `--trace-cache-mb` caps the total,
 //! `--no-trace-cache` streams everything), and every (config, workload)
 //! simulation replays the shared recording — so a config sweep pays trace
-//! generation once, not once per configuration. Simulations are fanned out
+//! generation once, not once per configuration. With `--trace-dir <path>` the
+//! recordings are additionally persisted to a versioned, checksummed on-disk
+//! store, so a *second* invocation (or a CI job restoring the directory from a
+//! cache) loads every trace from disk and generates zero µ-ops;
+//! `--trace-dir-mb` bounds the directory with an LRU eviction sweep. Simulations are fanned out
 //! across all cores by default; `--serial` forces one thread (the figure output
 //! is bit-identical either way), and `--json <path>` writes per-experiment
 //! wall-clock and µops/sec so perf regressions are visible across commits (the
@@ -31,6 +36,8 @@ struct Options {
     json: Option<String>,
     threads: usize,
     trace_cache: TraceCachePolicy,
+    trace_dir: Option<String>,
+    trace_dir_mb: Option<u64>,
 }
 
 fn parse_args() -> Options {
@@ -41,6 +48,8 @@ fn parse_args() -> Options {
         json: None,
         threads: 0,
         trace_cache: TraceCachePolicy::default(),
+        trace_dir: None,
+        trace_dir_mb: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -63,6 +72,16 @@ fn parse_args() -> Options {
             "--serial" => opts.threads = 1,
             "--subset" => opts.subset = true,
             "--no-trace-cache" => opts.trace_cache = TraceCachePolicy::disabled(),
+            "--trace-dir" => {
+                opts.trace_dir = Some(args.next().expect("--trace-dir needs a path"));
+            }
+            "--trace-dir-mb" => {
+                opts.trace_dir_mb = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--trace-dir-mb needs a number of MiB"),
+                );
+            }
             "--trace-cache-mb" => {
                 let mb = args
                     .next()
@@ -89,6 +108,10 @@ fn parse_args() -> Options {
             );
             std::process::exit(2);
         }
+    }
+    if opts.trace_dir_mb.is_some() && opts.trace_dir.is_none() {
+        eprintln!("[figures] --trace-dir-mb bounds the on-disk store: it requires --trace-dir");
+        std::process::exit(2);
     }
     opts
 }
@@ -137,7 +160,14 @@ fn timed(report: &mut Vec<Timing>, name: &'static str, f: impl FnOnce() -> u64) 
     });
 }
 
-fn write_json(path: &str, report: &[Timing], opts: &Options, benchmarks: usize) {
+fn write_json(
+    path: &str,
+    report: &[Timing],
+    opts: &Options,
+    benchmarks: usize,
+    set: &TraceSet,
+    store: Option<&bebop_bench::TraceStore>,
+) {
     // The worker-pool width the experiments actually fanned out with (the
     // flattened (config × workload) task lists of the sweeps saturate it).
     let threads = bebop::par::worker_threads();
@@ -149,6 +179,20 @@ fn write_json(path: &str, report: &[Timing], opts: &Options, benchmarks: usize) 
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"uops_per_run\": {},\n", opts.uops));
     out.push_str(&format!("  \"benchmarks\": {benchmarks},\n"));
+    // Trace-store traffic (zero without --trace-dir): cache regressions show
+    // up as a hit-rate drop here before they show up as wall-clock.
+    out.push_str(&format!(
+        "  \"trace_store_hits\": {},\n",
+        store.map_or(0, |s| s.hits())
+    ));
+    out.push_str(&format!(
+        "  \"trace_store_misses\": {},\n",
+        store.map_or(0, |s| s.misses())
+    ));
+    out.push_str(&format!(
+        "  \"trace_generated_uops\": {},\n",
+        set.generated_uops()
+    ));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_uops\": {total_uops},\n"));
     out.push_str(&format!(
@@ -196,9 +240,13 @@ fn main() {
         "table2", "fig5a", "fig5b", "fig6a", "fig6b", "strides", "fig7a", "fig7b", "fig8",
     ];
     let needs_traces = SIMULATING.iter().any(|e| wants(&opts, e));
+    let store = opts.trace_dir.as_ref().map(|dir| {
+        bebop_bench::TraceStore::open(dir)
+            .unwrap_or_else(|e| panic!("--trace-dir {dir}: cannot open trace store: {e}"))
+    });
     let start = Instant::now();
     let set = if needs_traces {
-        TraceSet::build(&specs, uops, &opts.trace_cache)
+        TraceSet::build_with_store(&specs, uops, &opts.trace_cache, store.as_ref())
     } else {
         TraceSet::streaming(&specs)
     };
@@ -213,15 +261,41 @@ fn main() {
             mib / set.cached_count() as f64,
             uops
         );
+        // The timing entry covers *materialising* the recordings (generated
+        // live or deserialised from the store); the JSON additionally carries
+        // the store hit/miss split so warm-cache speedups stay explicable.
         report.push(Timing {
             name: "tracegen",
             wall_s: tracegen_wall,
-            uops: set.generated_uops(),
+            uops: set.materialised_uops(),
         });
     } else if needs_traces {
         println!("Trace cache: disabled, workloads stream live generation");
     } else {
         println!("Trace cache: not needed by the requested experiments");
+    }
+    if let Some(st) = &store {
+        println!(
+            "Trace store: {} hit(s), {} miss(es); generated {} µ-ops, loaded {}/{} recordings ({:.1} MiB on disk at {})",
+            st.hits(),
+            st.misses(),
+            set.generated_uops(),
+            set.loaded_count(),
+            set.cached_count(),
+            st.disk_bytes() as f64 / (1024.0 * 1024.0),
+            st.dir().display()
+        );
+        if let Some(mb) = opts.trace_dir_mb {
+            match st.sweep(mb * 1024 * 1024) {
+                Ok(sw) if sw.files_removed > 0 => println!(
+                    "Trace store: evicted {} stale recording(s) ({:.1} MiB) to fit {mb} MiB",
+                    sw.files_removed,
+                    sw.bytes_removed as f64 / (1024.0 * 1024.0)
+                ),
+                Ok(_) => {}
+                Err(e) => eprintln!("[figures] trace store sweep failed: {e}"),
+            }
+        }
     }
 
     if wants(&opts, "table1") {
@@ -346,6 +420,6 @@ fn main() {
     }
 
     if let Some(path) = &opts.json {
-        write_json(path, &report, &opts, set.len());
+        write_json(path, &report, &opts, set.len(), &set, store.as_ref());
     }
 }

@@ -30,6 +30,7 @@ mod trace_set;
 
 pub mod perf_json;
 
+pub use bebop_trace::{TraceStore, TRACE_FORMAT_VERSION};
 pub use trace_set::{TraceCachePolicy, TraceSet};
 
 /// Number of µ-ops simulated per benchmark when regenerating figures

@@ -16,6 +16,11 @@ pub struct PerfReport {
     pub uops_per_run: u64,
     /// Aggregate simulation throughput over every experiment.
     pub total_uops_per_sec: f64,
+    /// Persistent trace-store hits during the run (0 without `--trace-dir`,
+    /// and for reports from before the store existed).
+    pub trace_store_hits: u64,
+    /// Persistent trace-store misses during the run.
+    pub trace_store_misses: u64,
     /// `(experiment name, µops/sec)` rows, in report order.
     pub experiments: Vec<(String, f64)>,
 }
@@ -53,6 +58,10 @@ pub fn parse(text: &str) -> Option<PerfReport> {
     let threads = number_after(text, "threads", 0)?.0 as u64;
     let uops_per_run = number_after(text, "uops_per_run", 0)?.0 as u64;
     let total_uops_per_sec = number_after(text, "total_uops_per_sec", 0)?.0;
+    // Optional: reports written before the persistent trace store read as 0.
+    let trace_store_hits = number_after(text, "trace_store_hits", 0).map_or(0, |(v, _)| v as u64);
+    let trace_store_misses =
+        number_after(text, "trace_store_misses", 0).map_or(0, |(v, _)| v as u64);
 
     let exp_at = text.find("\"experiments\"")?;
     let mut experiments = Vec::new();
@@ -69,6 +78,8 @@ pub fn parse(text: &str) -> Option<PerfReport> {
         threads,
         uops_per_run,
         total_uops_per_sec,
+        trace_store_hits,
+        trace_store_misses,
         experiments,
     })
 }
@@ -106,6 +117,17 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
         lines.push(format!(
             "  note: baseline ran {} thread(s) x {} uops, current {} thread(s) x {} uops",
             baseline.threads, baseline.uops_per_run, current.threads, current.uops_per_run
+        ));
+    }
+    if baseline.trace_store_hits + baseline.trace_store_misses > 0
+        || current.trace_store_hits + current.trace_store_misses > 0
+    {
+        lines.push(format!(
+            "  trace store: {} hit(s) / {} miss(es) (baseline {} / {})",
+            current.trace_store_hits,
+            current.trace_store_misses,
+            baseline.trace_store_hits,
+            baseline.trace_store_misses
         ));
     }
     for (name, base_ups) in &baseline.experiments {
@@ -177,6 +199,46 @@ mod tests {
         let r = parse(&text).expect("baseline parses");
         assert!(r.total_uops_per_sec > 0.0);
         assert!(!r.experiments.is_empty());
+    }
+
+    #[test]
+    fn store_counters_default_to_zero_on_old_reports() {
+        // The committed baseline predates the trace store; its absence of the
+        // counters must parse as zero traffic, not as a parse failure.
+        let r = parse(&report(1000.0, 1000.0)).expect("parse");
+        assert_eq!((r.trace_store_hits, r.trace_store_misses), (0, 0));
+    }
+
+    #[test]
+    fn store_counters_parse_and_show_in_the_diff() {
+        let with_store = r#"{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 1,
+  "uops_per_run": 200000,
+  "benchmarks": 36,
+  "trace_store_hits": 36,
+  "trace_store_misses": 2,
+  "trace_generated_uops": 400000,
+  "total_wall_s": 10.5,
+  "total_uops": 1000,
+  "total_uops_per_sec": 1000.0,
+  "experiments": [
+    {"name": "fig8", "wall_s": 9.5, "uops": 500, "uops_per_sec": 1000.0}
+  ]
+}
+"#;
+        let cur = parse(with_store).expect("parse");
+        assert_eq!((cur.trace_store_hits, cur.trace_store_misses), (36, 2));
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let d = diff(&base, &cur, 0.20);
+        assert!(
+            d.lines.iter().any(|l| l.contains("36 hit(s) / 2 miss(es)")),
+            "{:?}",
+            d.lines
+        );
+        // No store traffic on either side: no store line.
+        let quiet = diff(&base, &base, 0.20);
+        assert!(!quiet.lines.iter().any(|l| l.contains("trace store")));
     }
 
     #[test]

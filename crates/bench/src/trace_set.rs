@@ -15,8 +15,14 @@
 //! uncached workloads fall back to streaming live generation — results are
 //! bit-identical either way, only the cost moves.
 
+//! With a persistent [`TraceStore`] attached ([`TraceSet::build_with_store`],
+//! the `--trace-dir` flag), recordings are additionally keyed and cached *on
+//! disk*: a build first tries to load each workload's serialised lanes and
+//! only generates (then persists) on a miss, so a second run of the same
+//! (spec, µ-op budget) population generates zero µ-ops.
+
 use bebop::{par, UopSource, WorkloadSpec};
-use bebop_trace::TraceBuffer;
+use bebop_trace::{TraceBuffer, TraceStore};
 
 /// How much memory a [`TraceSet`] may spend on recorded traces.
 #[derive(Debug, Clone)]
@@ -75,52 +81,116 @@ impl std::fmt::Debug for TraceSetEntry {
 pub struct TraceSet {
     uops: u64,
     entries: Vec<TraceSetEntry>,
+    /// µ-ops generated *live* into recordings during the build (store hits
+    /// load their lanes from disk and generate nothing).
+    generated: u64,
+    /// Recordings loaded from the persistent store during the build.
+    loaded: usize,
 }
 
 impl TraceSet {
     /// Records up to `uops` µ-ops per workload under `policy`, fanning the
     /// recordings out across cores with [`par::par_map`].
-    ///
-    /// When a footprint cap is set, one workload is recorded first to measure
-    /// the per-trace cost (all workloads share the µ-op budget, so one
-    /// recording is representative), and only as many traces as fit under the
-    /// cap are kept; the rest stream live.
     pub fn build(specs: &[WorkloadSpec], uops: u64, policy: &TraceCachePolicy) -> Self {
+        Self::build_with_store(specs, uops, policy, None)
+    }
+
+    /// [`TraceSet::build`] with an optional persistent [`TraceStore`]: each
+    /// recording is first looked up on disk and only generated (then
+    /// persisted, best-effort) on a miss, so a warm store turns the whole
+    /// build into deserialisation — [`TraceSet::generated_uops`] reports zero.
+    ///
+    /// When a footprint cap is set, the dense-lane lower bound is checked
+    /// first — a cap no recording could fit under streams everything without
+    /// paying for a probe — then one workload is materialised to measure the
+    /// real per-trace cost (all workloads share the µ-op budget, so one
+    /// recording is representative). The probe is kept whenever it fits under
+    /// the cap; only as many traces as fit are cached and the rest stream.
+    pub fn build_with_store(
+        specs: &[WorkloadSpec],
+        uops: u64,
+        policy: &TraceCachePolicy,
+        store: Option<&TraceStore>,
+    ) -> Self {
         if !policy.enabled || specs.is_empty() {
             return Self::streaming(specs);
         }
-        let cached = match policy.cap_bytes {
-            None => specs.len(),
+        let materialise = |spec: &WorkloadSpec| match store {
+            Some(st) => st.load_or_record(spec, uops),
+            None => (TraceBuffer::record(spec, uops), false),
+        };
+
+        let (probe, cached) = match policy.cap_bytes {
+            None => (None, specs.len()),
             Some(cap) => {
-                let probe = TraceBuffer::record(&specs[0], uops);
-                let per_trace = (probe.footprint_bytes() as u64).max(1);
-                let fit = (cap / per_trace) as usize;
-                if fit == 0 {
+                // The dense lanes alone are a lower bound on any recording's
+                // footprint: a cap under that bound cannot hold a single
+                // trace, so stream without recording a probe at all.
+                if cap < TraceBuffer::dense_estimate_bytes(uops) {
                     return Self::streaming(specs);
                 }
-                // Reuse the probe as the first entry below.
-                let fit = fit.min(specs.len());
-                let mut entries: Vec<TraceSetEntry> = Vec::with_capacity(specs.len());
-                entries.push(TraceSetEntry {
-                    spec: specs[0].clone(),
-                    buf: Some(probe),
-                });
-                entries.extend(par::par_map(&specs[1..fit], |spec| TraceSetEntry {
-                    spec: spec.clone(),
-                    buf: Some(TraceBuffer::record(spec, uops)),
-                }));
-                entries.extend(specs[fit..].iter().map(|spec| TraceSetEntry {
-                    spec: spec.clone(),
-                    buf: None,
-                }));
-                return TraceSet { uops, entries };
+                let (probe, probe_loaded) = materialise(&specs[0]);
+                let per_trace = (probe.footprint_bytes() as u64).max(1);
+                let fit = ((cap / per_trace) as usize).min(specs.len());
+                if fit == 0 {
+                    // The sparse lanes pushed the probe past the dense lower
+                    // bound and over the cap: nothing fits. With a store
+                    // attached the recording was persisted, so even this
+                    // probe is not wasted across runs. `loaded` stays 0 — it
+                    // counts recordings *in the set*, and the probe was
+                    // dropped — but the generation cost is real and reported.
+                    let mut set = Self::streaming(specs);
+                    if !probe_loaded {
+                        set.generated = uops;
+                    }
+                    return set;
+                }
+                (Some((probe, probe_loaded)), fit)
             }
         };
-        let entries = par::par_map(&specs[..cached], |spec| TraceSetEntry {
+
+        let mut generated: u64 = 0;
+        let mut loaded: usize = 0;
+        let mut entries: Vec<TraceSetEntry> = Vec::with_capacity(specs.len());
+        if let Some((buf, was_loaded)) = probe {
+            if was_loaded {
+                loaded += 1;
+            } else {
+                generated += uops;
+            }
+            entries.push(TraceSetEntry {
+                spec: specs[0].clone(),
+                buf: Some(buf),
+            });
+        }
+        let first = entries.len();
+        for (entry, was_loaded) in par::par_map(&specs[first..cached], |spec| {
+            let (buf, was_loaded) = materialise(spec);
+            (
+                TraceSetEntry {
+                    spec: spec.clone(),
+                    buf: Some(buf),
+                },
+                was_loaded,
+            )
+        }) {
+            if was_loaded {
+                loaded += 1;
+            } else {
+                generated += uops;
+            }
+            entries.push(entry);
+        }
+        entries.extend(specs[cached..].iter().map(|spec| TraceSetEntry {
             spec: spec.clone(),
-            buf: Some(TraceBuffer::record(spec, uops)),
-        });
-        TraceSet { uops, entries }
+            buf: None,
+        }));
+        TraceSet {
+            uops,
+            entries,
+            generated,
+            loaded,
+        }
     }
 
     /// A set with no recordings: every source streams live generation.
@@ -134,6 +204,8 @@ impl TraceSet {
                     buf: None,
                 })
                 .collect(),
+            generated: 0,
+            loaded: 0,
         }
     }
 
@@ -175,10 +247,23 @@ impl TraceSet {
             .sum()
     }
 
-    /// Total µ-ops generated into recordings when the set was built (the
-    /// one-time cost the replay fast path amortises).
-    pub fn generated_uops(&self) -> u64 {
+    /// Total µ-ops materialised into recordings when the set was built —
+    /// generated live or loaded from the persistent store (the one-time cost
+    /// the replay fast path amortises).
+    pub fn materialised_uops(&self) -> u64 {
         self.cached_count() as u64 * self.uops
+    }
+
+    /// Total µ-ops generated *live* into recordings when the set was built.
+    /// Recordings loaded from a warm [`TraceStore`] generate nothing, so a
+    /// fully warm build reports zero here.
+    pub fn generated_uops(&self) -> u64 {
+        self.generated
+    }
+
+    /// Number of recordings loaded from the persistent store (store hits).
+    pub fn loaded_count(&self) -> usize {
+        self.loaded
     }
 
     /// Asserts that every recorded trace covers a `max_uops` simulation.
@@ -259,6 +344,113 @@ mod tests {
             },
         );
         assert_eq!(none.cached_count(), 0);
+    }
+
+    #[test]
+    fn tiny_cap_streams_without_recording_a_probe() {
+        // A cap below the dense-lane lower bound cannot hold any trace: the
+        // build must not waste seconds and MiB recording a probe it will
+        // silently discard. Zero generated µ-ops proves no probe was paid.
+        let specs = tiny_specs();
+        let set = TraceSet::build(
+            &specs,
+            2_000,
+            &TraceCachePolicy {
+                enabled: true,
+                cap_bytes: Some(16),
+            },
+        );
+        assert_eq!(set.cached_count(), 0);
+        assert_eq!(set.generated_uops(), 0, "no probe may be recorded");
+        assert_eq!(set.materialised_uops(), 0);
+    }
+
+    #[test]
+    fn cap_that_fits_only_the_probe_keeps_it() {
+        let specs = tiny_specs();
+        let full = TraceSet::build(&specs, 2_000, &TraceCachePolicy::default());
+        let per_trace = full.footprint_bytes() / 3;
+        // Room for exactly one trace: the probe must be kept, not discarded.
+        let set = TraceSet::build(
+            &specs,
+            2_000,
+            &TraceCachePolicy {
+                enabled: true,
+                cap_bytes: Some(per_trace + per_trace / 2),
+            },
+        );
+        assert_eq!(set.cached_count(), 1);
+        assert!(matches!(set.source(0), UopSource::Replay(_)));
+        assert!(matches!(set.source(1), UopSource::Live(_)));
+        assert_eq!(set.generated_uops(), 2_000);
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bebop-trace-set-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_store_build_generates_zero_uops_and_simulates_identically() {
+        let dir = store_dir("warm");
+        let store = TraceStore::open(&dir).expect("open store");
+        let specs = tiny_specs();
+
+        let cold =
+            TraceSet::build_with_store(&specs, 2_500, &TraceCachePolicy::default(), Some(&store));
+        assert_eq!(cold.cached_count(), 3);
+        assert_eq!(cold.generated_uops(), 3 * 2_500);
+        assert_eq!(cold.loaded_count(), 0);
+        assert_eq!(store.misses(), 3);
+
+        let warm =
+            TraceSet::build_with_store(&specs, 2_500, &TraceCachePolicy::default(), Some(&store));
+        assert_eq!(warm.cached_count(), 3);
+        assert_eq!(warm.generated_uops(), 0, "warm build must not generate");
+        assert_eq!(warm.loaded_count(), 3);
+        assert_eq!(warm.materialised_uops(), 3 * 2_500);
+        assert_eq!(store.hits(), 3);
+
+        let plain = TraceSet::build(&specs, 2_500, &TraceCachePolicy::default());
+        for i in 0..specs.len() {
+            let a = run_source(
+                warm.source(i),
+                &PipelineConfig::eole_4_60(),
+                &PredictorKind::DVtage,
+                2_500,
+            );
+            let b = run_source(
+                plain.source(i),
+                &PipelineConfig::eole_4_60(),
+                &PredictorKind::DVtage,
+                2_500,
+            );
+            assert_eq!(a, b, "store-loaded trace diverged for {}", warm.name(i));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capped_store_build_counts_the_probe_hit() {
+        let dir = store_dir("capped");
+        let store = TraceStore::open(&dir).expect("open store");
+        let specs = tiny_specs();
+        let full = TraceSet::build(&specs, 2_000, &TraceCachePolicy::default());
+        let per_trace = full.footprint_bytes() / 3;
+        let cap = TraceCachePolicy {
+            enabled: true,
+            cap_bytes: Some(per_trace + per_trace / 2),
+        };
+
+        let cold = TraceSet::build_with_store(&specs, 2_000, &cap, Some(&store));
+        assert_eq!(cold.cached_count(), 1, "cap holds one of the tiny traces");
+        let warm = TraceSet::build_with_store(&specs, 2_000, &cap, Some(&store));
+        assert_eq!(warm.cached_count(), 1);
+        assert_eq!(warm.loaded_count(), 1, "the probe must come from the store");
+        assert_eq!(warm.generated_uops(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

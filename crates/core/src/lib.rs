@@ -71,6 +71,7 @@ pub use update_queue::FifoUpdateQueue;
 
 // Re-export the pieces downstream users almost always need alongside this crate.
 pub use bebop_trace::{
-    all_spec_benchmarks, spec_benchmark, TraceBuffer, WorkloadSpec, SPEC_BENCHMARK_NAMES,
+    all_spec_benchmarks, spec_benchmark, spec_fingerprint, TraceBuffer, TraceStore, WorkloadSpec,
+    SPEC_BENCHMARK_NAMES, TRACE_FORMAT_VERSION,
 };
 pub use bebop_uarch::{PipelineConfig, SimStats};

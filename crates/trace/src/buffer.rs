@@ -113,12 +113,62 @@ impl TraceBuffer {
     ///
     /// The recorded stream starts at sequence number 0, so replay can derive
     /// sequence numbers from lane indices instead of storing them.
+    ///
+    /// The µ-op budget is counted in `u64` (not truncated through
+    /// `Iterator::take(n as usize)`), so it is never *silently* shortened on
+    /// 32-bit targets: a budget past the address space fails to allocate
+    /// loudly instead of recording a 32-bit-wrapped fraction of it. The lanes
+    /// are shrunk to their exact lengths at the end so
+    /// [`TraceBuffer::footprint_bytes`] reports what the recording actually
+    /// occupies rather than doubled-growth capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator ends before `n` µ-ops were recorded (the
+    /// synthetic generators are unbounded, so this indicates a logic error).
     pub fn record(spec: &WorkloadSpec, n: u64) -> Self {
-        let mut buf = TraceBuffer::with_capacity(n as usize);
-        for u in TraceGenerator::new(spec).take(n as usize) {
+        // Capacity is only a hint: when `n` overflows usize (32-bit targets)
+        // start small and let the lanes grow until allocation fails loudly.
+        let mut buf = TraceBuffer::with_capacity(usize::try_from(n).unwrap_or(0));
+        let mut gen = TraceGenerator::new(spec);
+        let mut recorded: u64 = 0;
+        while recorded < n {
+            let u = gen
+                .next()
+                .expect("TraceGenerator is unbounded; recording budget not honoured");
             buf.push(&u);
+            recorded += 1;
         }
+        assert_eq!(recorded, n, "recording budget not honoured");
+        buf.shrink_to_fit();
         buf
+    }
+
+    /// Shrinks every lane to its exact length.
+    ///
+    /// The sparse `mem_addr`/`mem_size`/`br_target` lanes grow by doubling
+    /// during recording, so their capacity can exceed their length by up to
+    /// 2×; callers that size caches from [`TraceBuffer::footprint_bytes`]
+    /// (e.g. the `--trace-cache-mb` cap math) need the exact number.
+    pub fn shrink_to_fit(&mut self) {
+        self.pc.shrink_to_fit();
+        self.uop.shrink_to_fit();
+        self.value.shrink_to_fit();
+        self.meta.shrink_to_fit();
+        self.mem_addr.shrink_to_fit();
+        self.mem_size.shrink_to_fit();
+        self.br_target.shrink_to_fit();
+    }
+
+    /// A lower bound on the heap footprint of an `n`-µop recording: the dense
+    /// lanes alone, before any sparse memory/branch entries. Useful as a cheap
+    /// "can this possibly fit?" estimate before paying for a recording.
+    pub fn dense_estimate_bytes(n: u64) -> u64 {
+        n * (std::mem::size_of::<u64>()      // pc
+            + std::mem::size_of::<Uop>()     // uop
+            + std::mem::size_of::<u64>()     // value
+            + std::mem::size_of::<u32>())    // meta
+            as u64
     }
 
     /// Appends one µ-op to the recording.
@@ -169,6 +219,11 @@ impl TraceBuffer {
     }
 
     /// Heap footprint of the recording in bytes (lane capacities).
+    ///
+    /// [`TraceBuffer::record`] shrinks every lane on completion, so for
+    /// recorded buffers this is the exact lane-length sum; for buffers still
+    /// being pushed to it includes the doubling-growth slack of the sparse
+    /// lanes (call [`TraceBuffer::shrink_to_fit`] to drop it).
     pub fn footprint_bytes(&self) -> usize {
         self.pc.capacity() * std::mem::size_of::<u64>()
             + self.uop.capacity() * std::mem::size_of::<Uop>()
@@ -177,6 +232,60 @@ impl TraceBuffer {
             + self.mem_addr.capacity() * std::mem::size_of::<u64>()
             + self.mem_size.capacity()
             + self.br_target.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Lane views for binary serialisation, in on-disk order
+    /// `(pc, uop, value, meta, mem_addr, mem_size, br_target)`.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn lanes(&self) -> (&[u64], &[Uop], &[u64], &[u32], &[u64], &[u8], &[u64]) {
+        (
+            &self.pc,
+            &self.uop,
+            &self.value,
+            &self.meta,
+            &self.mem_addr,
+            &self.mem_size,
+            &self.br_target,
+        )
+    }
+
+    /// Reassembles a buffer from deserialised lanes, validating the recording
+    /// invariants that [`TraceBuffer::push`] maintains: equal dense lane
+    /// lengths, and sparse lane lengths matching the number of µ-ops whose
+    /// metadata claims a memory access / branch outcome. Returns a description
+    /// of the violated invariant on mismatch, so the trace store can reject a
+    /// corrupt or truncated file instead of replaying garbage.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_lanes(
+        pc: Vec<u64>,
+        uop: Vec<Uop>,
+        value: Vec<u64>,
+        meta: Vec<u32>,
+        mem_addr: Vec<u64>,
+        mem_size: Vec<u8>,
+        br_target: Vec<u64>,
+    ) -> Result<Self, &'static str> {
+        let n = pc.len();
+        if uop.len() != n || value.len() != n || meta.len() != n {
+            return Err("dense lane lengths disagree");
+        }
+        let mems = meta.iter().filter(|&&m| m & meta::HAS_MEM != 0).count();
+        if mem_addr.len() != mems || mem_size.len() != mems {
+            return Err("sparse memory lanes disagree with the metadata");
+        }
+        let brs = meta.iter().filter(|&&m| m & meta::HAS_BRANCH != 0).count();
+        if br_target.len() != brs {
+            return Err("sparse branch lane disagrees with the metadata");
+        }
+        Ok(TraceBuffer {
+            pc,
+            uop,
+            value,
+            meta,
+            mem_addr,
+            mem_size,
+            br_target,
+        })
     }
 
     /// A zero-copy cursor replaying the recording from the start. Any number of
@@ -312,6 +421,77 @@ mod tests {
         let aos = 10_000 * std::mem::size_of::<DynUop>() * 2;
         assert!(bytes >= dense_min, "footprint {bytes} under dense minimum");
         assert!(bytes < aos, "footprint {bytes} not better than 2x AoS");
+    }
+
+    #[test]
+    fn recorded_footprint_is_the_exact_lane_length_sum() {
+        // The sparse lanes grow by doubling; `record` must shrink them so the
+        // `--trace-cache-mb` cap math does not over-estimate per-trace cost by
+        // up to 2x and cache fewer workloads than fit.
+        for spec in specs() {
+            let buf = TraceBuffer::record(&spec, 10_000);
+            let exact = buf.pc.len() * std::mem::size_of::<u64>()
+                + buf.uop.len() * std::mem::size_of::<Uop>()
+                + buf.value.len() * std::mem::size_of::<u64>()
+                + buf.meta.len() * std::mem::size_of::<u32>()
+                + buf.mem_addr.len() * std::mem::size_of::<u64>()
+                + buf.mem_size.len()
+                + buf.br_target.len() * std::mem::size_of::<u64>();
+            assert_eq!(
+                buf.footprint_bytes(),
+                exact,
+                "footprint not exact after recording {}",
+                spec.name
+            );
+            assert!(buf.footprint_bytes() as u64 >= TraceBuffer::dense_estimate_bytes(10_000));
+        }
+    }
+
+    #[test]
+    fn from_lanes_round_trips_and_validates() {
+        let buf = TraceBuffer::record(&WorkloadSpec::new("lanes", 3), 5_000);
+        let (pc, uop, value, meta, mem_addr, mem_size, br_target) = buf.lanes();
+        let rebuilt = TraceBuffer::from_lanes(
+            pc.to_vec(),
+            uop.to_vec(),
+            value.to_vec(),
+            meta.to_vec(),
+            mem_addr.to_vec(),
+            mem_size.to_vec(),
+            br_target.to_vec(),
+        )
+        .expect("valid lanes");
+        assert_eq!(
+            buf.replay().collect::<Vec<_>>(),
+            rebuilt.replay().collect::<Vec<_>>()
+        );
+
+        // A truncated sparse lane must be rejected, not replayed as garbage.
+        let mut short_mem = mem_addr.to_vec();
+        short_mem.pop();
+        assert!(TraceBuffer::from_lanes(
+            pc.to_vec(),
+            uop.to_vec(),
+            value.to_vec(),
+            meta.to_vec(),
+            short_mem,
+            mem_size.to_vec(),
+            br_target.to_vec(),
+        )
+        .is_err());
+        // Dense lane length mismatch likewise.
+        let mut short_pc = pc.to_vec();
+        short_pc.pop();
+        assert!(TraceBuffer::from_lanes(
+            short_pc,
+            uop.to_vec(),
+            value.to_vec(),
+            meta.to_vec(),
+            mem_addr.to_vec(),
+            mem_size.to_vec(),
+            br_target.to_vec(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod buffer;
 mod generator;
 mod memory;
 mod spec;
+mod store;
 mod value;
 mod workload;
 
@@ -49,6 +50,10 @@ pub use generator::TraceGenerator;
 pub use memory::{AddressPattern, AddressState};
 pub use spec::{
     all_spec_benchmarks, benchmark_class, spec_benchmark, BenchClass, SPEC_BENCHMARK_NAMES,
+};
+pub use store::{
+    decode_trace, encode_trace, spec_fingerprint, DecodedTrace, StoreError, SweepStats, TraceStore,
+    TRACE_FORMAT_VERSION, TRACE_MAGIC, TRACE_STREAM_VERSION,
 };
 pub use value::{ValuePattern, ValueProfile, ValueState};
 pub use workload::{BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec};

@@ -1,0 +1,932 @@
+//! Persistent on-disk trace recordings.
+//!
+//! The figure harness replays one dynamic µ-op stream per benchmark across
+//! dozens of predictor configurations. [`TraceBuffer`] already pays trace
+//! generation once per *run*; this module pays it once per *machine*: a
+//! [`TraceStore`] is a directory of serialised recordings keyed by the
+//! workload-specification fingerprint and the µ-op budget, so repeated
+//! `figures` invocations (and CI jobs restoring the directory from a cache)
+//! skip generation entirely and load the lanes straight from disk.
+//!
+//! # File format (`TRACE_FORMAT_VERSION` 1)
+//!
+//! Little-endian throughout. A fixed 64-byte header:
+//!
+//! | offset | bytes | field |
+//! | ------ | ----- | ----- |
+//! | 0      | 8     | magic `b"BBPTRACE"` |
+//! | 8      | 4     | format version (`u32`) |
+//! | 12     | 4     | reserved (zero) |
+//! | 16     | 8     | workload-spec fingerprint ([`spec_fingerprint`]) |
+//! | 24     | 8     | workload seed |
+//! | 32     | 8     | µ-op count (dense lane length) |
+//! | 40     | 8     | memory lane length |
+//! | 48     | 8     | branch lane length |
+//! | 56     | 8     | FNV-1a checksum over header bytes 0..56 + payload |
+//!
+//! followed by the raw structure-of-arrays lanes in recording order: `pc`
+//! (`u64` each), static µ-ops (packed to one `u64` each), `value` (`u64`),
+//! `meta` (`u32`), then the sparse `mem_addr` (`u64`), `mem_size` (`u8`) and
+//! `br_target` (`u64`) lanes.
+//!
+//! # Invalidation
+//!
+//! A file is rejected — and the workload transparently regenerated — when the
+//! magic or version disagrees, the checksum does not match, any lane is
+//! truncated or internally inconsistent, or the header's fingerprint/seed/µ-op
+//! count disagree with what the caller asked for. Rejected files are deleted
+//! so they are rewritten on the next save rather than rejected forever.
+//! The fingerprint covers every field of the [`WorkloadSpec`], so editing a
+//! workload's parameters changes its key and orphans (rather than poisons) the
+//! old recording; orphans age out through [`TraceStore::sweep`], the
+//! LRU-by-modification-time size bound.
+
+use crate::buffer::TraceBuffer;
+use crate::value::ValueProfile;
+use crate::workload::{BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec};
+use bebop_isa::{ArchReg, Uop, UopKind, NUM_ARCH_REGS};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+/// Version of the on-disk layout. Bump on any incompatible change; readers
+/// reject other versions and regenerate (CI keys its trace-directory cache on
+/// this constant for the same reason).
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// File magic, first 8 bytes of every trace file.
+pub const TRACE_MAGIC: [u8; 8] = *b"BBPTRACE";
+
+/// Extension of trace files inside a store directory.
+const TRACE_EXT: &str = "bbtrace";
+
+const HEADER_LEN: usize = 64;
+const CHECKSUM_OFFSET: usize = 56;
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing (checksum + spec fingerprint)
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Version of the *generation behaviour*: the mapping from a [`WorkloadSpec`]
+/// to a µ-op stream. Bump it whenever `TraceGenerator` (or anything it calls —
+/// program construction, value/address pattern sampling, RNG consumption
+/// order) changes the stream produced for an unchanged specification, so
+/// recordings made by the old behaviour stop matching instead of being
+/// silently replayed as if nothing changed.
+pub const TRACE_STREAM_VERSION: u32 = 1;
+
+/// A stable fingerprint of every field of a [`WorkloadSpec`], salted with
+/// [`TRACE_STREAM_VERSION`].
+///
+/// Two specifications collide only if they describe the identical workload
+/// (name, seed and every profile parameter) *under the same generation
+/// behaviour*, so the fingerprint — together with the µ-op budget — is the
+/// cache key of a recording: change any parameter (or bump the stream
+/// version) and the old recording is orphaned instead of wrongly reused.
+///
+/// Every struct is destructured exhaustively so that adding a field to any of
+/// them is a compile error here rather than a silently incomplete cache key.
+pub fn spec_fingerprint(spec: &WorkloadSpec) -> u64 {
+    let WorkloadSpec {
+        name,
+        seed,
+        parallel_chains,
+        is_fp,
+        mix,
+        loops,
+        values,
+        branches,
+        memory,
+    } = spec;
+    let InstMix {
+        load,
+        store,
+        fp,
+        mul,
+        div,
+        load_imm,
+        load_op_frac,
+    } = *mix;
+    let LoopProfile {
+        regions,
+        body_insts,
+        trip_count,
+        diamond_prob,
+    } = *loops;
+    let ValueProfile {
+        constant,
+        strided,
+        periodic_strided,
+        branch_correlated,
+        branch_correlated_stride,
+        random,
+        stride_magnitude,
+    } = *values;
+    let BranchProfile {
+        pattern_frac,
+        biased_frac,
+        random_frac,
+        taken_bias,
+    } = *branches;
+    let MemoryProfile {
+        working_set_bytes,
+        streaming_frac,
+        random_frac: mem_random_frac,
+        pointer_chase_frac,
+        stream_stride,
+    } = *memory;
+
+    let mut enc: Vec<u8> = Vec::with_capacity(256);
+    let put_u64 = |enc: &mut Vec<u8>, x: u64| enc.extend_from_slice(&x.to_le_bytes());
+    let put_f64 = |enc: &mut Vec<u8>, x: f64| enc.extend_from_slice(&x.to_bits().to_le_bytes());
+
+    enc.extend_from_slice(&TRACE_STREAM_VERSION.to_le_bytes());
+    put_u64(&mut enc, name.len() as u64);
+    enc.extend_from_slice(name.as_bytes());
+    put_u64(&mut enc, *seed);
+    put_u64(&mut enc, *parallel_chains as u64);
+    enc.push(u8::from(*is_fp));
+
+    for x in [load, store, fp, mul, div, load_imm, load_op_frac] {
+        put_f64(&mut enc, x);
+    }
+
+    put_u64(&mut enc, regions as u64);
+    put_u64(&mut enc, body_insts as u64);
+    put_u64(&mut enc, trip_count);
+    put_f64(&mut enc, diamond_prob);
+
+    for x in [
+        constant,
+        strided,
+        periodic_strided,
+        branch_correlated,
+        branch_correlated_stride,
+        random,
+    ] {
+        put_f64(&mut enc, x);
+    }
+    put_u64(&mut enc, stride_magnitude as u64);
+
+    for x in [pattern_frac, biased_frac, random_frac, taken_bias] {
+        put_f64(&mut enc, x);
+    }
+
+    put_u64(&mut enc, working_set_bytes);
+    for x in [streaming_frac, mem_random_frac, pointer_chase_frac] {
+        put_f64(&mut enc, x);
+    }
+    put_u64(&mut enc, stream_stride);
+
+    fnv1a(FNV_OFFSET, &enc)
+}
+
+// ---------------------------------------------------------------------------
+// Static µ-op packing
+// ---------------------------------------------------------------------------
+
+const REG_NONE: u8 = 0xFF;
+
+fn encode_kind(kind: UopKind) -> u8 {
+    match kind {
+        UopKind::Alu => 0,
+        UopKind::Mul => 1,
+        UopKind::Div => 2,
+        UopKind::FpAdd => 3,
+        UopKind::FpMul => 4,
+        UopKind::FpDiv => 5,
+        UopKind::Load => 6,
+        UopKind::Store => 7,
+        UopKind::Branch => 8,
+        UopKind::LoadImm => 9,
+        UopKind::Nop => 10,
+    }
+}
+
+fn decode_kind(byte: u8) -> Option<UopKind> {
+    Some(match byte {
+        0 => UopKind::Alu,
+        1 => UopKind::Mul,
+        2 => UopKind::Div,
+        3 => UopKind::FpAdd,
+        4 => UopKind::FpMul,
+        5 => UopKind::FpDiv,
+        6 => UopKind::Load,
+        7 => UopKind::Store,
+        8 => UopKind::Branch,
+        9 => UopKind::LoadImm,
+        10 => UopKind::Nop,
+        _ => return None,
+    })
+}
+
+fn encode_reg(reg: Option<ArchReg>) -> u8 {
+    match reg {
+        Some(r) => r.raw() as u8,
+        None => REG_NONE,
+    }
+}
+
+fn decode_reg(byte: u8) -> Result<Option<ArchReg>, StoreError> {
+    if byte == REG_NONE {
+        Ok(None)
+    } else if u16::from(byte) < NUM_ARCH_REGS {
+        Ok(Some(ArchReg::from_raw(u16::from(byte))))
+    } else {
+        Err(StoreError::Malformed("register index out of range"))
+    }
+}
+
+/// Packs one static µ-op into a portable `u64`:
+/// `[kind, dst, src0, src1, src2, 0, 0, 0]` (little-endian byte order).
+fn encode_uop(uop: &Uop) -> u64 {
+    let mut bytes = [0u8; 8];
+    bytes[0] = encode_kind(uop.kind());
+    bytes[1] = encode_reg(uop.dst());
+    let mut srcs = [REG_NONE; 3];
+    for (slot, reg) in srcs.iter_mut().zip(uop.srcs()) {
+        *slot = encode_reg(Some(reg));
+    }
+    bytes[2..5].copy_from_slice(&srcs);
+    u64::from_le_bytes(bytes)
+}
+
+fn decode_uop(word: u64) -> Result<Uop, StoreError> {
+    let bytes = word.to_le_bytes();
+    let kind = decode_kind(bytes[0]).ok_or(StoreError::Malformed("unknown µ-op kind"))?;
+    let dst = decode_reg(bytes[1])?;
+    let mut srcs: Vec<ArchReg> = Vec::with_capacity(3);
+    let mut ended = false;
+    for &b in &bytes[2..5] {
+        match decode_reg(b)? {
+            Some(r) if !ended => srcs.push(r),
+            Some(_) => return Err(StoreError::Malformed("gap in µ-op source registers")),
+            None => ended = true,
+        }
+    }
+    if bytes[5..8] != [0, 0, 0] {
+        return Err(StoreError::Malformed("non-zero µ-op padding"));
+    }
+    Ok(Uop::new(kind, dst, &srcs))
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+/// Why a trace file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file ended before the declared lanes.
+    Truncated,
+    /// The first 8 bytes are not [`TRACE_MAGIC`].
+    BadMagic,
+    /// The file was written by a different (older or newer) format version.
+    VersionMismatch(u32),
+    /// The stored checksum does not match the header+payload contents.
+    ChecksumMismatch,
+    /// A lane or field is internally inconsistent.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated => write!(f, "trace file is truncated"),
+            StoreError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            StoreError::VersionMismatch(v) => {
+                write!(f, "trace format version {v} != {TRACE_FORMAT_VERSION}")
+            }
+            StoreError::ChecksumMismatch => write!(f, "trace checksum mismatch"),
+            StoreError::Malformed(what) => write!(f, "malformed trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A decoded trace file: the recording plus the identity fields of its header,
+/// which callers compare against what they expected to load.
+#[derive(Debug, Clone)]
+pub struct DecodedTrace {
+    /// Workload-spec fingerprint the file was recorded for.
+    pub fingerprint: u64,
+    /// Workload seed the file was recorded for.
+    pub seed: u64,
+    /// The recording itself.
+    pub buffer: TraceBuffer,
+}
+
+/// Serialises a recording of `spec` to the versioned, checksummed byte format.
+pub fn encode_trace(spec: &WorkloadSpec, buf: &TraceBuffer) -> Vec<u8> {
+    let (pc, uop, value, meta, mem_addr, mem_size, br_target) = buf.lanes();
+    let payload_len = pc.len() * 8
+        + uop.len() * 8
+        + value.len() * 8
+        + meta.len() * 4
+        + mem_addr.len() * 8
+        + mem_size.len()
+        + br_target.len() * 8;
+    let mut out: Vec<u8> = Vec::with_capacity(HEADER_LEN + payload_len);
+
+    out.extend_from_slice(&TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&spec_fingerprint(spec).to_le_bytes());
+    out.extend_from_slice(&spec.seed.to_le_bytes());
+    out.extend_from_slice(&(pc.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(mem_addr.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(br_target.len() as u64).to_le_bytes());
+    debug_assert_eq!(out.len(), CHECKSUM_OFFSET);
+    out.extend_from_slice(&[0u8; 8]); // checksum patched below
+
+    for &x in pc {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for u in uop {
+        out.extend_from_slice(&encode_uop(u).to_le_bytes());
+    }
+    for &x in value {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for &x in meta {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    for &x in mem_addr {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.extend_from_slice(mem_size);
+    for &x in br_target {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+
+    let checksum = fnv1a(
+        fnv1a(FNV_OFFSET, &out[..CHECKSUM_OFFSET]),
+        &out[HEADER_LEN..],
+    );
+    out[CHECKSUM_OFFSET..HEADER_LEN].copy_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.at.checked_add(n).ok_or(StoreError::Truncated)?;
+        let slice = self.bytes.get(self.at..end).ok_or(StoreError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u64_lane(&mut self, n: usize) -> Result<Vec<u64>, StoreError> {
+        let raw = self.take(n.checked_mul(8).ok_or(StoreError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn u32_lane(&mut self, n: usize) -> Result<Vec<u32>, StoreError> {
+        let raw = self.take(n.checked_mul(4).ok_or(StoreError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+/// Deserialises and fully validates a trace file produced by [`encode_trace`].
+pub fn decode_trace(bytes: &[u8]) -> Result<DecodedTrace, StoreError> {
+    let mut r = Reader { bytes, at: 0 };
+    if r.take(8)? != TRACE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != TRACE_FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch(version));
+    }
+    let _reserved = r.u32()?;
+    let fingerprint = r.u64()?;
+    let seed = r.u64()?;
+    let n = r.u64()?;
+    let mem_len = r.u64()?;
+    let br_len = r.u64()?;
+    let stored_checksum = r.u64()?;
+    debug_assert_eq!(r.at, HEADER_LEN);
+
+    // Reject absurd lengths before allocating lanes for them: every lane of a
+    // well-formed file fits in what remains of the byte slice.
+    let remaining = (bytes.len() - HEADER_LEN) as u64;
+    if n.saturating_mul(28) > remaining
+        || mem_len.saturating_mul(9) > remaining
+        || br_len.saturating_mul(8) > remaining
+    {
+        return Err(StoreError::Truncated);
+    }
+
+    let checksum = fnv1a(
+        fnv1a(FNV_OFFSET, &bytes[..CHECKSUM_OFFSET]),
+        &bytes[HEADER_LEN..],
+    );
+    if checksum != stored_checksum {
+        return Err(StoreError::ChecksumMismatch);
+    }
+
+    let n = n as usize;
+    let pc = r.u64_lane(n)?;
+    let uop = r
+        .u64_lane(n)?
+        .into_iter()
+        .map(decode_uop)
+        .collect::<Result<Vec<Uop>, StoreError>>()?;
+    let value = r.u64_lane(n)?;
+    let meta = r.u32_lane(n)?;
+    let mem_addr = r.u64_lane(mem_len as usize)?;
+    let mem_size = r.take(mem_len as usize)?.to_vec();
+    let br_target = r.u64_lane(br_len as usize)?;
+    if r.at != bytes.len() {
+        return Err(StoreError::Malformed("trailing bytes after the lanes"));
+    }
+
+    let mut buffer = TraceBuffer::from_lanes(pc, uop, value, meta, mem_addr, mem_size, br_target)
+        .map_err(StoreError::Malformed)?;
+    // Collecting through fallible adapters can over-allocate; keep loaded
+    // footprints exact so the `--trace-cache-mb` cap math stays honest.
+    buffer.shrink_to_fit();
+    Ok(DecodedTrace {
+        fingerprint,
+        seed,
+        buffer,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The directory cache
+// ---------------------------------------------------------------------------
+
+/// Outcome of an eviction sweep ([`TraceStore::sweep`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Trace files deleted.
+    pub files_removed: usize,
+    /// Bytes those files occupied.
+    pub bytes_removed: u64,
+    /// Bytes the store occupies after the sweep.
+    pub bytes_kept: u64,
+}
+
+/// A directory cache of serialised trace recordings, keyed by
+/// `(spec fingerprint, µ-op budget)`.
+///
+/// Writes go through a temporary file in the same directory followed by an
+/// atomic rename, so concurrent writers (parallel recording fan-out, or two
+/// `figures` processes sharing one `--trace-dir`) can never expose a
+/// half-written file; readers validate magic, version, checksum and identity
+/// and treat any mismatch as a miss, deleting the offender so it is rewritten.
+///
+/// Hit/miss counters are atomic: one store can serve the whole recording
+/// fan-out concurrently.
+#[derive(Debug)]
+pub struct TraceStore {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(TraceStore {
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The path a recording of `(spec, uops)` lives at. The file stem carries
+    /// the benchmark name for humans; the fingerprint and µ-op budget are the
+    /// actual key, and the format version is part of the name so incompatible
+    /// generations coexist instead of fighting over one path.
+    pub fn trace_path(&self, spec: &WorkloadSpec, uops: u64) -> PathBuf {
+        let stem: String = spec
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir.join(format!(
+            "{stem}-{:016x}-{uops}u.v{TRACE_FORMAT_VERSION}.{TRACE_EXT}",
+            spec_fingerprint(spec)
+        ))
+    }
+
+    /// Loads the recording of `(spec, uops)`, or returns `None` (counting a
+    /// miss) when it is absent, corrupt, truncated, of a foreign version, or
+    /// recorded for a different specification or budget. Invalid files are
+    /// deleted so the next [`TraceStore::save`] replaces them. A hit bumps the
+    /// file's modification time, which is what [`TraceStore::sweep`] evicts by.
+    pub fn load(&self, spec: &WorkloadSpec, uops: u64) -> Option<TraceBuffer> {
+        let path = self.trace_path(spec, uops);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let decoded = match decode_trace(&bytes) {
+            Ok(d) => d,
+            Err(_) => {
+                let _ = fs::remove_file(&path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let identity_ok = decoded.fingerprint == spec_fingerprint(spec)
+            && decoded.seed == spec.seed
+            && decoded.buffer.len() as u64 == uops;
+        if !identity_ok {
+            let _ = fs::remove_file(&path);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // LRU touch; best-effort (a read-only store still serves hits).
+        if let Ok(f) = fs::File::options().write(true).open(&path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(decoded.buffer)
+    }
+
+    /// Persists a recording of `(spec, uops)` via write-to-temporary +
+    /// atomic rename, and returns the final path.
+    pub fn save(&self, spec: &WorkloadSpec, uops: u64, buf: &TraceBuffer) -> io::Result<PathBuf> {
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let path = self.trace_path(spec, uops);
+        let tmp = self.dir.join(format!(
+            ".tmp-{:016x}-{}-{}",
+            spec_fingerprint(spec),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::write(&tmp, encode_trace(spec, buf))?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads the recording of `(spec, uops)` or, on a miss, records it live
+    /// and persists it (best-effort: an unwritable directory degrades to plain
+    /// recording, it never fails the run). The flag is `true` on a store hit.
+    pub fn load_or_record(&self, spec: &WorkloadSpec, uops: u64) -> (TraceBuffer, bool) {
+        if let Some(buf) = self.load(spec, uops) {
+            return (buf, true);
+        }
+        let buf = TraceBuffer::record(spec, uops);
+        let _ = self.save(spec, uops, &buf);
+        (buf, false)
+    }
+
+    /// Store hits served since [`TraceStore::open`].
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Store misses (absent, corrupt or mismatched files) since open.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of trace files currently in the store.
+    pub fn disk_bytes(&self) -> u64 {
+        self.trace_files()
+            .map(|files| files.into_iter().map(|(_, len, _)| len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Evicts least-recently-used trace files (by modification time, which
+    /// [`TraceStore::load`] bumps on every hit) until the store fits in
+    /// `max_bytes`. Temporary files and foreign files are left alone.
+    pub fn sweep(&self, max_bytes: u64) -> io::Result<SweepStats> {
+        let mut files = self.trace_files()?;
+        // Oldest first, strict LRU: remove the least-recently-used file until
+        // the total fits. (Skipping a too-big file to keep older smaller ones
+        // would evict more-recently-used recordings — not LRU.)
+        files.sort_by_key(|f| f.2);
+        let mut stats = SweepStats::default();
+        let mut total: u64 = files.iter().map(|f| f.1).sum();
+        for (path, len, _mtime) in files {
+            if total <= max_bytes {
+                break;
+            }
+            fs::remove_file(&path)?;
+            stats.files_removed += 1;
+            stats.bytes_removed += len;
+            total -= len;
+        }
+        stats.bytes_kept = total;
+        Ok(stats)
+    }
+
+    /// `(path, byte length, mtime)` of every trace file in the directory.
+    #[allow(clippy::type_complexity)]
+    fn trace_files(&self) -> io::Result<Vec<(PathBuf, u64, SystemTime)>> {
+        let mut files = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(TRACE_EXT) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            files.push((path, meta.len(), mtime));
+        }
+        Ok(files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_benchmark;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bebop-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_benchmark_shape() {
+        for name in ["171.swim", "429.mcf", "403.gcc"] {
+            let spec = spec_benchmark(name);
+            let buf = TraceBuffer::record(&spec, 4_000);
+            let decoded = decode_trace(&encode_trace(&spec, &buf)).expect("round trip");
+            assert_eq!(decoded.fingerprint, spec_fingerprint(&spec));
+            assert_eq!(decoded.seed, spec.seed);
+            assert_eq!(
+                buf.replay().collect::<Vec<_>>(),
+                decoded.buffer.replay().collect::<Vec<_>>(),
+                "{name} diverged through the store format"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_spec_field() {
+        let base = WorkloadSpec::new("fp", 1);
+        let fp = spec_fingerprint(&base);
+        let mut renamed = base.clone();
+        renamed.name = "fp2".to_string();
+        assert_ne!(fp, spec_fingerprint(&renamed));
+        let mut reseeded = base.clone();
+        reseeded.seed = 2;
+        assert_ne!(fp, spec_fingerprint(&reseeded));
+        let mut remixed = base.clone();
+        remixed.mix.load += 0.01;
+        assert_ne!(fp, spec_fingerprint(&remixed));
+        let mut rememoried = base.clone();
+        rememoried.memory.working_set_bytes *= 2;
+        assert_ne!(fp, spec_fingerprint(&rememoried));
+        let mut revalued = base.clone();
+        revalued.values.stride_magnitude += 1;
+        assert_ne!(fp, spec_fingerprint(&revalued));
+        // And it is stable for identical specs.
+        assert_eq!(fp, spec_fingerprint(&base.clone()));
+    }
+
+    #[test]
+    fn truncated_and_mangled_bytes_are_rejected() {
+        let spec = WorkloadSpec::named_demo("mangle");
+        let buf = TraceBuffer::record(&spec, 1_000);
+        let bytes = encode_trace(&spec, &buf);
+
+        assert!(matches!(decode_trace(&[]), Err(StoreError::Truncated)));
+        for cut in [4usize, HEADER_LEN - 1, HEADER_LEN + 17, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_trace(&bytes[..cut]),
+                    Err(StoreError::Truncated) | Err(StoreError::ChecksumMismatch)
+                ),
+                "cut at {cut} not rejected"
+            );
+        }
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_trace(&wrong_magic),
+            Err(StoreError::BadMagic)
+        ));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 0xEE;
+        assert!(matches!(
+            decode_trace(&wrong_version),
+            Err(StoreError::VersionMismatch(_))
+        ));
+
+        // Flip one payload bit: the checksum must catch it.
+        let mut flipped = bytes.clone();
+        let mid = HEADER_LEN + (flipped.len() - HEADER_LEN) / 2;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(
+            decode_trace(&flipped),
+            Err(StoreError::ChecksumMismatch)
+        ));
+
+        // Trailing garbage is not silently ignored.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_trace(&padded).is_err());
+    }
+
+    #[test]
+    fn store_misses_then_hits_and_survives_corruption() {
+        let dir = tmp_dir("hitmiss");
+        let store = TraceStore::open(&dir).expect("open");
+        let spec = WorkloadSpec::named_demo("store-demo");
+        assert!(store.load(&spec, 2_000).is_none());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+
+        let (buf, loaded) = store.load_or_record(&spec, 2_000);
+        assert!(!loaded);
+        let again = store.load(&spec, 2_000).expect("hit after save");
+        assert_eq!(
+            buf.replay().collect::<Vec<_>>(),
+            again.replay().collect::<Vec<_>>()
+        );
+        assert_eq!(store.hits(), 1);
+
+        // A different budget is a different key.
+        assert!(store.load(&spec, 2_001).is_none());
+
+        // Corrupt the file on disk: the next load rejects it, deletes it and
+        // reports a miss; the one after that regenerates transparently.
+        let path = store.trace_path(&spec, 2_000);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load(&spec, 2_000).is_none());
+        assert!(!path.exists(), "corrupt file must be deleted");
+        let (_, loaded) = store.load_or_record(&spec, 2_000);
+        assert!(!loaded);
+        assert!(path.exists(), "regenerated recording must be persisted");
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_fingerprint_is_a_miss() {
+        let dir = tmp_dir("stale");
+        let store = TraceStore::open(&dir).expect("open");
+        let spec = WorkloadSpec::named_demo("stale-demo");
+        let buf = TraceBuffer::record(&spec, 1_500);
+        // Write valid bytes for `spec` at the path of a *different* spec —
+        // the decoded fingerprint disagrees with what the caller asked for.
+        let mut other = spec.clone();
+        other.values.stride_magnitude += 7;
+        let path = store.trace_path(&other, 1_500);
+        fs::write(&path, encode_trace(&spec, &buf)).unwrap();
+        assert!(store.load(&other, 1_500).is_none());
+        assert!(!path.exists(), "stale file must be deleted");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_evicts_oldest_first_down_to_the_bound() {
+        let dir = tmp_dir("sweep");
+        let store = TraceStore::open(&dir).expect("open");
+        let mut sizes = Vec::new();
+        for (i, name) in ["sw-a", "sw-b", "sw-c"].iter().enumerate() {
+            let spec = WorkloadSpec::new(*name, 10 + i as u64);
+            let buf = TraceBuffer::record(&spec, 1_000);
+            let path = store.save(&spec, 1_000, &buf).expect("save");
+            // Space the mtimes out explicitly so ordering is deterministic.
+            let t = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000 + i as u64);
+            fs::File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+            sizes.push(fs::metadata(&path).unwrap().len());
+        }
+        let total: u64 = sizes.iter().sum();
+        assert_eq!(store.disk_bytes(), total);
+
+        // Room for the two newest files only: the oldest (sw-a) goes.
+        let bound = sizes[1] + sizes[2];
+        let stats = store.sweep(bound).expect("sweep");
+        assert_eq!(stats.files_removed, 1);
+        assert_eq!(stats.bytes_removed, sizes[0]);
+        assert_eq!(stats.bytes_kept, bound);
+        let spec_a = WorkloadSpec::new("sw-a", 10);
+        assert!(!store.trace_path(&spec_a, 1_000).exists());
+        let spec_c = WorkloadSpec::new("sw-c", 12);
+        assert!(store.trace_path(&spec_c, 1_000).exists());
+
+        // A zero bound empties the store; an ample bound removes nothing.
+        store.sweep(0).expect("sweep to zero");
+        assert_eq!(store.disk_bytes(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_is_strict_lru_not_first_fit() {
+        // Oldest C (small), middle B (large), newest A. A bound of size(A) +
+        // size(C) must evict C *and then* B (strict LRU removes oldest until
+        // the total fits) — not skip over B to keep the stale C, which would
+        // evict a more-recently-used recording than the one it keeps.
+        let dir = tmp_dir("lru");
+        let store = TraceStore::open(&dir).expect("open");
+        let mut sizes = std::collections::HashMap::new();
+        for (i, (name, uops)) in [("lru-c", 2_000u64), ("lru-b", 2_500), ("lru-a", 3_000)]
+            .iter()
+            .enumerate()
+        {
+            let spec = WorkloadSpec::new(*name, 40 + i as u64);
+            let buf = TraceBuffer::record(&spec, *uops);
+            let path = store.save(&spec, *uops, &buf).expect("save");
+            let t = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(2_000 + i as u64);
+            fs::File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+            sizes.insert(*name, fs::metadata(&path).unwrap().len());
+        }
+        let bound = sizes["lru-a"] + sizes["lru-c"];
+        let stats = store.sweep(bound).expect("sweep");
+        assert_eq!(stats.files_removed, 2, "C then B must go, oldest first");
+        assert_eq!(stats.bytes_removed, sizes["lru-c"] + sizes["lru-b"]);
+        assert_eq!(stats.bytes_kept, sizes["lru-a"]);
+        assert!(store
+            .trace_path(&WorkloadSpec::new("lru-a", 42), 3_000)
+            .exists());
+        assert!(!store
+            .trace_path(&WorkloadSpec::new("lru-c", 40), 2_000)
+            .exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_path_is_versioned_and_filesystem_safe() {
+        let dir = tmp_dir("path");
+        let store = TraceStore::open(&dir).expect("open");
+        let spec = WorkloadSpec::new("4??.we/ird name", 3);
+        let path = store.trace_path(&spec, 500);
+        let name = path.file_name().unwrap().to_str().unwrap();
+        assert!(name.starts_with("4__.we_ird_name-"));
+        assert!(name.ends_with(&format!("500u.v{TRACE_FORMAT_VERSION}.{TRACE_EXT}")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -205,9 +205,20 @@ impl Pipeline {
         I: IntoIterator<Item = DynUop>,
         P: ValuePredictor + ?Sized,
     {
-        for uop in trace.into_iter().take(max_uops as usize) {
+        // Count the budget in u64 rather than `take(max_uops as usize)`:
+        // the cast silently truncates >4G-µop budgets on 32-bit targets.
+        let mut committed: u64 = 0;
+        for uop in trace {
+            if committed == max_uops {
+                break;
+            }
             self.step(&uop, predictor);
+            committed += 1;
         }
+        debug_assert_eq!(
+            committed, self.stats.uops,
+            "budget accounting diverged from the per-µop statistics"
+        );
         // Drain remaining predictor updates so accuracy statistics are complete.
         while let Some(p) = self.pending_train.pop_front() {
             predictor.train(&p.uop, p.uop.value, p.predicted);
@@ -520,6 +531,23 @@ mod tests {
         let ipc = stats.uop_ipc();
         assert!(ipc > 0.1, "unreasonably low IPC {ipc}");
         assert!(ipc <= 8.0, "IPC {ipc} exceeds the front-end width");
+    }
+
+    #[test]
+    fn budget_is_not_truncated_to_32_bits() {
+        // A budget above u32::MAX must not be shortened by an `as usize` cast
+        // on 32-bit targets: with a finite 100-µop stream, a (1<<32)+50 budget
+        // would truncate to 50 and commit half the stream. The u64 budget loop
+        // commits the whole stream regardless of the target word size.
+        let spec = WorkloadSpec::named_demo("pipe");
+        let short: Vec<_> = TraceGenerator::new(&spec).take(100).collect();
+        let mut pred = NoValuePredictor;
+        let stats =
+            Pipeline::new(PipelineConfig::baseline_6_60()).run(short, &mut pred, (1u64 << 32) + 50);
+        assert_eq!(stats.uops, 100, "the whole finite stream must commit");
+        // And an exact budget still stops on the dot.
+        let exact = run(PipelineConfig::baseline_6_60(), &spec, 1_234);
+        assert_eq!(exact.uops, 1_234);
     }
 
     #[test]
