@@ -6,6 +6,7 @@
 //! cargo run -p bebop-bench --release --bin figures -- --all --json BENCH_figures.json
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-cache-mb 64
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-dir .trace-store
+//! cargo run -p bebop-bench --release --bin figures -- --wrong-path --subset
 //! ```
 //!
 //! Each experiment prints the series the paper reports: per-benchmark speedups and
@@ -24,6 +25,13 @@
 //! is bit-identical either way), and `--json <path>` writes per-experiment
 //! wall-clock and µops/sec so perf regressions are visible across commits (the
 //! `perf_gate` binary turns that diff into a CI failure).
+//!
+//! `--wrong-path` runs the (opt-in, never part of `--all`) wrong-path
+//! pollution experiment: every workload is re-traced with wrong-path bursts
+//! and simulated under the three wrong-path policies — disabled, clean
+//! (probe-only) and polluted (speculative predictor updates) — reporting
+//! per-benchmark predictor accuracy under pollution plus the wrong-path
+//! fetch/execute/train counters, which also land in the `--json` report.
 
 use bebop::SpeedupSummary;
 use bebop_bench::*;
@@ -90,15 +98,27 @@ fn parse_args() -> Options {
                 opts.trace_cache = TraceCachePolicy::capped_mb(mb);
             }
             "--all" => opts.which.push("all".to_string()),
+            "--wrong-path" => opts.which.push("wrongpath".to_string()),
             other => opts.which.push(other.trim_start_matches("--").to_string()),
         }
     }
     if opts.which.is_empty() {
         opts.which.push("all".to_string());
     }
-    const KNOWN: [&str; 12] = [
-        "all", "table1", "table2", "table3", "fig5a", "fig5b", "fig6a", "fig6b", "strides",
-        "fig7a", "fig7b", "fig8",
+    const KNOWN: [&str; 13] = [
+        "all",
+        "table1",
+        "table2",
+        "table3",
+        "fig5a",
+        "fig5b",
+        "fig6a",
+        "fig6b",
+        "strides",
+        "fig7a",
+        "fig7b",
+        "fig8",
+        "wrongpath",
     ];
     for w in &opts.which {
         if !KNOWN.contains(&w.as_str()) {
@@ -117,6 +137,12 @@ fn parse_args() -> Options {
 }
 
 fn wants(opts: &Options, name: &str) -> bool {
+    // The wrong-path experiment is opt-in only (`--wrong-path`): it is not
+    // part of `--all`, so the default figure set stays bit-identical to runs
+    // from before the mode existed.
+    if name == "wrongpath" {
+        return opts.which.iter().any(|w| w == "wrongpath");
+    }
     opts.which.iter().any(|w| w == "all" || w == name)
 }
 
@@ -160,6 +186,17 @@ fn timed(report: &mut Vec<Timing>, name: &'static str, f: impl FnOnce() -> u64) 
     });
 }
 
+/// Aggregated wrong-path counters for the perf JSON (zero when the
+/// `--wrong-path` experiment did not run; old reports parse the missing
+/// fields as zero).
+#[derive(Default)]
+struct WrongPathAgg {
+    fetched: u64,
+    executed: u64,
+    vp_trains: u64,
+    pollution_mispredicts: u64,
+}
+
 fn write_json(
     path: &str,
     report: &[Timing],
@@ -167,6 +204,7 @@ fn write_json(
     benchmarks: usize,
     set: &TraceSet,
     store: Option<&bebop_bench::TraceStore>,
+    wp: &WrongPathAgg,
 ) {
     // The worker-pool width the experiments actually fanned out with (the
     // flattened (config × workload) task lists of the sweeps saturate it).
@@ -192,6 +230,15 @@ fn write_json(
     out.push_str(&format!(
         "  \"trace_generated_uops\": {},\n",
         set.generated_uops()
+    ));
+    // Wrong-path execution traffic (zero unless --wrong-path ran): the
+    // fetched/executed split plus the pollution counters of the polluted run.
+    out.push_str(&format!("  \"wrong_path_fetched\": {},\n", wp.fetched));
+    out.push_str(&format!("  \"wrong_path_executed\": {},\n", wp.executed));
+    out.push_str(&format!("  \"wrong_path_vp_trains\": {},\n", wp.vp_trains));
+    out.push_str(&format!(
+        "  \"wrong_path_pollution_mispredicts\": {},\n",
+        wp.pollution_mispredicts
     ));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_uops\": {total_uops},\n"));
@@ -419,7 +466,78 @@ fn main() {
         });
     }
 
+    let mut wp_agg = WrongPathAgg::default();
+    if wants(&opts, "wrongpath") {
+        timed(&mut report, "wrongpath", || {
+            let out = run_wrong_path(&specs, uops, &opts.trace_cache, store.as_ref());
+            println!(
+                "\n=== Wrong-path execution: {}-µ-op bursts, D-VTAGE on Baseline_VP_6_60 ===",
+                WRONG_PATH_BURST
+            );
+            println!(
+                "    {:<18} {:>8} {:>8} {:>8} {:>8} {:>8}  {:>9} {:>9} {:>9} {:>9}",
+                "benchmark",
+                "acc-off",
+                "acc-cln",
+                "acc-pol",
+                "cov-off",
+                "cov-pol",
+                "wp-fetch",
+                "wp-exec",
+                "wp-train",
+                "pol-misp"
+            );
+            for r in &out.rows {
+                println!(
+                    "    {:<18} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4}  {:>9} {:>9} {:>9} {:>9}",
+                    r.name,
+                    r.off.vp.accuracy(),
+                    r.clean.vp.accuracy(),
+                    r.polluted.vp.accuracy(),
+                    r.off.vp.coverage(),
+                    r.polluted.vp.coverage(),
+                    r.polluted.wrong_path.fetched,
+                    r.polluted.wrong_path.executed,
+                    r.polluted.wrong_path.vp_trains,
+                    r.polluted.wrong_path.pollution_mispredicts,
+                );
+            }
+            // Pollution shows up two ways: wrong predictions (accuracy) and —
+            // with confidence-gated predictors — vanished predictions
+            // (coverage). Both deltas are over the identical trace.
+            println!(
+                "    mean accuracy: off {:.4}  clean {:.4}  polluted {:.4}  (pollution delta {:+.4})",
+                out.mean_accuracy(|r| &r.off),
+                out.mean_accuracy(|r| &r.clean),
+                out.mean_accuracy(|r| &r.polluted),
+                out.mean_accuracy(|r| &r.polluted) - out.mean_accuracy(|r| &r.clean),
+            );
+            println!(
+                "    mean coverage: off {:.4}  clean {:.4}  polluted {:.4}  (pollution delta {:+.4})",
+                out.mean_coverage(|r| &r.off),
+                out.mean_coverage(|r| &r.clean),
+                out.mean_coverage(|r| &r.polluted),
+                out.mean_coverage(|r| &r.polluted) - out.mean_coverage(|r| &r.clean),
+            );
+            wp_agg = WrongPathAgg {
+                fetched: out.polluted_total(|s| s.wrong_path.fetched),
+                executed: out.polluted_total(|s| s.wrong_path.executed),
+                vp_trains: out.polluted_total(|s| s.wrong_path.vp_trains),
+                pollution_mispredicts: out.polluted_total(|s| s.wrong_path.pollution_mispredicts),
+            };
+            out.simulated_uops
+        });
+    }
+
     if let Some(path) = &opts.json {
-        write_json(path, &report, &opts, set.len(), &set, store.as_ref());
+        write_json(
+            path,
+            &report,
+            &opts,
+            set.len(),
+            &set,
+            store.as_ref(),
+            &wp_agg,
+        );
     }
 }

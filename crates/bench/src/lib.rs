@@ -315,6 +315,118 @@ pub fn run_fig8(set: &TraceSet, uops: u64) -> SweepOutcome {
     )
 }
 
+/// Wrong-path burst length used by the `figures --wrong-path` experiment:
+/// enough µ-ops that a mispredicted branch keeps the front end busy until it
+/// resolves, small enough that trace recordings stay affordable.
+pub const WRONG_PATH_BURST: u32 = 8;
+
+/// One benchmark row of the wrong-path pollution experiment: the same
+/// wrong-path trace simulated under the three wrong-path policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrongPathRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Wrong-path execution disabled: bursts are skipped for free (the
+    /// paper's model, the reference the other two columns are judged against).
+    pub off: SimStats,
+    /// Wrong-path execution enabled, probe-only pollution
+    /// (`update_predictor = false`): wrong-path µ-ops occupy bandwidth and
+    /// pollute caches and the predictor's speculative state, but tables are
+    /// only updated at commit.
+    pub clean: SimStats,
+    /// Wrong-path execution with speculative predictor updates
+    /// (`update_predictor = true`): bogus wrong-path results reach the tables.
+    pub polluted: SimStats,
+}
+
+/// The outcome of [`run_wrong_path`].
+#[derive(Debug, Clone)]
+pub struct WrongPathOutcome {
+    /// Per-benchmark rows, in input order.
+    pub rows: Vec<WrongPathRow>,
+    /// Committed µ-ops across every simulation the experiment ran.
+    pub simulated_uops: u64,
+}
+
+impl WrongPathOutcome {
+    /// Sums a wrong-path counter over the polluted column.
+    pub fn polluted_total(&self, f: impl Fn(&SimStats) -> u64) -> u64 {
+        self.rows.iter().map(|r| f(&r.polluted)).sum()
+    }
+
+    /// Mean value-prediction accuracy of one column (`0.0..=1.0`).
+    ///
+    /// Note that a fully confidence-gated predictor driven to zero
+    /// predictions by pollution reports accuracy 0.0; read it together with
+    /// [`WrongPathOutcome::mean_coverage`].
+    pub fn mean_accuracy(&self, col: impl Fn(&WrongPathRow) -> &SimStats) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| col(r).vp.accuracy()).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean value-prediction coverage of one column (`0.0..=1.0`): the
+    /// fraction of eligible µ-ops correctly predicted. Pollution of a
+    /// confidence-gated predictor shows up here as vanished predictions even
+    /// when the (few) surviving predictions stay accurate.
+    pub fn mean_coverage(&self, col: impl Fn(&WrongPathRow) -> &SimStats) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| col(r).vp.coverage()).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// The wrong-path pollution experiment behind `figures --wrong-path`: every
+/// workload is re-specified with [`WRONG_PATH_BURST`]-µ-op wrong-path bursts,
+/// recorded once, and simulated with D-VTAGE on `Baseline_VP_6_60` under the
+/// three wrong-path policies (off / clean / polluted) — all over the identical
+/// trace, so the polluted-vs-clean accuracy delta isolates predictor pollution
+/// and the clean-vs-off delta isolates bandwidth and cache effects.
+///
+/// The wrong-path specifications have their own trace-store fingerprints, so a
+/// shared `--trace-dir` caches these recordings alongside the plain ones.
+pub fn run_wrong_path(
+    specs: &[WorkloadSpec],
+    uops: u64,
+    policy: &TraceCachePolicy,
+    store: Option<&TraceStore>,
+) -> WrongPathOutcome {
+    let wp_specs: Vec<WorkloadSpec> = specs
+        .iter()
+        .map(|s| s.clone().with_wrong_path(WRONG_PATH_BURST))
+        .collect();
+    let set = TraceSet::build_with_store(&wp_specs, uops, policy, store);
+    set.assert_covers(uops);
+
+    let base = PipelineConfig::baseline_vp_6_60();
+    let pipes = [
+        base.clone(),
+        base.clone().with_wrong_path(false),
+        base.with_wrong_path(true),
+    ];
+    let tasks: Vec<(usize, usize)> = (0..pipes.len())
+        .flat_map(|p| (0..set.len()).map(move |i| (p, i)))
+        .collect();
+    let stats: Vec<SimStats> = par::par_map(&tasks, |&(p, i)| {
+        run_source(set.source(i), &pipes[p], &PredictorKind::DVtage, uops)
+    });
+
+    let rows = (0..set.len())
+        .map(|i| WrongPathRow {
+            name: set.name(i).to_string(),
+            off: stats[i],
+            clean: stats[set.len() + i],
+            polluted: stats[2 * set.len() + i],
+        })
+        .collect();
+    WrongPathOutcome {
+        rows,
+        simulated_uops: 3 * set.len() as u64 * uops,
+    }
+}
+
 /// Table II reproduction: baseline IPC of every synthetic benchmark on
 /// `Baseline_6_60`. Fanned out across cores like every other experiment.
 pub fn run_table2(set: &TraceSet, uops: u64) -> Vec<(String, f64)> {
@@ -394,6 +506,28 @@ mod tests {
                 assert_eq!(r.baseline.uops, uops);
             }
         }
+    }
+
+    #[test]
+    fn wrong_path_experiment_exercises_all_three_policies() {
+        let specs: Vec<WorkloadSpec> = vec![WorkloadSpec::new("wp-bench", 41)];
+        let uops = 4_000;
+        let out = run_wrong_path(&specs, uops, &TraceCachePolicy::default(), None);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.simulated_uops, 3 * uops);
+        let row = &out.rows[0];
+        // All three columns commit the same budget over the same trace.
+        assert_eq!(row.off.uops, uops);
+        assert_eq!(row.clean.uops, uops);
+        assert_eq!(row.polluted.uops, uops);
+        // Off: bursts skipped for free. Clean: fetched but never trained.
+        // Polluted: trains delivered.
+        assert_eq!(row.off.wrong_path.fetched, 0);
+        assert!(row.clean.wrong_path.fetched > 0);
+        assert_eq!(row.clean.wrong_path.vp_trains, 0);
+        assert!(row.polluted.wrong_path.vp_trains > 0);
+        assert!(out.polluted_total(|s| s.wrong_path.fetched) > 0);
+        let _ = out.mean_accuracy(|r| &r.polluted);
     }
 
     #[test]

@@ -21,6 +21,15 @@ pub struct PerfReport {
     pub trace_store_hits: u64,
     /// Persistent trace-store misses during the run.
     pub trace_store_misses: u64,
+    /// Wrong-path µ-ops fetched by the `--wrong-path` experiment (0 when it
+    /// did not run, and for reports from before the mode existed).
+    pub wrong_path_fetched: u64,
+    /// Wrong-path µ-ops that were speculatively executed.
+    pub wrong_path_executed: u64,
+    /// Polluting wrong-path predictor updates delivered by the experiment.
+    pub wrong_path_vp_trains: u64,
+    /// Heuristically attributed pollution-induced value mispredictions.
+    pub wrong_path_pollution_mispredicts: u64,
     /// `(experiment name, µops/sec)` rows, in report order.
     pub experiments: Vec<(String, f64)>,
 }
@@ -62,6 +71,15 @@ pub fn parse(text: &str) -> Option<PerfReport> {
     let trace_store_hits = number_after(text, "trace_store_hits", 0).map_or(0, |(v, _)| v as u64);
     let trace_store_misses =
         number_after(text, "trace_store_misses", 0).map_or(0, |(v, _)| v as u64);
+    // Optional: reports written before the wrong-path mode read as 0.
+    let wrong_path_fetched =
+        number_after(text, "wrong_path_fetched", 0).map_or(0, |(v, _)| v as u64);
+    let wrong_path_executed =
+        number_after(text, "wrong_path_executed", 0).map_or(0, |(v, _)| v as u64);
+    let wrong_path_vp_trains =
+        number_after(text, "wrong_path_vp_trains", 0).map_or(0, |(v, _)| v as u64);
+    let wrong_path_pollution_mispredicts =
+        number_after(text, "wrong_path_pollution_mispredicts", 0).map_or(0, |(v, _)| v as u64);
 
     let exp_at = text.find("\"experiments\"")?;
     let mut experiments = Vec::new();
@@ -80,6 +98,10 @@ pub fn parse(text: &str) -> Option<PerfReport> {
         total_uops_per_sec,
         trace_store_hits,
         trace_store_misses,
+        wrong_path_fetched,
+        wrong_path_executed,
+        wrong_path_vp_trains,
+        wrong_path_pollution_mispredicts,
         experiments,
     })
 }
@@ -128,6 +150,19 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
             current.trace_store_misses,
             baseline.trace_store_hits,
             baseline.trace_store_misses
+        ));
+    }
+    if baseline.wrong_path_fetched > 0 || current.wrong_path_fetched > 0 {
+        lines.push(format!(
+            "  wrong path: {} fetched / {} executed / {} polluting train(s) / {} attributed mispredict(s) (baseline {} / {} / {} / {})",
+            current.wrong_path_fetched,
+            current.wrong_path_executed,
+            current.wrong_path_vp_trains,
+            current.wrong_path_pollution_mispredicts,
+            baseline.wrong_path_fetched,
+            baseline.wrong_path_executed,
+            baseline.wrong_path_vp_trains,
+            baseline.wrong_path_pollution_mispredicts
         ));
     }
     for (name, base_ups) in &baseline.experiments {
@@ -239,6 +274,50 @@ mod tests {
         // No store traffic on either side: no store line.
         let quiet = diff(&base, &base, 0.20);
         assert!(!quiet.lines.iter().any(|l| l.contains("trace store")));
+    }
+
+    #[test]
+    fn wrong_path_counters_parse_and_default_to_zero() {
+        // Old reports (no wrong-path fields) parse as zero traffic.
+        let old = parse(&report(1000.0, 1000.0)).expect("parse");
+        assert_eq!(old.wrong_path_fetched, 0);
+        assert_eq!(old.wrong_path_executed, 0);
+        assert_eq!(old.wrong_path_vp_trains, 0);
+        assert_eq!(old.wrong_path_pollution_mispredicts, 0);
+
+        let with_wp = r#"{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 1,
+  "uops_per_run": 200000,
+  "benchmarks": 36,
+  "wrong_path_fetched": 1234,
+  "wrong_path_executed": 1000,
+  "wrong_path_vp_trains": 321,
+  "wrong_path_pollution_mispredicts": 7,
+  "total_wall_s": 10.5,
+  "total_uops": 1000,
+  "total_uops_per_sec": 1000.0,
+  "experiments": [
+    {"name": "wrongpath", "wall_s": 9.5, "uops": 500, "uops_per_sec": 1000.0}
+  ]
+}
+"#;
+        let cur = parse(with_wp).expect("parse");
+        assert_eq!(cur.wrong_path_fetched, 1234);
+        assert_eq!(cur.wrong_path_executed, 1000);
+        assert_eq!(cur.wrong_path_vp_trains, 321);
+        assert_eq!(cur.wrong_path_pollution_mispredicts, 7);
+        let d = diff(&old, &cur, 0.20);
+        assert!(
+            d.lines
+                .iter()
+                .any(|l| l.contains("1234 fetched / 1000 executed / 321 polluting")),
+            "{:?}",
+            d.lines
+        );
+        // No wrong-path traffic on either side: no wrong-path line.
+        let quiet = diff(&old, &old, 0.20);
+        assert!(!quiet.lines.iter().any(|l| l.contains("wrong path")));
     }
 
     #[test]

@@ -799,6 +799,31 @@ impl ValuePredictor for BlockDVtage {
         self.drain_completed();
     }
 
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
+        // Guarded wrong-path update. The block-based retirement machinery
+        // (FIFO update queue, speculative window) is squash-safe by design —
+        // wrong-path block records are discarded at the flush, so routing
+        // wrong-path results through `train` would pollute nothing (and would
+        // corrupt the program-order bookkeeping). What a speculative-update
+        // design *does* corrupt is the Last Value Table: the bogus result is
+        // written straight into the matching slot's last-value lane, from
+        // which every later prediction of the block chains.
+        let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+        let idx = self.lvt_index(block_pc);
+        let tag = self.lvt_tag(block_pc);
+        let byte = byte_index_in_block(uop.pc, self.cfg.fetch_block_bytes);
+        let np = self.cfg.npred;
+        let e = &mut self.lvt[idx];
+        if e.valid && e.tag == tag {
+            for i in 0..np {
+                if e.slot_valid & (1 << i) != 0 && e.byte_tags[i] == byte {
+                    e.lasts[i] = actual;
+                    break;
+                }
+            }
+        }
+    }
+
     fn squash(&mut self, info: &SquashInfo) {
         self.window.squash(info.flush_seq);
         {

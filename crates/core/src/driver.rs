@@ -86,6 +86,17 @@ impl PredictorKind {
 
 /// The statically dispatched union of every built-in value predictor.
 ///
+/// # Example
+///
+/// ```
+/// use bebop::{AnyPredictor, PredictorKind};
+/// use bebop_uarch::ValuePredictor;
+///
+/// let mut predictor: AnyPredictor = PredictorKind::TwoDeltaStride.build();
+/// assert_eq!(predictor.name(), "2d-Stride");
+/// assert!(predictor.storage_bits() > 0);
+/// ```
+///
 /// The per-µop hot loop of [`Pipeline::run`] calls the predictor three times per
 /// eligible µ-op; going through `Box<dyn ValuePredictor>` made every one of those
 /// calls virtual. `AnyPredictor` keeps the [`ValuePredictor`] trait for
@@ -147,6 +158,11 @@ impl ValuePredictor for AnyPredictor {
     #[inline]
     fn train(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>) {
         dispatch!(self, p => p.train(uop, actual, predicted))
+    }
+
+    #[inline]
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>) {
+        dispatch!(self, p => p.train_wrong_path(uop, actual, predicted))
     }
 
     #[inline]
@@ -228,6 +244,24 @@ pub fn run_source(
 
 /// Runs one workload (generated live) on one pipeline configuration with one
 /// predictor for `max_uops` µ-ops and returns the statistics.
+///
+/// # Example
+///
+/// ```
+/// use bebop::{run_one, PredictorKind};
+/// use bebop_trace::WorkloadSpec;
+/// use bebop_uarch::PipelineConfig;
+///
+/// let spec = WorkloadSpec::named_demo("run-one-demo");
+/// let stats = run_one(
+///     &spec,
+///     &PipelineConfig::baseline_vp_6_60(),
+///     &PredictorKind::DVtage,
+///     5_000,
+/// );
+/// assert_eq!(stats.uops, 5_000);
+/// assert!(stats.uop_ipc() > 0.0);
+/// ```
 pub fn run_one(
     spec: &WorkloadSpec,
     pipeline: &PipelineConfig,

@@ -22,9 +22,10 @@
 //! The supporting substrates live in sibling crates: `bebop-isa` (a synthetic
 //! variable-length ISA), `bebop-trace` (36 SPEC-like synthetic workloads),
 //! `bebop-uarch` (a cycle-level superscalar pipeline with TAGE and EOLE) and
-//! `bebop-vp` (the instruction-based predictors of Figure 5a). The [`driver`]
-//! module glues them together, and `bebop-bench` regenerates every table and
-//! figure of the paper's evaluation.
+//! `bebop-vp` (the instruction-based predictors of Figure 5a). The driver
+//! layer ([`run_one`], [`compare`], [`PredictorKind`]) glues them together,
+//! and `bebop-bench` regenerates every table and figure of the paper's
+//! evaluation.
 //!
 //! # Quickstart
 //!

@@ -81,6 +81,12 @@ pub struct DynUop {
     pub branch: Option<BranchInfo>,
     /// For load-immediate µ-ops, the immediate is available at decode.
     pub imm_available_at_decode: bool,
+    /// `true` if this µ-op lies on the wrong path of a mispredicted branch: it
+    /// may be fetched and speculatively executed by the pipeline but never
+    /// commits, and its `value` is the bogus wrong-path result. Wrong-path
+    /// µ-ops are emitted by trace generators with wrong-path modelling enabled
+    /// and are skipped entirely by pipelines that do not simulate them.
+    pub wrong_path: bool,
 }
 
 impl DynUop {
@@ -105,6 +111,7 @@ impl DynUop {
             mem: None,
             branch: None,
             imm_available_at_decode: uop.kind() == UopKind::LoadImm,
+            wrong_path: false,
         }
     }
 
@@ -123,6 +130,13 @@ impl DynUop {
             taken,
             target,
         });
+        self
+    }
+
+    /// Marks this µ-op as lying on the wrong path of a mispredicted branch.
+    #[must_use]
+    pub fn with_wrong_path(mut self) -> Self {
+        self.wrong_path = true;
         self
     }
 
@@ -166,8 +180,13 @@ impl fmt::Display for DynUop {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "#{} pc={:#x}.{} {} val={:#x}",
-            self.seq, self.pc, self.uop_idx, self.uop, self.value
+            "#{}{} pc={:#x}.{} {} val={:#x}",
+            self.seq,
+            if self.wrong_path { " (wp)" } else { "" },
+            self.pc,
+            self.uop_idx,
+            self.uop,
+            self.value
         )
     }
 }
@@ -215,6 +234,16 @@ mod tests {
         let u = DynUop::new(0, 0x1000, 4, 0, 1, ld, 99).with_mem(0xdead0, 8);
         assert_eq!(u.mem.unwrap().addr, 0xdead0);
         assert_eq!(u.mem.unwrap().size, 8);
+    }
+
+    #[test]
+    fn wrong_path_marker() {
+        let u = DynUop::new(0, 0x1000, 4, 0, 1, alu_uop(), 0);
+        assert!(!u.wrong_path);
+        let wp = u.with_wrong_path();
+        assert!(wp.wrong_path);
+        assert!(format!("{wp}").contains("(wp)"));
+        assert!(!format!("{u}").contains("(wp)"));
     }
 
     #[test]

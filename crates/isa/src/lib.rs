@@ -12,8 +12,9 @@
 //! * [`UopKind`] / [`Uop`] — µ-ops with execution classes and register operands.
 //! * [`StaticInst`] — a variable-length macro-instruction (1–8 bytes) expanding to
 //!   1–3 µ-ops.
-//! * [`FetchBlock`] helpers — 16-byte fetch-block arithmetic, byte indexes
-//!   (the tags BeBoP uses to attribute predictions) and boundary bits.
+//! * Fetch-block helpers ([`fetch_block_pc`], [`byte_index_in_block`]) —
+//!   16-byte fetch-block arithmetic, byte indexes (the tags BeBoP uses to
+//!   attribute predictions) and boundary bits.
 //! * [`Program`], [`BasicBlock`] — a static control-flow representation that the
 //!   workload generators in `bebop-trace` walk to produce dynamic µ-op streams.
 //! * [`DynUop`] — one dynamic µ-op record as consumed by the `bebop-uarch`

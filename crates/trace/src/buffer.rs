@@ -41,6 +41,8 @@ mod meta {
     pub const BRANCH_TAKEN: u32 = 1 << 29;
     /// Bit 30: the immediate is available at decode.
     pub const IMM_AT_DECODE: u32 = 1 << 30;
+    /// Bit 31: µ-op lies on the wrong path of a mispredicted branch.
+    pub const WRONG_PATH: u32 = 1 << 31;
 }
 
 fn encode_kind(kind: BranchKind) -> u32 {
@@ -91,6 +93,9 @@ pub struct TraceBuffer {
     mem_size: Vec<u8>,
     /// Branch targets, one per µ-op with `meta::HAS_BRANCH`, in stream order.
     br_target: Vec<u64>,
+    /// Number of recorded µ-ops carrying `meta::WRONG_PATH` (cached so the
+    /// committed-µ-op count is O(1) rather than a meta-lane scan).
+    wrong_path_count: usize,
 }
 
 impl TraceBuffer {
@@ -106,10 +111,18 @@ impl TraceBuffer {
             mem_addr: Vec::new(),
             mem_size: Vec::new(),
             br_target: Vec::new(),
+            wrong_path_count: 0,
         }
     }
 
-    /// Records the first `n` µ-ops of a live generation of `spec`.
+    /// Records a live generation of `spec` covering `n` *committed* µ-ops.
+    ///
+    /// The budget counts correct-path µ-ops only: wrong-path burst µ-ops
+    /// (emitted by specs with [`crate::WrongPathProfile`] enabled) ride along
+    /// in the recording without consuming budget, so a recording of `n`
+    /// always covers a pipeline run committing `n` µ-ops — the same contract
+    /// as [`TraceBuffer::committed_len`]. For wrong-path-free specs this is
+    /// exactly "the first `n` µ-ops" as before.
     ///
     /// The recorded stream starts at sequence number 0, so replay can derive
     /// sequence numbers from lane indices instead of storing them.
@@ -131,15 +144,17 @@ impl TraceBuffer {
         // start small and let the lanes grow until allocation fails loudly.
         let mut buf = TraceBuffer::with_capacity(usize::try_from(n).unwrap_or(0));
         let mut gen = TraceGenerator::new(spec);
-        let mut recorded: u64 = 0;
-        while recorded < n {
+        let mut committed: u64 = 0;
+        while committed < n {
             let u = gen
                 .next()
                 .expect("TraceGenerator is unbounded; recording budget not honoured");
             buf.push(&u);
-            recorded += 1;
+            if !u.wrong_path {
+                committed += 1;
+            }
         }
-        assert_eq!(recorded, n, "recording budget not honoured");
+        assert_eq!(committed, n, "recording budget not honoured");
         buf.shrink_to_fit();
         buf
     }
@@ -190,6 +205,10 @@ impl TraceBuffer {
         if u.imm_available_at_decode {
             m |= meta::IMM_AT_DECODE;
         }
+        if u.wrong_path {
+            m |= meta::WRONG_PATH;
+            self.wrong_path_count += 1;
+        }
         if let Some(mem) = u.mem {
             m |= meta::HAS_MEM;
             self.mem_addr.push(mem.addr);
@@ -208,9 +227,22 @@ impl TraceBuffer {
         self.meta.push(m);
     }
 
-    /// Number of recorded µ-ops.
+    /// Number of recorded µ-ops (wrong-path µ-ops included).
     pub fn len(&self) -> usize {
         self.pc.len()
+    }
+
+    /// Number of recorded *committed* (correct-path) µ-ops: the count a
+    /// pipeline run over this recording can commit, and the budget
+    /// [`TraceBuffer::record`] honours.
+    pub fn committed_len(&self) -> usize {
+        self.pc.len() - self.wrong_path_count
+    }
+
+    /// Number of recorded wrong-path µ-ops (0 unless the workload was
+    /// specified with a [`crate::WrongPathProfile`]).
+    pub fn wrong_path_len(&self) -> usize {
+        self.wrong_path_count
     }
 
     /// Returns `true` if nothing has been recorded.
@@ -277,6 +309,7 @@ impl TraceBuffer {
         if br_target.len() != brs {
             return Err("sparse branch lane disagrees with the metadata");
         }
+        let wrong_path_count = meta.iter().filter(|&&m| m & meta::WRONG_PATH != 0).count();
         Ok(TraceBuffer {
             pc,
             uop,
@@ -285,6 +318,7 @@ impl TraceBuffer {
             mem_addr,
             mem_size,
             br_target,
+            wrong_path_count,
         })
     }
 
@@ -336,6 +370,7 @@ impl Iterator for TraceCursor<'_> {
         // `DynUop::new` derives this from the µ-op kind; restore the recorded
         // bit so replay is faithful even for hand-built streams.
         u.imm_available_at_decode = m & meta::IMM_AT_DECODE != 0;
+        u.wrong_path = m & meta::WRONG_PATH != 0;
         if m & meta::HAS_MEM != 0 {
             u.mem = Some(MemAccess {
                 addr: b.mem_addr[self.mem_i],
@@ -513,6 +548,32 @@ mod tests {
         u.imm_available_at_decode = false;
         buf.push(&u);
         assert_eq!(buf.replay().next().unwrap(), u);
+    }
+
+    #[test]
+    fn wrong_path_traces_replay_bit_identically_and_count_committed() {
+        let spec = WorkloadSpec::new("buf-wp", 11).with_wrong_path(6);
+        let buf = TraceBuffer::record(&spec, 8_000);
+        assert_eq!(buf.committed_len(), 8_000, "budget counts committed µ-ops");
+        assert!(buf.wrong_path_len() > 0, "bursts must be recorded");
+        assert_eq!(buf.len(), buf.committed_len() + buf.wrong_path_len());
+        let live: Vec<_> = TraceGenerator::new(&spec).take(buf.len()).collect();
+        let replayed: Vec<_> = buf.replay().collect();
+        assert_eq!(live, replayed, "wrong-path replay diverged");
+        // The marker round-trips through the lane encoding.
+        let (pc, uop, value, meta, mem_addr, mem_size, br_target) = buf.lanes();
+        let rebuilt = TraceBuffer::from_lanes(
+            pc.to_vec(),
+            uop.to_vec(),
+            value.to_vec(),
+            meta.to_vec(),
+            mem_addr.to_vec(),
+            mem_size.to_vec(),
+            br_target.to_vec(),
+        )
+        .expect("valid lanes");
+        assert_eq!(rebuilt.committed_len(), buf.committed_len());
+        assert_eq!(rebuilt.wrong_path_len(), buf.wrong_path_len());
     }
 
     #[test]

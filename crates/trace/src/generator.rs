@@ -62,6 +62,16 @@ pub struct TraceGenerator {
     ghr: u64,
     cur_bb: BasicBlockId,
     pending: VecDeque<DynUop>,
+    /// Wrong-path µ-ops emitted after each conditional branch (0 = disabled).
+    wrong_path_burst: u32,
+    /// Dedicated RNG for wrong-path values/addresses/directions. Wrong-path
+    /// emission must never consume from `rng` or mutate the per-µop value and
+    /// address states: the correct-path sub-stream (everything but the
+    /// sequence numbering, which counts every stream slot) has to stay
+    /// identical to a generation with the burst disabled.
+    wp_rng: SmallRng,
+    /// Working-set bound for wrong-path load/store addresses.
+    wp_working_set: u64,
 }
 
 impl TraceGenerator {
@@ -149,6 +159,9 @@ impl TraceGenerator {
             ghr: 0,
             cur_bb: entry,
             pending: VecDeque::new(),
+            wrong_path_burst: spec.wrong_path.burst_uops,
+            wp_rng: SmallRng::seed_from_u64(spec.seed ^ 0x7ace_0003),
+            wp_working_set: spec.memory.working_set_bytes.max(64),
         }
     }
 
@@ -281,6 +294,115 @@ impl TraceGenerator {
         }
         self.pending.extend(new_uops);
         self.cur_bb = next_bb;
+
+        // Wrong-path burst: the µ-ops the front end would fetch if it
+        // mispredicted this conditional branch, i.e. the alternate successor's
+        // path. Emitted after the branch so a wrong-path-aware pipeline can
+        // fetch them between the branch and its resolution.
+        if self.wrong_path_burst > 0 {
+            if let Terminator::Conditional { taken, not_taken } = terminator {
+                let wrong_target = if branch_taken.unwrap_or(false) {
+                    not_taken
+                } else {
+                    taken
+                };
+                self.emit_wrong_path_burst(wrong_target);
+            }
+        }
+    }
+
+    /// Emits up to `wrong_path_burst` wrong-path µ-ops into `pending`, walking
+    /// the static program from `start` (the alternate successor of a
+    /// conditional branch).
+    ///
+    /// The walk is purely static plus the dedicated wrong-path RNG: values,
+    /// addresses and wrong-path branch directions come from `wp_rng`, and none
+    /// of the correct-path state (value/address/branch states, `rng`, `ghr`)
+    /// is touched, so enabling the burst leaves every correct-path µ-op's
+    /// PC/value/address/branch fields unchanged. Sequence numbers stay
+    /// contiguous with the surrounding stream (wrong-path µ-ops occupy stream
+    /// slots like any other).
+    fn emit_wrong_path_burst(&mut self, start: BasicBlockId) {
+        let budget = self.wrong_path_burst;
+        let mut emitted: u32 = 0;
+        let mut bb = start;
+        'blocks: while emitted < budget {
+            let block = self.program.block(bb).clone();
+            let base_pc = self.program.block_pc(bb);
+            let terminator = block.terminator();
+            let num_insts = block.insts().len();
+            // The direction a wrong-path conditional "takes" (it is itself
+            // speculative fiction, so an unbiased coin is enough).
+            let wp_taken =
+                matches!(terminator, Terminator::Conditional { .. }) && self.wp_rng.gen_bool(0.5);
+
+            let mut pc = base_pc;
+            for (inst_idx, inst) in block.insts().iter().enumerate() {
+                let is_terminator_inst = inst_idx + 1 == num_insts && inst.is_branch();
+                let num_uops = inst.uops().len() as u8;
+                for (uop_idx, uop) in inst.uops().iter().enumerate() {
+                    if emitted == budget {
+                        break 'blocks;
+                    }
+                    let value = if uop.dst().is_some() {
+                        // Bogus wrong-path results; mostly small values so
+                        // polluting trains look like plausible data.
+                        u64::from(self.wp_rng.gen::<u32>())
+                    } else {
+                        0
+                    };
+                    let mut d = DynUop::new(
+                        self.seq,
+                        pc,
+                        inst.len_bytes(),
+                        uop_idx as u8,
+                        num_uops,
+                        *uop,
+                        value,
+                    )
+                    .with_wrong_path();
+                    self.seq += 1;
+                    if uop.kind().is_mem() {
+                        let addr = 0x1000_0000 + self.wp_rng.gen_range(0..self.wp_working_set);
+                        d = d.with_mem(addr, 8);
+                    }
+                    if uop.kind().is_branch() && is_terminator_inst {
+                        let (kind, taken, target) = match terminator {
+                            Terminator::Conditional { taken, not_taken } => (
+                                BranchKind::Conditional,
+                                wp_taken,
+                                self.program
+                                    .block_pc(if wp_taken { taken } else { not_taken }),
+                            ),
+                            Terminator::Jump(t) => {
+                                (BranchKind::Unconditional, true, self.program.block_pc(t))
+                            }
+                            _ => (
+                                BranchKind::Conditional,
+                                false,
+                                pc + u64::from(inst.len_bytes()),
+                            ),
+                        };
+                        d = d.with_branch(kind, taken, target);
+                    }
+                    self.pending.push_back(d);
+                    emitted += 1;
+                }
+                pc += u64::from(inst.len_bytes());
+            }
+
+            bb = match terminator {
+                Terminator::Conditional { taken, not_taken } => {
+                    if wp_taken {
+                        taken
+                    } else {
+                        not_taken
+                    }
+                }
+                Terminator::FallThrough(t) | Terminator::Jump(t) => t,
+                Terminator::Exit => self.program.entry(),
+            };
+        }
     }
 
     /// Produces the architectural value of one µ-op instance.
@@ -428,6 +550,68 @@ mod tests {
                 assert!(u.branch.is_some(), "terminator branch without outcome: {u}");
             }
         }
+    }
+
+    #[test]
+    fn wrong_path_bursts_follow_every_conditional_branch() {
+        let spec = WorkloadSpec::new("wp", 5).with_wrong_path(6);
+        let trace: Vec<_> = TraceGenerator::new(&spec).take(30_000).collect();
+        let wp_count = trace.iter().filter(|u| u.wrong_path).count();
+        assert!(wp_count > 0, "wrong-path µ-ops must be emitted");
+        // Every conditional correct-path branch is immediately followed by a
+        // wrong-path µ-op whose PC is the branch's alternate successor.
+        for w in trace.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if !a.wrong_path
+                && a.branch.map(|i| i.kind) == Some(BranchKind::Conditional)
+                && a.is_last_uop()
+            {
+                assert!(b.wrong_path, "no burst after conditional branch {a}");
+                if a.is_taken_branch() {
+                    // Alternate of a taken branch is the fall-through path
+                    // (the not-taken successor is laid out next in memory).
+                    assert_eq!(
+                        b.pc,
+                        a.fallthrough_pc(),
+                        "burst must start at the alternate"
+                    );
+                }
+            }
+        }
+        // Sequence numbers remain contiguous over the whole stream.
+        for (i, u) in trace.iter().enumerate() {
+            assert_eq!(u.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn wrong_path_emission_leaves_the_correct_path_unchanged() {
+        let base = WorkloadSpec::new("wp-id", 9);
+        let with_wp = base.clone().with_wrong_path(8);
+        let plain: Vec<_> = TraceGenerator::new(&base).take(20_000).collect();
+        let correct: Vec<_> = TraceGenerator::new(&with_wp)
+            .filter(|u| !u.wrong_path)
+            .take(20_000)
+            .collect();
+        for (a, b) in plain.iter().zip(&correct) {
+            // Identical apart from the sequence number (wrong-path µ-ops
+            // occupy stream slots).
+            let mut b2 = *b;
+            b2.seq = a.seq;
+            assert_eq!(*a, b2, "correct path diverged at #{}", a.seq);
+        }
+    }
+
+    #[test]
+    fn disabled_wrong_path_emits_nothing_and_matches_bitwise() {
+        let spec = demo_spec();
+        assert!(!spec.wrong_path.is_enabled());
+        let a: Vec<_> = TraceGenerator::new(&spec).take(10_000).collect();
+        assert!(a.iter().all(|u| !u.wrong_path));
+        let mut off = spec.clone();
+        off.wrong_path = crate::workload::WrongPathProfile::disabled();
+        let b: Vec<_> = TraceGenerator::new(&off).take(10_000).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

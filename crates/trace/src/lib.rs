@@ -56,4 +56,6 @@ pub use store::{
     TRACE_FORMAT_VERSION, TRACE_MAGIC, TRACE_STREAM_VERSION,
 };
 pub use value::{ValuePattern, ValueProfile, ValueState};
-pub use workload::{BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec};
+pub use workload::{
+    BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec, WrongPathProfile,
+};

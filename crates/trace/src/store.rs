@@ -8,7 +8,7 @@
 //! `figures` invocations (and CI jobs restoring the directory from a cache)
 //! skip generation entirely and load the lanes straight from disk.
 //!
-//! # File format (`TRACE_FORMAT_VERSION` 1)
+//! # File format (`TRACE_FORMAT_VERSION` 2)
 //!
 //! Little-endian throughout. A fixed 64-byte header:
 //!
@@ -27,7 +27,9 @@
 //! followed by the raw structure-of-arrays lanes in recording order: `pc`
 //! (`u64` each), static µ-ops (packed to one `u64` each), `value` (`u64`),
 //! `meta` (`u32`), then the sparse `mem_addr` (`u64`), `mem_size` (`u8`) and
-//! `br_target` (`u64`) lanes.
+//! `br_target` (`u64`) lanes. Meta bit 31 marks wrong-path µ-ops; the µ-op
+//! count in the header is the total (dense lane) length, while the cache key's
+//! budget counts *committed* µ-ops only ([`TraceBuffer::committed_len`]).
 //!
 //! # Invalidation
 //!
@@ -43,7 +45,9 @@
 
 use crate::buffer::TraceBuffer;
 use crate::value::ValueProfile;
-use crate::workload::{BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec};
+use crate::workload::{
+    BranchProfile, InstMix, LoopProfile, MemoryProfile, WorkloadSpec, WrongPathProfile,
+};
 use bebop_isa::{ArchReg, Uop, UopKind, NUM_ARCH_REGS};
 use std::fmt;
 use std::fs;
@@ -55,7 +59,12 @@ use std::time::SystemTime;
 /// Version of the on-disk layout. Bump on any incompatible change; readers
 /// reject other versions and regenerate (CI keys its trace-directory cache on
 /// this constant for the same reason).
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial layout; 2 = meta-lane bit 31 carries the
+/// wrong-path marker and the cache key's µ-op budget counts *committed*
+/// µ-ops (recordings of wrong-path workloads hold more total µ-ops than
+/// their budget).
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 
 /// File magic, first 8 bytes of every trace file.
 pub const TRACE_MAGIC: [u8; 8] = *b"BBPTRACE";
@@ -111,7 +120,9 @@ pub fn spec_fingerprint(spec: &WorkloadSpec) -> u64 {
         values,
         branches,
         memory,
+        wrong_path,
     } = spec;
+    let WrongPathProfile { burst_uops } = *wrong_path;
     let InstMix {
         load,
         store,
@@ -191,6 +202,8 @@ pub fn spec_fingerprint(spec: &WorkloadSpec) -> u64 {
         put_f64(&mut enc, x);
     }
     put_u64(&mut enc, stream_stride);
+
+    put_u64(&mut enc, u64::from(burst_uops));
 
     fnv1a(FNV_OFFSET, &enc)
 }
@@ -498,6 +511,9 @@ pub struct SweepStats {
     pub bytes_removed: u64,
     /// Bytes the store occupies after the sweep.
     pub bytes_kept: u64,
+    /// Files the sweep tried and failed to delete (each failure is logged to
+    /// stderr; the file's bytes still count towards `bytes_kept`).
+    pub delete_errors: usize,
 }
 
 /// A directory cache of serialised trace recordings, keyed by
@@ -511,11 +527,33 @@ pub struct SweepStats {
 ///
 /// Hit/miss counters are atomic: one store can serve the whole recording
 /// fan-out concurrently.
+///
+/// # Example
+///
+/// ```
+/// use bebop_trace::{TraceStore, WorkloadSpec};
+///
+/// let dir = std::env::temp_dir().join(format!("bebop-doc-{}", std::process::id()));
+/// let store = TraceStore::open(&dir).unwrap();
+/// let spec = WorkloadSpec::named_demo("store-doc");
+///
+/// // Cold: the recording is generated and persisted.
+/// let (cold, was_hit) = store.load_or_record(&spec, 1_000);
+/// assert!(!was_hit);
+/// // Warm: the identical recording is loaded straight from disk.
+/// let warm = store.load(&spec, 1_000).expect("hit");
+/// assert_eq!(
+///     cold.replay().collect::<Vec<_>>(),
+///     warm.replay().collect::<Vec<_>>()
+/// );
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
 #[derive(Debug)]
 pub struct TraceStore {
     dir: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    delete_errors: AtomicU64,
 }
 
 impl TraceStore {
@@ -527,7 +565,27 @@ impl TraceStore {
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            delete_errors: AtomicU64::new(0),
         })
+    }
+
+    /// Deletes an invalid (corrupt, stale or mismatched) trace file, logging —
+    /// rather than silently swallowing — any I/O error. A file that cannot be
+    /// deleted would otherwise be re-read, re-rejected and re-"deleted" on
+    /// every run without anyone noticing why the store never heals.
+    fn remove_invalid(&self, path: &Path, why: &dyn fmt::Display) {
+        match fs::remove_file(path) {
+            Ok(()) => {}
+            // Already gone (e.g. a concurrent run healed it first): not an error.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => {
+                self.delete_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "[trace-store] cannot delete invalid trace {} ({why}): {e}",
+                    path.display()
+                );
+            }
+        }
     }
 
     /// The directory backing this store.
@@ -573,17 +631,19 @@ impl TraceStore {
         };
         let decoded = match decode_trace(&bytes) {
             Ok(d) => d,
-            Err(_) => {
-                let _ = fs::remove_file(&path);
+            Err(e) => {
+                self.remove_invalid(&path, &e);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
+        // The budget is counted in committed µ-ops: recordings of wrong-path
+        // workloads hold extra (non-committing) burst µ-ops beyond it.
         let identity_ok = decoded.fingerprint == spec_fingerprint(spec)
             && decoded.seed == spec.seed
-            && decoded.buffer.len() as u64 == uops;
+            && decoded.buffer.committed_len() as u64 == uops;
         if !identity_ok {
-            let _ = fs::remove_file(&path);
+            self.remove_invalid(&path, &"identity mismatch (stale recording)");
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -638,6 +698,14 @@ impl TraceStore {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Invalid or evicted files this store failed to delete since open (each
+    /// failure is also logged to stderr). A persistently non-zero count means
+    /// the directory has permission or filesystem problems the operator
+    /// should look at — the cache still works, it just cannot heal itself.
+    pub fn delete_errors(&self) -> u64 {
+        self.delete_errors.load(Ordering::Relaxed)
+    }
+
     /// Total bytes of trace files currently in the store.
     pub fn disk_bytes(&self) -> u64 {
         self.trace_files()
@@ -648,6 +716,12 @@ impl TraceStore {
     /// Evicts least-recently-used trace files (by modification time, which
     /// [`TraceStore::load`] bumps on every hit) until the store fits in
     /// `max_bytes`. Temporary files and foreign files are left alone.
+    ///
+    /// A file that cannot be deleted does not abort the sweep: the error is
+    /// logged, counted in [`SweepStats::delete_errors`] (and
+    /// [`TraceStore::delete_errors`]), and the sweep moves on to the next
+    /// eviction candidate — one undeletable file must not pin every
+    /// younger-but-evictable recording in the store.
     pub fn sweep(&self, max_bytes: u64) -> io::Result<SweepStats> {
         let mut files = self.trace_files()?;
         // Oldest first, strict LRU: remove the least-recently-used file until
@@ -660,10 +734,23 @@ impl TraceStore {
             if total <= max_bytes {
                 break;
             }
-            fs::remove_file(&path)?;
-            stats.files_removed += 1;
-            stats.bytes_removed += len;
-            total -= len;
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    stats.files_removed += 1;
+                    stats.bytes_removed += len;
+                    total -= len;
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    // A concurrent sweep (or heal) beat us to it: the bytes
+                    // are gone either way.
+                    total -= len;
+                }
+                Err(e) => {
+                    stats.delete_errors += 1;
+                    self.delete_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("[trace-store] sweep cannot evict {}: {e}", path.display());
+                }
+            }
         }
         stats.bytes_kept = total;
         Ok(stats)
@@ -915,6 +1002,35 @@ mod tests {
         assert!(!store
             .trace_path(&WorkloadSpec::new("lru-c", 40), 2_000)
             .exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_path_recordings_key_on_the_committed_budget() {
+        let dir = tmp_dir("wrongpath");
+        let store = TraceStore::open(&dir).expect("open");
+        let spec = WorkloadSpec::new("wp-store", 21).with_wrong_path(6);
+        let (buf, loaded) = store.load_or_record(&spec, 1_500);
+        assert!(!loaded);
+        assert_eq!(buf.committed_len(), 1_500);
+        assert!(buf.len() > 1_500, "bursts must be part of the recording");
+
+        // A warm load under the same committed budget is a hit and replays
+        // the wrong-path markers faithfully.
+        let again = store.load(&spec, 1_500).expect("hit");
+        assert_eq!(again.committed_len(), 1_500);
+        assert_eq!(again.wrong_path_len(), buf.wrong_path_len());
+        assert_eq!(
+            buf.replay().collect::<Vec<_>>(),
+            again.replay().collect::<Vec<_>>()
+        );
+
+        // The same spec without wrong-path emission is a different fingerprint.
+        let mut plain = spec.clone();
+        plain.wrong_path = WrongPathProfile::disabled();
+        assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&plain));
+        assert!(store.load(&plain, 1_500).is_none());
+        assert_eq!(store.delete_errors(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

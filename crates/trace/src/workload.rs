@@ -173,6 +173,41 @@ impl MemoryProfile {
     }
 }
 
+/// Wrong-path emission profile: how many wrong-path µ-ops the trace generator
+/// synthesises after every conditional branch.
+///
+/// When `burst_uops > 0`, each conditional branch µ-op is followed in the
+/// stream by a burst of µ-ops from the *alternate* (not-actually-taken) path,
+/// tagged [`bebop_isa::DynUop::wrong_path`]. The burst is deterministic per
+/// seed and drawn from a dedicated RNG, so every correct-path µ-op of the
+/// stream is identical (apart from its sequence number, which counts stream
+/// slots) to the stream of the same specification with wrong-path emission
+/// disabled. Pipelines without wrong-path modelling skip the burst at
+/// zero cost; with it enabled they fetch and speculatively execute the burst
+/// of every *mispredicted* branch until it resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WrongPathProfile {
+    /// Maximum wrong-path µ-ops emitted per conditional branch (0 = disabled).
+    pub burst_uops: u32,
+}
+
+impl WrongPathProfile {
+    /// No wrong-path emission (the default; matches the paper's model).
+    pub fn disabled() -> Self {
+        WrongPathProfile { burst_uops: 0 }
+    }
+
+    /// Emit up to `burst_uops` wrong-path µ-ops per conditional branch.
+    pub fn burst(burst_uops: u32) -> Self {
+        WrongPathProfile { burst_uops }
+    }
+
+    /// Returns `true` if wrong-path µ-ops are emitted at all.
+    pub fn is_enabled(&self) -> bool {
+        self.burst_uops > 0
+    }
+}
+
 /// A complete synthetic-workload specification.
 ///
 /// Construct one with [`WorkloadSpec::new`] (or use the per-benchmark presets in
@@ -199,6 +234,8 @@ pub struct WorkloadSpec {
     pub branches: BranchProfile,
     /// Memory behaviour.
     pub memory: MemoryProfile,
+    /// Wrong-path µ-op emission (disabled by default).
+    pub wrong_path: WrongPathProfile,
 }
 
 impl WorkloadSpec {
@@ -215,7 +252,16 @@ impl WorkloadSpec {
             values: ValueProfile::mixed(),
             branches: BranchProfile::branchy(),
             memory: MemoryProfile::cache_friendly(),
+            wrong_path: WrongPathProfile::disabled(),
         }
+    }
+
+    /// Returns this specification with wrong-path bursts of `burst_uops` µ-ops
+    /// after every conditional branch.
+    #[must_use]
+    pub fn with_wrong_path(mut self, burst_uops: u32) -> Self {
+        self.wrong_path = WrongPathProfile::burst(burst_uops);
+        self
     }
 
     /// A small named demo workload used in documentation examples and quick tests:

@@ -116,6 +116,27 @@ impl Default for EoleConfig {
     }
 }
 
+/// Wrong-path execution configuration.
+///
+/// When present on a [`PipelineConfig`], the pipeline fetches and
+/// speculatively executes the wrong-path µ-op bursts that a trace generator
+/// with `WrongPathProfile` enabled emits after every conditional branch: on a
+/// *mispredicted* branch the burst occupies real fetch, issue and
+/// functional-unit bandwidth (and wrong-path loads touch the real cache
+/// hierarchy) until the branch resolves, then everything is squashed.
+/// Correctly predicted branches skip their burst at zero cost, as does a
+/// pipeline configured without this struct — the paper's model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WrongPathConfig {
+    /// Pollution policy: when `true`, speculatively executed wrong-path µ-ops
+    /// also *update* the value predictor with their bogus results (through
+    /// the guarded `train_wrong_path` path), modelling a speculative-update
+    /// predictor design. When `false` (the default, matching the paper's
+    /// baseline) wrong-path µ-ops only probe the predictor: they pollute its
+    /// speculative window but never its tables.
+    pub update_predictor: bool,
+}
+
 /// Full pipeline configuration, mirroring Table I of the paper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
@@ -164,6 +185,9 @@ pub struct PipelineConfig {
     pub btb_entries: usize,
     /// Return-address-stack entries (32).
     pub ras_entries: usize,
+    /// Wrong-path execution mode (None = wrong-path µ-ops are skipped for
+    /// free, the paper's model).
+    pub wrong_path: Option<WrongPathConfig>,
 }
 
 impl PipelineConfig {
@@ -193,6 +217,7 @@ impl PipelineConfig {
             tage_log_base: 13,
             btb_entries: 8192,
             ras_entries: 32,
+            wrong_path: None,
         }
     }
 
@@ -231,6 +256,15 @@ impl PipelineConfig {
     /// OoO engine.
     pub fn has_eole(&self) -> bool {
         self.eole.is_some()
+    }
+
+    /// Returns this configuration with wrong-path execution enabled.
+    /// `update_predictor` selects the pollution policy (see
+    /// [`WrongPathConfig::update_predictor`]).
+    #[must_use]
+    pub fn with_wrong_path(mut self, update_predictor: bool) -> Self {
+        self.wrong_path = Some(WrongPathConfig { update_predictor });
+        self
     }
 }
 

@@ -18,9 +18,20 @@
 //! * value prediction: a consumed prediction makes the producer's result available
 //!   to dependents at dispatch rather than at completion.
 //!
-//! The wrong path is never simulated: the penalty of a misprediction is the fetch
-//! bubble until resolution plus the pipeline refill implied by the front-end depth,
-//! which is the first-order effect the paper's evaluation relies on.
+//! By default the wrong path is never simulated: the penalty of a misprediction
+//! is the fetch bubble until resolution plus the pipeline refill implied by the
+//! front-end depth, which is the first-order effect the paper's evaluation
+//! relies on. With [`crate::WrongPathConfig`] set — and a trace carrying the
+//! wrong-path bursts a `WrongPathProfile`-enabled generator emits — the model
+//! additionally fetches the alternate-path µ-ops of every *mispredicted*
+//! branch until it resolves: they occupy real fetch groups, consume issue and
+//! functional-unit slots, wrong-path loads access (and pollute) the real cache
+//! hierarchy, and the value predictor observes them under a configurable
+//! pollution policy (probe-only, or speculative table updates through
+//! [`ValuePredictor::train_wrong_path`]). At resolve everything is squashed:
+//! wrong-path µ-ops never commit, never touch architectural register state and
+//! never count towards the committed µ-op budget — the committed/fetched
+//! distinction is carried in [`crate::WrongPathStats`].
 
 use crate::branch::{BranchPredictorUnit, TageConfig};
 use crate::cache::MemoryHierarchy;
@@ -55,6 +66,29 @@ struct PendingTrain {
 /// Upper bound on distinct fetch blocks per cycle (the paper fetches two; the
 /// inline array leaves headroom for wider configs without heap allocation).
 const MAX_FETCH_BLOCKS: usize = 8;
+
+/// Committed-µ-op horizon of the pollution-attribution heuristic: a value
+/// misprediction within this many commits of a polluting wrong-path train is
+/// counted as `WrongPathStats::pollution_mispredicts`. See that field's
+/// documentation for why this is a heuristic, not ground truth.
+const POLLUTION_WINDOW: u32 = 64;
+
+/// An in-progress wrong-path episode: a mispredicted branch whose burst is
+/// being fetched. Created when the branch is detected mispredicted, consumed
+/// at the first correct-path µ-op after the burst (the resolve point), which
+/// is when the deferred squash is delivered to the predictor — after it has
+/// observed the wrong-path fetches, as in hardware.
+#[derive(Debug, Clone, Copy)]
+struct WrongPathEpisode {
+    /// Cycle the mispredicted branch resolves (its execute-complete cycle);
+    /// wrong-path µ-ops are only fetched up to and including this cycle.
+    resolve: u64,
+    /// The squash to deliver at resolve (`None` when value prediction is off).
+    squash: Option<SquashInfo>,
+    /// Whether this episode has been counted in `WrongPathStats::bursts`
+    /// (set once the first burst µ-op is actually fetched).
+    counted: bool,
+}
 
 /// The current fetch group being assembled (one cycle's worth of fetch).
 ///
@@ -135,6 +169,12 @@ pub struct Pipeline {
     // Deferred predictor training.
     pending_train: VecDeque<PendingTrain>,
 
+    // Wrong-path execution state.
+    wrong_path: Option<WrongPathEpisode>,
+    /// Committed µ-ops remaining in the pollution-attribution window (armed on
+    /// every polluting wrong-path train).
+    pollution_window: u32,
+
     stats: SimStats,
 }
 
@@ -183,6 +223,8 @@ impl Pipeline {
             last_block_pc: None,
             last_commit: 0,
             pending_train: VecDeque::new(),
+            wrong_path: None,
+            pollution_window: 0,
             stats: SimStats::default(),
             cfg,
         }
@@ -207,10 +249,18 @@ impl Pipeline {
     {
         // Count the budget in u64 rather than `take(max_uops as usize)`:
         // the cast silently truncates >4G-µop budgets on 32-bit targets.
+        // The budget counts *committed* µ-ops only: wrong-path burst µ-ops
+        // are simulated (or skipped) without consuming it, so a run over a
+        // wrong-path trace commits exactly as many µ-ops as one over the
+        // equivalent plain trace.
         let mut committed: u64 = 0;
         for uop in trace {
             if committed == max_uops {
                 break;
+            }
+            if uop.wrong_path {
+                self.step_wrong_path(&uop, predictor);
+                continue;
             }
             self.step(&uop, predictor);
             committed += 1;
@@ -219,6 +269,9 @@ impl Pipeline {
             committed, self.stats.uops,
             "budget accounting diverged from the per-µop statistics"
         );
+        // Deliver a squash deferred past the end of the stream so predictor
+        // bookkeeping is consistent before the final training drain.
+        self.resolve_wrong_path(predictor);
         // Drain remaining predictor updates so accuracy statistics are complete.
         while let Some(p) = self.pending_train.pop_front() {
             predictor.train(&p.uop, p.uop.value, p.predicted);
@@ -229,9 +282,14 @@ impl Pipeline {
         self.stats
     }
 
-    /// Processes one µ-op.
+    /// Processes one committed (correct-path) µ-op.
     fn step<P: ValuePredictor + ?Sized>(&mut self, uop: &DynUop, predictor: &mut P) {
         let cfg_vp = self.cfg.value_prediction;
+
+        // A wrong-path episode ends at the first correct-path µ-op: the
+        // mispredicted branch has resolved, and the squash — deferred so the
+        // predictor could observe the wrong-path fetches first — lands now.
+        self.resolve_wrong_path(predictor);
 
         // ---- Fetch -------------------------------------------------------------
         let fetch_cycle = self.fetch(uop);
@@ -413,16 +471,29 @@ impl Pipeline {
         if branch_mispredicted {
             self.stats.branch_flushes += 1;
             self.fetch_resume = self.fetch_resume.max(complete_cycle + 1);
-            if cfg_vp {
-                predictor.squash(&SquashInfo {
-                    flush_seq: uop.seq,
-                    flush_pc: uop.pc,
-                    next_pc: uop.next_pc(),
-                    cause: SquashCause::BranchMispredict,
+            let info = SquashInfo {
+                flush_seq: uop.seq,
+                flush_pc: uop.pc,
+                next_pc: uop.next_pc(),
+                cause: SquashCause::BranchMispredict,
+            };
+            if self.cfg.wrong_path.is_some() {
+                // Wrong-path mode: the burst following this branch in the
+                // stream is fetched until the branch resolves, and the squash
+                // is delivered at the first correct-path µ-op thereafter.
+                self.wrong_path = Some(WrongPathEpisode {
+                    resolve: complete_cycle,
+                    squash: cfg_vp.then_some(info),
+                    counted: false,
                 });
+            } else if cfg_vp {
+                predictor.squash(&info);
             }
         }
         if predicted_used && !prediction_correct {
+            if self.pollution_window > 0 {
+                self.stats.wrong_path.pollution_mispredicts += 1;
+            }
             // Validation at commit detects the wrong value and squashes everything
             // younger than this µ-op.
             self.stats.vp_flushes += 1;
@@ -456,6 +527,7 @@ impl Pipeline {
         if uop.is_last_uop() {
             self.stats.insts += 1;
         }
+        self.pollution_window = self.pollution_window.saturating_sub(1);
 
         // Keep the bandwidth pools bounded: nothing can ever be allocated below the
         // current fetch cycle again.
@@ -473,6 +545,141 @@ impl Pipeline {
             self.late_pool.prune_below(horizon);
             self.commit_pool.prune_below(horizon);
         }
+    }
+
+    /// Ends a pending wrong-path episode, delivering its deferred squash.
+    fn resolve_wrong_path<P: ValuePredictor + ?Sized>(&mut self, predictor: &mut P) {
+        if let Some(wp) = self.wrong_path.take() {
+            if let Some(squash) = wp.squash {
+                predictor.squash(&squash);
+            }
+        }
+    }
+
+    /// Processes one wrong-path µ-op.
+    ///
+    /// Free when the preceding branch was predicted correctly (no episode is
+    /// active) or wrong-path execution is disabled. Otherwise the µ-op is
+    /// fetched into the real fetch-group stream until the branch resolves,
+    /// probes the value predictor (polluting its speculative state), and — if
+    /// it reaches the out-of-order engine in time — consumes real issue and
+    /// functional-unit bandwidth, accesses the real caches (loads), and
+    /// optionally delivers a polluting table update. It never commits, never
+    /// writes architectural register state and never consumes µ-op budget.
+    fn step_wrong_path<P: ValuePredictor + ?Sized>(&mut self, uop: &DynUop, predictor: &mut P) {
+        let Some(wp_cfg) = self.cfg.wrong_path else {
+            return;
+        };
+        let Some(wp) = self.wrong_path else {
+            return;
+        };
+
+        let Some(fetch_cycle) = self.fetch_wrong_path(uop, wp.resolve) else {
+            // The branch resolved before the front end reached this µ-op; the
+            // rest of the burst is never fetched.
+            return;
+        };
+        if !wp.counted {
+            self.stats.wrong_path.bursts += 1;
+            self.wrong_path = Some(WrongPathEpisode {
+                counted: true,
+                ..wp
+            });
+        }
+        self.stats.wrong_path.fetched += 1;
+
+        // ---- Value-predictor probe --------------------------------------------
+        // The front end cannot tell wrong-path fetches apart, so eligible
+        // µ-ops probe the predictor exactly like correct-path ones: the probe
+        // itself pollutes speculative state (in-flight records, speculative
+        // last-value chains, the BeBoP speculative window) until the squash.
+        let mut predicted: Option<u64> = None;
+        if self.cfg.value_prediction && uop.vp_eligible() {
+            let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+            let new_block = self.last_block_pc != Some(block_pc);
+            self.last_block_pc = Some(block_pc);
+            let ctx = PredictCtx {
+                seq: uop.seq,
+                fetch_block_pc: block_pc,
+                new_fetch_block: new_block,
+                global_history: self.bpu.global_history(),
+                path_history: self.bpu.path_history(),
+            };
+            predicted = predictor.predict(&ctx, uop);
+            if predicted.is_some() {
+                self.stats.wrong_path.vp_predictions += 1;
+            }
+        }
+
+        // ---- Speculative execution --------------------------------------------
+        // µ-ops that reach the out-of-order engine before the resolve consume
+        // an issue slot and a functional unit that correct-path µ-ops already
+        // in flight can no longer use — the wasted-bandwidth effect — and
+        // wrong-path loads access (and pollute) the real cache hierarchy.
+        // Wrong-path branches never touch the branch predictor, and EOLE
+        // early/late offload is not modelled on the wrong path.
+        let dispatch_cycle = fetch_cycle + self.cfg.front_depth;
+        if dispatch_cycle < wp.resolve {
+            let kind = uop.uop.kind();
+            let fu_pool = match kind.exec_class() {
+                ExecClass::Alu => &mut self.alu_pool,
+                ExecClass::MulDiv => &mut self.muldiv_pool,
+                ExecClass::Fp => &mut self.fp_pool,
+                ExecClass::FpMulDiv => &mut self.fpmuldiv_pool,
+                ExecClass::Load => &mut self.load_pool,
+                ExecClass::Store => &mut self.store_pool,
+            };
+            let fu_cycle = fu_pool.allocate(dispatch_cycle + 1);
+            self.issue_pool.allocate(fu_cycle);
+            if kind == UopKind::Load {
+                // Wrong-path loads go through the real hierarchy: they can
+                // pollute the caches *or* act as inadvertent prefetches for
+                // the correct path (both effects are well documented for
+                // wrong-path execution), and they train the prefetcher.
+                let addr = uop.mem.map(|m| m.addr).unwrap_or(0);
+                let _ = self.mem.access(uop.pc, addr);
+            }
+            self.stats.wrong_path.executed += 1;
+
+            // Pollution policy: a speculative-update predictor design applies
+            // the bogus wrong-path result to its tables through the guarded
+            // wrong-path path (out of retirement order, so the predictor must
+            // not run its program-order bookkeeping on it).
+            if wp_cfg.update_predictor && self.cfg.value_prediction && uop.vp_eligible() {
+                predictor.train_wrong_path(uop, uop.value, predicted);
+                self.stats.wrong_path.vp_trains += 1;
+                self.pollution_window = POLLUTION_WINDOW;
+            }
+        }
+    }
+
+    /// Assigns a fetch cycle to a wrong-path µ-op, using the same fetch-group
+    /// bandwidth rules as [`Pipeline::fetch`] but continuing *past* the
+    /// redirect (the wrong path is exactly what the front end fetches before
+    /// the resume point) and stopping at the branch's resolve cycle. Returns
+    /// `None` when the µ-op would be fetched after the resolve — it is then
+    /// never fetched at all.
+    fn fetch_wrong_path(&mut self, uop: &DynUop, resolve: u64) -> Option<u64> {
+        let block = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+        let fits_width = self.group.uops < self.cfg.front_width;
+        let known_block = self.group.contains(block);
+        let fits_blocks = known_block
+            || (self.group.num_blocks as usize) < self.cfg.fetch_blocks_per_cycle as usize;
+        let mut cycle = self.group.cycle;
+        if !(fits_width && fits_blocks) {
+            cycle += 1;
+        }
+        if cycle > resolve {
+            return None;
+        }
+        if cycle != self.group.cycle {
+            self.group = FetchGroup::at_cycle(cycle);
+        }
+        if !self.group.contains(block) {
+            self.group.push_block(block);
+        }
+        self.group.uops += 1;
+        Some(cycle)
     }
 
     /// Assigns a fetch cycle to `uop`, modelling fetch-block grouping: up to
@@ -677,6 +884,107 @@ mod tests {
             20_000,
         );
         assert!(stats.vp.free_load_immediates > 0);
+    }
+
+    #[test]
+    fn wrong_path_mode_on_a_plain_trace_changes_nothing() {
+        // A trace without wrong-path bursts must simulate bit-identically
+        // whether or not the pipeline has wrong-path execution enabled: with
+        // no burst to fetch, the deferred squash is the only difference, and
+        // it reaches the predictor at the same point in its call sequence.
+        let spec = WorkloadSpec::new("wp-plain", 31);
+        let mut cfg = PipelineConfig::baseline_vp_6_60();
+        let mut off_pred = crate::vp_iface::PerfectValuePredictor;
+        let off = Pipeline::new(cfg.clone()).run(TraceGenerator::new(&spec), &mut off_pred, 25_000);
+        cfg = cfg.with_wrong_path(true);
+        let mut on_pred = crate::vp_iface::PerfectValuePredictor;
+        let on = Pipeline::new(cfg).run(TraceGenerator::new(&spec), &mut on_pred, 25_000);
+        assert_eq!(off, on);
+        assert_eq!(on.wrong_path, crate::stats::WrongPathStats::default());
+    }
+
+    #[test]
+    fn wrong_path_mode_off_skips_bursts_for_free() {
+        let spec = WorkloadSpec::new("wp-skip", 33).with_wrong_path(8);
+        let stats = run(PipelineConfig::baseline_6_60(), &spec, 25_000);
+        assert_eq!(stats.uops, 25_000, "budget counts committed µ-ops only");
+        assert_eq!(stats.wrong_path, crate::stats::WrongPathStats::default());
+    }
+
+    #[test]
+    fn wrong_path_execution_fetches_executes_and_costs_bandwidth() {
+        let mut spec = WorkloadSpec::new("wp-exec", 35).with_wrong_path(8);
+        // Plenty of mispredictions so bursts actually launch.
+        spec.branches.random_frac = 0.5;
+        let base_cfg = PipelineConfig::baseline_6_60();
+        let off = run(base_cfg.clone(), &spec, 25_000);
+        let on = run(base_cfg.with_wrong_path(false), &spec, 25_000);
+        assert_eq!(on.uops, 25_000);
+        assert!(on.wrong_path.bursts > 0, "mispredicted bursts must launch");
+        assert!(on.wrong_path.fetched >= on.wrong_path.bursts);
+        assert!(
+            on.wrong_path.executed > 0,
+            "some µ-ops must reach the OoO engine"
+        );
+        assert!(
+            on.wrong_path.executed <= on.wrong_path.fetched,
+            "executed µ-ops are a subset of fetched ones"
+        );
+        // Branch flushes (direction or target mispredictions) are the only
+        // launch sites.
+        assert!(on.wrong_path.bursts <= on.branch_flushes);
+        // Wrong-path loads went through the real cache hierarchy (pollution /
+        // inadvertent prefetch), so the timing genuinely changed. Note the
+        // sign is workload dependent: wasted issue bandwidth slows runs down,
+        // cache warming by wrong-path loads can speed them up.
+        assert_ne!(on.cycles, off.cycles);
+        assert!(on.mem.l1d_accesses > off.mem.l1d_accesses);
+        // Committed-path statistics stay committed-only.
+        assert_eq!(on.uops, off.uops);
+        assert_eq!(on.insts, off.insts);
+    }
+
+    #[test]
+    fn wrong_path_alu_bursts_only_cost_cycles() {
+        // With no memory µ-ops in the mix there is no cache channel: the only
+        // wrong-path effect on the correct path is consumed issue/FU
+        // bandwidth, which can never make the run faster.
+        let mut spec = WorkloadSpec::new("wp-alu", 39).with_wrong_path(8);
+        spec.branches.random_frac = 0.5;
+        spec.mix.load = 0.0;
+        spec.mix.store = 0.0;
+        spec.mix.load_op_frac = 0.0;
+        let base_cfg = PipelineConfig::baseline_6_60();
+        let off = run(base_cfg.clone(), &spec, 25_000);
+        let on = run(base_cfg.with_wrong_path(false), &spec, 25_000);
+        assert!(on.wrong_path.executed > 0);
+        assert_eq!(on.mem.l1d_accesses, off.mem.l1d_accesses);
+        assert!(
+            on.cycles >= off.cycles,
+            "ALU-only wrong path cannot speed the run up: {} < {}",
+            on.cycles,
+            off.cycles
+        );
+    }
+
+    #[test]
+    fn wrong_path_pollution_policy_gates_predictor_updates() {
+        let mut spec = WorkloadSpec::new("wp-pol", 37).with_wrong_path(8);
+        spec.branches.random_frac = 0.4;
+        let base = PipelineConfig::baseline_vp_6_60();
+        let mut p1 = PerfectValuePredictor;
+        let clean = run_with(base.clone().with_wrong_path(false), &spec, 25_000, &mut p1);
+        let mut p2 = PerfectValuePredictor;
+        let polluted = run_with(base.with_wrong_path(true), &spec, 25_000, &mut p2);
+        assert_eq!(clean.wrong_path.vp_trains, 0, "clean policy must not train");
+        assert!(
+            polluted.wrong_path.vp_trains > 0,
+            "polluting policy must deliver wrong-path trains"
+        );
+        // The perfect predictor predicts every eligible µ-op, wrong-path ones
+        // included, so probes are visible in the fetched-side stats.
+        assert!(polluted.wrong_path.vp_predictions > 0);
+        assert!(clean.wrong_path.vp_predictions > 0);
     }
 
     #[test]

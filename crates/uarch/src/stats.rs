@@ -39,6 +39,37 @@ impl VpStats {
     }
 }
 
+/// Wrong-path execution statistics (all zero unless the pipeline runs with a
+/// `WrongPathConfig` over a trace carrying wrong-path bursts).
+///
+/// These counters are the *fetched* side of the committed/fetched distinction:
+/// nothing here overlaps with [`SimStats::uops`] or [`VpStats`], which count
+/// committed µ-ops only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WrongPathStats {
+    /// Mispredicted branches whose wrong-path burst was actually fetched.
+    pub bursts: u64,
+    /// Wrong-path µ-ops fetched before their branch resolved.
+    pub fetched: u64,
+    /// Wrong-path µ-ops that reached the out-of-order engine and consumed an
+    /// issue slot / functional unit before the squash (wrong-path loads also
+    /// access — and pollute — the real cache hierarchy).
+    pub executed: u64,
+    /// Value predictions supplied for wrong-path µ-ops (predictor probes that
+    /// pollute the speculative window; never counted in [`VpStats`]).
+    pub vp_predictions: u64,
+    /// Polluting predictor updates delivered for wrong-path µ-ops (only under
+    /// the `update_predictor` policy).
+    pub vp_trains: u64,
+    /// Committed value mispredictions that occurred within a short horizon
+    /// (64 committed µ-ops) after a polluting wrong-path train. This is an
+    /// *attribution heuristic* — a cheap in-run proxy for pollution-induced
+    /// mispredictions; the ground truth is the polluted-vs-clean accuracy
+    /// delta reported by the `figures --wrong-path` experiment, which runs
+    /// both policies over the identical trace.
+    pub pollution_mispredicts: u64,
+}
+
 /// EOLE statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EoleStats {
@@ -71,6 +102,8 @@ pub struct SimStats {
     pub vp: VpStats,
     /// EOLE statistics.
     pub eole: EoleStats,
+    /// Wrong-path execution statistics.
+    pub wrong_path: WrongPathStats,
 }
 
 impl SimStats {

@@ -68,6 +68,22 @@ pub trait ValuePredictor: Debug {
     /// µ-op, if any.
     fn train(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>);
 
+    /// Delivers the (bogus) result of a speculatively executed *wrong-path*
+    /// µ-op, under the pipeline's `update_predictor` pollution policy.
+    ///
+    /// This is the guarded counterpart of [`ValuePredictor::train`]: it is
+    /// called immediately at wrong-path execute time — *before* the
+    /// mispredicted branch's [`ValuePredictor::squash`] — and out of
+    /// retirement order, so implementations must not run their program-order
+    /// retirement bookkeeping here. Predictors that model speculative table
+    /// updates apply the value through a dedicated path (typically consuming
+    /// the in-flight record their own `predict` call just pushed); the
+    /// default ignores the update entirely, which is the paper's
+    /// commit-time-update baseline.
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>) {
+        let _ = (uop, actual, predicted);
+    }
+
     /// Notifies the predictor of a pipeline flush so it can roll back speculative
     /// state. The default does nothing.
     fn squash(&mut self, info: &SquashInfo) {

@@ -56,6 +56,12 @@ impl ValuePredictor for VtageStrideHybrid {
         self.stride.train(uop, actual, predicted);
     }
 
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>) {
+        // Both components are polluted, mirroring how both are trained.
+        self.vtage.train_wrong_path(uop, actual, predicted);
+        self.stride.train_wrong_path(uop, actual, predicted);
+    }
+
     fn squash(&mut self, info: &SquashInfo) {
         self.vtage.squash(info);
         self.stride.squash(info);

@@ -88,6 +88,12 @@ impl ValuePredictor for LastValuePredictor {
         }
     }
 
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, predicted: Option<u64>) {
+        // The LVP keeps no program-order retirement bookkeeping, so the
+        // guarded wrong-path update is a plain (polluting) table write.
+        self.train(uop, actual, predicted);
+    }
+
     fn storage_bits(&self) -> u64 {
         // valid + tag + 64-bit value + 3-bit confidence.
         self.entries.len() as u64 * (1 + u64::from(self.tag_bits) + 64 + 3)

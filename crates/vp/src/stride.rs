@@ -95,10 +95,6 @@ impl StrideCore {
     }
 
     fn train_impl(&mut self, uop: &DynUop, actual: u64) {
-        let key = inst_key(uop);
-        let idx = self.index(key);
-        let tag = self.tag(key);
-        let params = self.params.clone();
         // Retirement follows program order; a missing front entry means the
         // prediction was squashed.
         while self.inflight.front().is_some_and(|&(s, _)| s < uop.seq) {
@@ -109,6 +105,31 @@ impl StrideCore {
         } else {
             None
         };
+        self.update_entry(uop, actual, internal);
+    }
+
+    /// The guarded wrong-path update: applies `actual` to the µ-op's table
+    /// entry *without* the program-order retirement bookkeeping of
+    /// [`StrideCore::train_impl`]. The µ-op's own in-flight record — pushed by
+    /// the predict probe immediately before this call — is consumed from the
+    /// *back* of the deque, leaving older correct-path records in place for
+    /// their own retirements.
+    fn train_wrong_path_impl(&mut self, uop: &DynUop, actual: u64) {
+        let internal = if self.inflight.back().is_some_and(|&(s, _)| s == uop.seq) {
+            self.inflight.pop_back().map(|(_, p)| p)
+        } else {
+            None
+        };
+        self.update_entry(uop, actual, internal);
+    }
+
+    /// The table-write half of training: confidence, stride and last-value
+    /// update for one retired (or speculatively executed wrong-path) result.
+    fn update_entry(&mut self, uop: &DynUop, actual: u64, internal: Option<u64>) {
+        let key = inst_key(uop);
+        let idx = self.index(key);
+        let tag = self.tag(key);
+        let params = self.params.clone();
         let two_delta = self.two_delta;
         let e = &mut self.entries[idx];
         if e.valid && e.tag == tag {
@@ -208,6 +229,10 @@ impl ValuePredictor for StridePredictor {
         self.core.train_impl(uop, actual);
     }
 
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
+        self.core.train_wrong_path_impl(uop, actual);
+    }
+
     fn squash(&mut self, info: &SquashInfo) {
         self.core.squash_impl(info);
     }
@@ -250,6 +275,10 @@ impl ValuePredictor for TwoDeltaStridePredictor {
 
     fn train(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
         self.core.train_impl(uop, actual);
+    }
+
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
+        self.core.train_wrong_path_impl(uop, actual);
     }
 
     fn squash(&mut self, info: &SquashInfo) {

@@ -305,6 +305,17 @@ impl ValuePredictor for Vtage {
         }
     }
 
+    fn train_wrong_path(&mut self, uop: &DynUop, actual: u64, _predicted: Option<u64>) {
+        // Guarded wrong-path update: consume the µ-op's own in-flight record
+        // — pushed by the predict probe immediately before this call — from
+        // the *back* of the deque (older correct-path records stay for their
+        // own retirements) and apply the polluting table update with it.
+        if self.inflight.back().is_some_and(|&(s, _)| s == uop.seq) {
+            let (_, info) = self.inflight.pop_back().expect("back exists");
+            self.train_with(info, actual);
+        }
+    }
+
     fn squash(&mut self, info: &SquashInfo) {
         while self
             .inflight
