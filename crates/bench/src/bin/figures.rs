@@ -7,6 +7,7 @@
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-cache-mb 64
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-dir .trace-store
 //! cargo run -p bebop-bench --release --bin figures -- --wrong-path --subset
+//! cargo run -p bebop-bench --release --bin figures -- --mix --subset
 //! ```
 //!
 //! Each experiment prints the series the paper reports: per-benchmark speedups and
@@ -32,6 +33,15 @@
 //! (probe-only) and polluted (speculative predictor updates) — reporting
 //! per-benchmark predictor accuracy under pollution plus the wrong-path
 //! fetch/execute/train counters, which also land in the `--json` report.
+//!
+//! `--mix` runs the (equally opt-in) multi-programmed shared-predictor
+//! experiment: consecutive workloads are paired and interleaved round-robin
+//! by fetch quantum into one ASID-tagged trace, and the identical trace is
+//! simulated under the shared, partitioned and tagged sharing policies of a
+//! sharded BeBoP D-VTAGE — reporting per-context accuracy/coverage, the IPC
+//! delta of each policy against fully shared storage, context-switch counts
+//! and cross-context predictor-entry steals (also landed in the `--json`
+//! report as `mix_context_switches` / `mix_shard_steals`).
 
 use bebop::SpeedupSummary;
 use bebop_bench::*;
@@ -99,13 +109,14 @@ fn parse_args() -> Options {
             }
             "--all" => opts.which.push("all".to_string()),
             "--wrong-path" => opts.which.push("wrongpath".to_string()),
+            "--mix" => opts.which.push("mix".to_string()),
             other => opts.which.push(other.trim_start_matches("--").to_string()),
         }
     }
     if opts.which.is_empty() {
         opts.which.push("all".to_string());
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "all",
         "table1",
         "table2",
@@ -119,6 +130,7 @@ fn parse_args() -> Options {
         "fig7b",
         "fig8",
         "wrongpath",
+        "mix",
     ];
     for w in &opts.which {
         if !KNOWN.contains(&w.as_str()) {
@@ -137,11 +149,11 @@ fn parse_args() -> Options {
 }
 
 fn wants(opts: &Options, name: &str) -> bool {
-    // The wrong-path experiment is opt-in only (`--wrong-path`): it is not
-    // part of `--all`, so the default figure set stays bit-identical to runs
-    // from before the mode existed.
-    if name == "wrongpath" {
-        return opts.which.iter().any(|w| w == "wrongpath");
+    // The wrong-path and mix experiments are opt-in only (`--wrong-path` /
+    // `--mix`): they are not part of `--all`, so the default figure set stays
+    // bit-identical to runs from before the modes existed.
+    if name == "wrongpath" || name == "mix" {
+        return opts.which.iter().any(|w| w == name);
     }
     opts.which.iter().any(|w| w == "all" || w == name)
 }
@@ -197,6 +209,16 @@ struct WrongPathAgg {
     pollution_mispredicts: u64,
 }
 
+/// Aggregated multi-programming counters for the perf JSON (zero when the
+/// `--mix` experiment did not run; old reports parse the missing fields as
+/// zero).
+#[derive(Default)]
+struct MixAgg {
+    context_switches: u64,
+    shard_steals: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     report: &[Timing],
@@ -205,6 +227,7 @@ fn write_json(
     set: &TraceSet,
     store: Option<&bebop_bench::TraceStore>,
     wp: &WrongPathAgg,
+    mix: &MixAgg,
 ) {
     // The worker-pool width the experiments actually fanned out with (the
     // flattened (config × workload) task lists of the sweeps saturate it).
@@ -240,6 +263,14 @@ fn write_json(
         "  \"wrong_path_pollution_mispredicts\": {},\n",
         wp.pollution_mispredicts
     ));
+    // Multi-programming traffic (zero unless --mix ran): quantum-boundary
+    // context switches and cross-context predictor-entry steals across every
+    // (pair, policy) run.
+    out.push_str(&format!(
+        "  \"mix_context_switches\": {},\n",
+        mix.context_switches
+    ));
+    out.push_str(&format!("  \"mix_shard_steals\": {},\n", mix.shard_steals));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_uops\": {total_uops},\n"));
     out.push_str(&format!(
@@ -529,6 +560,60 @@ fn main() {
         });
     }
 
+    let mut mix_agg = MixAgg::default();
+    if wants(&opts, "mix") {
+        timed(&mut report, "mix", || {
+            let out = run_mix(&specs, uops, store.as_ref());
+            println!(
+                "\n=== Mix: multi-programmed shared predictor ({}-µ-op quantum, {}-shard BeBoP \
+                 D-VTAGE Medium, Baseline_VP_6_60) ===",
+                MIX_QUANTUM,
+                bebop::configs::MIX_SHARDS
+            );
+            for row in &out.rows {
+                println!("  pair {}", row.name);
+                println!(
+                    "    {:<12} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
+                    "policy",
+                    "ipc",
+                    "d-ipc%",
+                    "acc[0]",
+                    "cov[0]",
+                    "acc[1]",
+                    "cov[1]",
+                    "switches",
+                    "steals"
+                );
+                let shared_ipc = row.per_policy[0].stats.uop_ipc();
+                for p in &row.per_policy {
+                    let ipc = p.stats.uop_ipc();
+                    println!(
+                        "    {:<12} {:>9.4} {:>+7.2}% {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>9} {:>8}",
+                        p.policy.label(),
+                        ipc,
+                        (ipc / shared_ipc - 1.0) * 100.0,
+                        p.stats.contexts[0].vp.accuracy(),
+                        p.stats.contexts[0].vp.coverage(),
+                        p.stats.contexts[1].vp.accuracy(),
+                        p.stats.contexts[1].vp.coverage(),
+                        p.stats.context_switches,
+                        p.steals,
+                    );
+                }
+            }
+            println!(
+                "    per-context stats summed to the aggregate in {}/{} runs",
+                out.sum_checked_runs,
+                out.rows.len() * 3
+            );
+            mix_agg = MixAgg {
+                context_switches: out.total(|p| p.stats.context_switches),
+                shard_steals: out.total(|p| p.steals),
+            };
+            out.simulated_uops
+        });
+    }
+
     if let Some(path) = &opts.json {
         write_json(
             path,
@@ -538,6 +623,7 @@ fn main() {
             &set,
             store.as_ref(),
             &wp_agg,
+            &mix_agg,
         );
     }
 }

@@ -22,9 +22,12 @@
 
 #![warn(missing_docs)]
 
-use bebop::{configs, par, run_source, BenchResult, PredictorKind, SimStats, SpeedupSummary};
-use bebop_trace::{all_spec_benchmarks, WorkloadSpec};
-use bebop_uarch::PipelineConfig;
+use bebop::{
+    configs, par, run_source, run_source_with, BenchResult, PredictorKind, SimStats,
+    SpeedupSummary, UopSource,
+};
+use bebop_trace::{all_spec_benchmarks, MixSpec, TraceBuffer, WorkloadSpec};
+use bebop_uarch::{PipelineConfig, SharingPolicy};
 
 mod trace_set;
 
@@ -427,6 +430,137 @@ pub fn run_wrong_path(
     }
 }
 
+/// Fetch quantum of the `figures --mix` experiment: committed µ-ops each
+/// context runs for before the round robin hands the core (and the shared
+/// predictor) to the next one. Small enough that a 20K-µop smoke run still
+/// switches dozens of times, large enough that a context can warm the
+/// predictor within its turn.
+pub const MIX_QUANTUM: u64 = 1_000;
+
+/// One sharing policy's outcome over one workload pair's mix trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixPolicyResult {
+    /// The sharing policy the predictor (and pipeline) ran under.
+    pub policy: SharingPolicy,
+    /// Aggregate + per-context statistics of the run.
+    pub stats: SimStats,
+    /// Cross-context predictor-entry steals (LVT + VT0 + tagged components);
+    /// structurally zero under [`SharingPolicy::Partitioned`].
+    pub steals: u64,
+}
+
+/// One workload pair of the mix experiment: the identical interleaved trace
+/// simulated under every sharing policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixRow {
+    /// Mix name (`a+b`).
+    pub name: String,
+    /// The context names, in ASID order.
+    pub contexts: Vec<String>,
+    /// One result per [`SharingPolicy::ALL`] entry, in that order.
+    pub per_policy: Vec<MixPolicyResult>,
+}
+
+/// The outcome of [`run_mix`].
+#[derive(Debug, Clone)]
+pub struct MixOutcome {
+    /// Per-pair rows, in input order.
+    pub rows: Vec<MixRow>,
+    /// Committed µ-ops across every simulation the experiment ran.
+    pub simulated_uops: u64,
+    /// Runs whose per-context statistics were verified to sum to the
+    /// aggregate (every run; the sum check is a hard assertion).
+    pub sum_checked_runs: usize,
+}
+
+impl MixOutcome {
+    /// Sums a counter over every (pair, policy) run.
+    pub fn total(&self, f: impl Fn(&MixPolicyResult) -> u64) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.per_policy.iter())
+            .map(f)
+            .sum()
+    }
+}
+
+/// The multi-programmed shared-predictor experiment behind `figures --mix`.
+///
+/// Consecutive workloads are paired up (`w0+w1`, `w2+w3`, …; an odd trailing
+/// workload is dropped), each pair is interleaved round-robin by
+/// [`MIX_QUANTUM`] into one ASID-tagged trace (recorded once, cached in the
+/// persistent store when one is attached), and the *identical* trace is
+/// simulated under each [`SharingPolicy`]: a [`configs::MIX_SHARDS`]-way
+/// sharded BeBoP D-VTAGE (Medium) on `Baseline_VP_6_60` with mix-mode context
+/// switching. Per-context accuracy/coverage therefore isolates the sharing
+/// policy — the stream, the quantum boundaries and the µ-op budget are the
+/// same in every column.
+///
+/// Every run's per-context statistics are asserted to sum to its aggregate
+/// counters (the CI smoke step relies on this assertion running).
+pub fn run_mix(specs: &[WorkloadSpec], uops: u64, store: Option<&TraceStore>) -> MixOutcome {
+    let pairs: Vec<MixSpec> = specs
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|c| MixSpec::pair(MIX_QUANTUM, c[0].clone(), c[1].clone()))
+        .collect();
+
+    // Record (or load) every pair's interleaved trace once, fanned out.
+    let buffers: Vec<TraceBuffer> = par::par_map(&pairs, |mix| match store {
+        Some(st) => st.load_or_record_mix(mix, uops).0,
+        None => mix.record(uops),
+    });
+
+    // One flat (pair × policy) task list over the shared recordings.
+    let tasks: Vec<(usize, usize)> = (0..pairs.len())
+        .flat_map(|i| (0..SharingPolicy::ALL.len()).map(move |p| (i, p)))
+        .collect();
+    let results: Vec<MixPolicyResult> = par::par_map(&tasks, |&(i, p)| {
+        let policy = SharingPolicy::ALL[p];
+        let pipe = PipelineConfig::baseline_vp_6_60().with_mix(policy);
+        let mut predictor = PredictorKind::BlockDVtage(configs::medium_mix(policy, 2)).build();
+        let stats = run_source_with(UopSource::Replay(&buffers[i]), &pipe, &mut predictor, uops);
+        assert!(
+            stats.context_totals_consistent(),
+            "per-context stats of {} under {} do not sum to the aggregate",
+            pairs[i].name,
+            policy.label()
+        );
+        // A budget at or below one quantum is a degenerate (but valid)
+        // single-turn run: the first context never exhausts its quantum, so
+        // no switch can occur and none is demanded.
+        assert!(
+            uops <= MIX_QUANTUM || stats.context_switches > 0,
+            "a two-context mix over more than one quantum must switch contexts"
+        );
+        let steals = predictor
+            .as_block_dvtage()
+            .map(|d| d.total_steals())
+            .unwrap_or(0);
+        MixPolicyResult {
+            policy,
+            stats,
+            steals,
+        }
+    });
+
+    let rows = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, mix)| MixRow {
+            name: mix.name.clone(),
+            contexts: mix.contexts.iter().map(|s| s.name.clone()).collect(),
+            per_policy: results[i * SharingPolicy::ALL.len()..(i + 1) * SharingPolicy::ALL.len()]
+                .to_vec(),
+        })
+        .collect();
+    MixOutcome {
+        rows,
+        simulated_uops: pairs.len() as u64 * SharingPolicy::ALL.len() as u64 * uops,
+        sum_checked_runs: pairs.len() * SharingPolicy::ALL.len(),
+    }
+}
+
 /// Table II reproduction: baseline IPC of every synthetic benchmark on
 /// `Baseline_6_60`. Fanned out across cores like every other experiment.
 pub fn run_table2(set: &TraceSet, uops: u64) -> Vec<(String, f64)> {
@@ -528,6 +662,50 @@ mod tests {
         assert!(row.polluted.wrong_path.vp_trains > 0);
         assert!(out.polluted_total(|s| s.wrong_path.fetched) > 0);
         let _ = out.mean_accuracy(|r| &r.polluted);
+    }
+
+    #[test]
+    fn mix_experiment_runs_every_policy_over_one_shared_trace() {
+        let specs = vec![
+            WorkloadSpec::named_demo("mix-x"),
+            bebop_trace::spec_benchmark("429.mcf"),
+        ];
+        let uops = 6_000;
+        let out = run_mix(&specs, uops, None);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.simulated_uops, 3 * uops);
+        assert_eq!(out.sum_checked_runs, 3);
+        let row = &out.rows[0];
+        assert_eq!(row.name, "mix-x+429.mcf");
+        assert_eq!(row.per_policy.len(), 3);
+        for p in &row.per_policy {
+            // Same trace, same budget in every column.
+            assert_eq!(p.stats.uops, uops);
+            assert!(p.stats.context_switches > 0);
+            assert!(p.stats.contexts[0].uops > 0 && p.stats.contexts[1].uops > 0);
+            // MIX_QUANTUM fairness: the split is near-even.
+            let diff = p.stats.contexts[0].uops.abs_diff(p.stats.contexts[1].uops);
+            assert!(
+                diff <= MIX_QUANTUM,
+                "unfair split under {}",
+                p.policy.label()
+            );
+        }
+        // Partitioning makes cross-context steals structurally impossible.
+        let part = &row.per_policy[1];
+        assert_eq!(part.policy, SharingPolicy::Partitioned);
+        assert_eq!(part.steals, 0, "partitioned contexts cannot steal");
+    }
+
+    #[test]
+    fn odd_workload_populations_drop_the_trailing_spec() {
+        let specs = vec![
+            WorkloadSpec::named_demo("odd-a"),
+            WorkloadSpec::named_demo("odd-b"),
+            WorkloadSpec::named_demo("odd-c"),
+        ];
+        let out = run_mix(&specs, 2_000, None);
+        assert_eq!(out.rows.len(), 1, "only complete pairs run");
     }
 
     #[test]

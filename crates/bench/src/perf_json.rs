@@ -30,6 +30,12 @@ pub struct PerfReport {
     pub wrong_path_vp_trains: u64,
     /// Heuristically attributed pollution-induced value mispredictions.
     pub wrong_path_pollution_mispredicts: u64,
+    /// Quantum-boundary context switches simulated by the `--mix` experiment
+    /// (0 when it did not run, and for reports from before the mode existed).
+    pub mix_context_switches: u64,
+    /// Cross-context predictor-entry steals observed by the `--mix`
+    /// experiment's sharded tables.
+    pub mix_shard_steals: u64,
     /// `(experiment name, µops/sec)` rows, in report order.
     pub experiments: Vec<(String, f64)>,
 }
@@ -80,6 +86,10 @@ pub fn parse(text: &str) -> Option<PerfReport> {
         number_after(text, "wrong_path_vp_trains", 0).map_or(0, |(v, _)| v as u64);
     let wrong_path_pollution_mispredicts =
         number_after(text, "wrong_path_pollution_mispredicts", 0).map_or(0, |(v, _)| v as u64);
+    // Optional: reports written before the multi-programmed mode read as 0.
+    let mix_context_switches =
+        number_after(text, "mix_context_switches", 0).map_or(0, |(v, _)| v as u64);
+    let mix_shard_steals = number_after(text, "mix_shard_steals", 0).map_or(0, |(v, _)| v as u64);
 
     let exp_at = text.find("\"experiments\"")?;
     let mut experiments = Vec::new();
@@ -102,6 +112,8 @@ pub fn parse(text: &str) -> Option<PerfReport> {
         wrong_path_executed,
         wrong_path_vp_trains,
         wrong_path_pollution_mispredicts,
+        mix_context_switches,
+        mix_shard_steals,
         experiments,
     })
 }
@@ -163,6 +175,15 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
             baseline.wrong_path_executed,
             baseline.wrong_path_vp_trains,
             baseline.wrong_path_pollution_mispredicts
+        ));
+    }
+    if baseline.mix_context_switches > 0 || current.mix_context_switches > 0 {
+        lines.push(format!(
+            "  mix: {} context switch(es) / {} shard steal(s) (baseline {} / {})",
+            current.mix_context_switches,
+            current.mix_shard_steals,
+            baseline.mix_context_switches,
+            baseline.mix_shard_steals
         ));
     }
     for (name, base_ups) in &baseline.experiments {
@@ -318,6 +339,44 @@ mod tests {
         // No wrong-path traffic on either side: no wrong-path line.
         let quiet = diff(&old, &old, 0.20);
         assert!(!quiet.lines.iter().any(|l| l.contains("wrong path")));
+    }
+
+    #[test]
+    fn mix_counters_parse_and_default_to_zero() {
+        // Old reports (no mix fields) parse as zero traffic.
+        let old = parse(&report(1000.0, 1000.0)).expect("parse");
+        assert_eq!(old.mix_context_switches, 0);
+        assert_eq!(old.mix_shard_steals, 0);
+
+        let with_mix = r#"{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 1,
+  "uops_per_run": 200000,
+  "benchmarks": 36,
+  "mix_context_switches": 57,
+  "mix_shard_steals": 12,
+  "total_wall_s": 10.5,
+  "total_uops": 1000,
+  "total_uops_per_sec": 1000.0,
+  "experiments": [
+    {"name": "mix", "wall_s": 9.5, "uops": 500, "uops_per_sec": 1000.0}
+  ]
+}
+"#;
+        let cur = parse(with_mix).expect("parse");
+        assert_eq!(cur.mix_context_switches, 57);
+        assert_eq!(cur.mix_shard_steals, 12);
+        let d = diff(&old, &cur, 0.20);
+        assert!(
+            d.lines
+                .iter()
+                .any(|l| l.contains("57 context switch(es) / 12 shard steal(s)")),
+            "{:?}",
+            d.lines
+        );
+        // No mix traffic on either side: no mix line.
+        let quiet = diff(&old, &old, 0.20);
+        assert!(!quiet.lines.iter().any(|l| l.contains("mix:")));
     }
 
     #[test]

@@ -26,8 +26,10 @@ use crate::slot_simd;
 use crate::spec_window::{SlotPredictions, SpecWindowSize, SpeculativeWindow, MAX_NPRED};
 use crate::update_queue::FifoUpdateQueue;
 use bebop_isa::{byte_index_in_block, fetch_block_pc, DynUop, SeqNum};
-use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
-use bebop_vp::{CompParams, ForwardProbabilisticCounter, FpcParams, MAX_TAGGED};
+use bebop_uarch::{PredictCtx, SharingPolicy, SquashInfo, ValuePredictor};
+use bebop_vp::{
+    CompParams, ForwardProbabilisticCounter, FpcParams, ShardCounters, ShardedTable, MAX_TAGGED,
+};
 
 /// Configuration of a block-based D-VTAGE predictor.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +64,22 @@ pub struct BlockDVtageConfig {
     pub fetch_block_bytes: u64,
     /// Period, in block updates, of the useful-bit reset.
     pub useful_reset_period: u64,
+    /// Power-of-two shard count the LVT/VT0/tagged arrays are split into
+    /// (1 = the monolithic layout). Sharding is a bijective re-layout of the
+    /// same entry space, so under [`SharingPolicy::Shared`] the predictor's
+    /// behaviour is bit-identical for every shard count; it buys cache-local
+    /// per-shard allocations for large geometries, per-shard
+    /// occupancy/steal observability, and the shard-aligned partitions the
+    /// partitioned sharing policy confines each context to.
+    pub shards: usize,
+    /// How predictor storage is divided between the contexts of a
+    /// multi-programmed trace. Irrelevant (all policies identical) while
+    /// every µ-op carries ASID 0.
+    pub sharing: SharingPolicy,
+    /// Number of contexts the storage is partitioned between under
+    /// [`SharingPolicy::Partitioned`] (power of two, at most `shards` so each
+    /// context owns whole shards). Ignored by the other policies.
+    pub contexts: usize,
 }
 
 impl Default for BlockDVtageConfig {
@@ -85,6 +103,9 @@ impl Default for BlockDVtageConfig {
             fpc: FpcParams::paper_default(),
             fetch_block_bytes: 16,
             useful_reset_period: 128 * 1024,
+            shards: 1,
+            sharing: SharingPolicy::Shared,
+            contexts: 1,
         }
     }
 }
@@ -203,6 +224,9 @@ struct TaggedEntry {
 #[derive(Debug, Clone, Copy)]
 struct CurrentBlock {
     block_pc: u64,
+    /// Context the block was predicted for (same-block squash recovery must
+    /// not cross contexts of a multi-programmed trace).
+    asid: u8,
     first_seq: SeqNum,
     cursor: usize,
     /// DnRDnR: predictions of this (re-fetched) block may not be consumed.
@@ -217,6 +241,8 @@ struct CurrentBlock {
 struct BlockRecord {
     lvt_index: usize,
     lvt_tag: u16,
+    /// Context that fetched the block (ownership accounting at update time).
+    asid: u8,
     provider: Option<(usize, usize)>,
     /// Per tagged component, the (index, tag) computed at prediction time.
     alloc_slots: [(usize, u16); MAX_TAGGED],
@@ -233,6 +259,7 @@ impl BlockRecord {
         BlockRecord {
             lvt_index: 0,
             lvt_tag: 0,
+            asid: 0,
             provider: None,
             alloc_slots: [(0, 0); MAX_TAGGED],
             slot_tags: [None; MAX_NPRED],
@@ -248,9 +275,9 @@ impl BlockRecord {
 #[derive(Debug, Clone)]
 pub struct BlockDVtage {
     cfg: BlockDVtageConfig,
-    lvt: Vec<LvtEntry>,
-    vt0: Vec<Vt0Entry>,
-    tagged: Vec<Vec<TaggedEntry>>,
+    lvt: ShardedTable<LvtEntry>,
+    vt0: ShardedTable<Vt0Entry>,
+    tagged: Vec<ShardedTable<TaggedEntry>>,
     comp: [CompParams; MAX_TAGGED],
     /// `base_entries - 1` when the base is a power of two, else 0 (modulo path).
     base_mask: u64,
@@ -278,7 +305,10 @@ impl BlockDVtage {
     /// # Panics
     ///
     /// Panics if `npred`, `base_entries`, `num_tagged` or `tagged_entries` is zero,
-    /// if `npred > MAX_NPRED`, or if `num_tagged > MAX_TAGGED`.
+    /// if `npred > MAX_NPRED`, or if `num_tagged > MAX_TAGGED`; if `shards` is not
+    /// a power of two dividing both `base_entries` and `tagged_entries`; or if a
+    /// partitioned configuration's `contexts` is not a power of two of at most
+    /// `shards` (each context must own whole shards).
     pub fn new(cfg: BlockDVtageConfig) -> Self {
         assert!(
             cfg.npred > 0 && cfg.base_entries > 0 && cfg.num_tagged > 0 && cfg.tagged_entries > 0
@@ -293,6 +323,17 @@ impl BlockDVtage {
             "num_tagged {} exceeds MAX_TAGGED {MAX_TAGGED}",
             cfg.num_tagged
         );
+        if cfg.sharing == SharingPolicy::Partitioned {
+            assert!(
+                cfg.contexts.is_power_of_two() && cfg.contexts <= cfg.shards,
+                "partitioned sharing needs a power-of-two context count ({}) of at most the \
+                 shard count ({}) so every context owns whole shards",
+                cfg.contexts,
+                cfg.shards
+            );
+        }
+        // `asid` folds into u8 ownership accounting; the top value is reserved.
+        assert!(cfg.contexts < 255, "at most 254 contexts are supported");
         let lvt_entry = LvtEntry {
             valid: false,
             tag: 0,
@@ -314,9 +355,12 @@ impl BlockDVtage {
             *params = CompParams::new(cfg.history_length(c), cfg.tag_bits(c));
         }
         BlockDVtage {
-            lvt: vec![lvt_entry; cfg.base_entries],
-            vt0: vec![vt0_entry; cfg.base_entries],
-            tagged: vec![vec![tagged_entry; cfg.tagged_entries]; cfg.num_tagged],
+            lvt: ShardedTable::new(lvt_entry, cfg.base_entries, cfg.shards),
+            vt0: ShardedTable::new(vt0_entry, cfg.base_entries, cfg.shards),
+            tagged: vec![
+                ShardedTable::new(tagged_entry, cfg.tagged_entries, cfg.shards);
+                cfg.num_tagged
+            ],
             comp,
             base_mask: if cfg.base_entries.is_power_of_two() {
                 cfg.base_entries as u64 - 1
@@ -358,6 +402,59 @@ impl BlockDVtage {
         }
     }
 
+    /// Per-shard occupancy/steal counters of the Last Value Table — the
+    /// primary cross-context interference signal of a multi-programmed run.
+    pub fn lvt_shard_counters(&self) -> ShardCounters {
+        self.lvt.counters()
+    }
+
+    /// Total cross-context entry steals across the LVT, VT0 and every tagged
+    /// component (0 for single-context runs, and structurally 0 under
+    /// [`SharingPolicy::Partitioned`]).
+    pub fn total_steals(&self) -> u64 {
+        self.lvt.total_steals()
+            + self.vt0.total_steals()
+            + self.tagged.iter().map(|t| t.total_steals()).sum::<u64>()
+    }
+
+    /// Confines a full-table index to the partition owned by `asid` under
+    /// [`SharingPolicy::Partitioned`]; the identity under every other policy
+    /// (and always for context 0 of a partitioned pair-free run, since
+    /// partition 0 starts at slot 0 only when the index already fits — the
+    /// remap is still applied so a single-context partitioned run uses a
+    /// smaller effective table, by design).
+    fn confine(&self, raw: u64, entries: usize, asid: u8) -> usize {
+        if self.cfg.sharing == SharingPolicy::Partitioned && self.cfg.contexts > 1 {
+            let contexts = self.cfg.contexts as u64;
+            let part = entries as u64 / contexts;
+            let c = u64::from(asid) % contexts;
+            (c * part + raw % part) as usize
+        } else {
+            raw as usize
+        }
+    }
+
+    /// The ASID fold XORed into entry tags under [`SharingPolicy::Tagged`]
+    /// (zero — the identity — for every other policy and always for ASID 0,
+    /// which is what keeps single-context runs bit-identical across policies).
+    fn asid_fold(&self, asid: u8, mask: u64) -> u16 {
+        if self.cfg.sharing == SharingPolicy::Tagged {
+            (u64::from(asid).wrapping_mul(0x9E37_79B9) & mask) as u16
+        } else {
+            0
+        }
+    }
+
+    /// The speculative-window key of a block: the raw block PC under
+    /// [`SharingPolicy::Shared`] (contexts alias, the stress scenario), the
+    /// block PC folded with the ASID otherwise (per-context in-flight state).
+    fn window_key(&self, block_pc: u64, asid: u8) -> u64 {
+        match self.cfg.sharing {
+            SharingPolicy::Shared => block_pc,
+            _ => block_pc ^ (u64::from(asid) << 52),
+        }
+    }
+
     /// Applies every block record whose µ-ops have all retired (the following
     /// block's first µ-op is at or below the retirement frontier) and prunes the
     /// speculative window down to genuinely in-flight blocks.
@@ -391,18 +488,20 @@ impl BlockDVtage {
         block_pc >> self.cfg.fetch_block_bytes.trailing_zeros()
     }
 
-    fn lvt_index(&self, block_pc: u64) -> usize {
+    fn lvt_index(&self, block_pc: u64, asid: u8) -> usize {
         let bn = self.block_number(block_pc);
-        if self.base_mask != 0 {
-            (bn & self.base_mask) as usize
+        let raw = if self.base_mask != 0 {
+            bn & self.base_mask
         } else {
-            (bn % self.cfg.base_entries as u64) as usize
-        }
+            bn % self.cfg.base_entries as u64
+        };
+        self.confine(raw, self.cfg.base_entries, asid)
     }
 
-    fn lvt_tag(&self, block_pc: u64) -> u16 {
-        ((self.block_number(block_pc) / self.cfg.base_entries as u64)
-            & ((1 << self.cfg.lvt_tag_bits) - 1)) as u16
+    fn lvt_tag(&self, block_pc: u64, asid: u8) -> u16 {
+        let mask = (1u64 << self.cfg.lvt_tag_bits) - 1;
+        ((self.block_number(block_pc) / self.cfg.base_entries as u64) & mask) as u16
+            ^ self.asid_fold(asid, mask)
     }
 
     fn fold(history: u64, len: usize, bits: u32) -> u64 {
@@ -428,33 +527,35 @@ impl BlockDVtage {
         acc & mask
     }
 
-    fn tagged_index(&self, block_pc: u64, ghist: u64, path: u64, comp: usize) -> usize {
+    fn tagged_index(&self, block_pc: u64, ghist: u64, path: u64, comp: usize, asid: u8) -> usize {
         let hl = self.comp[comp].hist_len;
         let bn = self.block_number(block_pc);
         let bits = self.tagged_index_bits;
         let folded = Self::fold(ghist, hl, bits);
         let idx = bn ^ (bn >> bits) ^ folded ^ (path & 0x3f);
-        if self.tagged_mask != 0 {
-            (idx & self.tagged_mask) as usize
+        let raw = if self.tagged_mask != 0 {
+            idx & self.tagged_mask
         } else {
-            (idx % self.cfg.tagged_entries as u64) as usize
-        }
+            idx % self.cfg.tagged_entries as u64
+        };
+        self.confine(raw, self.cfg.tagged_entries, asid)
     }
 
-    fn tagged_tag(&self, block_pc: u64, ghist: u64, comp: usize) -> u16 {
+    fn tagged_tag(&self, block_pc: u64, ghist: u64, comp: usize, asid: u8) -> u16 {
         let p = self.comp[comp];
         let bn = self.block_number(block_pc);
         let f1 = Self::fold(ghist, p.hist_len, p.tag_bits);
         let f2 = Self::fold(ghist, p.hist_len, p.tag_bits.saturating_sub(3).max(2));
-        ((bn ^ (bn >> 7) ^ f1 ^ (f2 << 2)) & p.tag_mask) as u16
+        ((bn ^ (bn >> 7) ^ f1 ^ (f2 << 2)) & p.tag_mask) as u16 ^ self.asid_fold(asid, p.tag_mask)
     }
 
     /// Begins a new prediction-block instance for the fetch block at `block_pc`.
     fn start_block(&mut self, ctx: &PredictCtx, block_pc: u64, first_seq: SeqNum) {
         let np = self.cfg.npred;
-        let lvt_index = self.lvt_index(block_pc);
-        let lvt_tag = self.lvt_tag(block_pc);
-        let lvt = &self.lvt[lvt_index];
+        let asid = ctx.asid;
+        let lvt_index = self.lvt_index(block_pc, asid);
+        let lvt_tag = self.lvt_tag(block_pc, asid);
+        let lvt = self.lvt.get(lvt_index);
         let lvt_hit = lvt.valid && lvt.tag == lvt_tag;
 
         // Tagged component lookup: one precomputed index/tag pass over the
@@ -462,14 +563,14 @@ impl BlockDVtage {
         let mut alloc_slots = [(0usize, 0u16); MAX_TAGGED];
         for (comp, slot) in alloc_slots.iter_mut().enumerate().take(self.cfg.num_tagged) {
             *slot = (
-                self.tagged_index(block_pc, ctx.global_history, ctx.path_history, comp),
-                self.tagged_tag(block_pc, ctx.global_history, comp),
+                self.tagged_index(block_pc, ctx.global_history, ctx.path_history, comp, asid),
+                self.tagged_tag(block_pc, ctx.global_history, comp, asid),
             );
         }
         let mut provider = None;
         for comp in (0..self.cfg.num_tagged).rev() {
             let (idx, tag) = alloc_slots[comp];
-            let e = &self.tagged[comp][idx];
+            let e = self.tagged[comp].get(idx);
             if e.valid && e.tag == tag {
                 provider = Some((comp, idx));
                 break;
@@ -478,7 +579,8 @@ impl BlockDVtage {
 
         // Last values: the speculative window takes precedence over the retired LVT.
         self.window_lookups += 1;
-        let win_values: Option<SlotPredictions> = self.window.lookup(block_pc).map(|e| e.values);
+        let wkey = self.window_key(block_pc, asid);
+        let win_values: Option<SlotPredictions> = self.window.lookup(wkey).map(|e| e.values);
         if win_values.is_some() {
             self.window_hits += 1;
         }
@@ -486,8 +588,8 @@ impl BlockDVtage {
         // Provider slot payload as flat lanes: one array copy instead of a
         // per-slot provider match.
         let provider_slots = match provider {
-            Some((c, idx)) => self.tagged[c][idx].slots,
-            None => self.vt0[lvt_index].slots,
+            Some((c, idx)) => self.tagged[c].get(idx).slots,
+            None => self.vt0.get(lvt_index).slots,
         };
         let provider_strides = provider_slots.strides;
         let provider_conf_levels = provider_slots.conf_levels();
@@ -521,10 +623,11 @@ impl BlockDVtage {
 
         // Push the prediction block into the speculative window and the FIFO queue,
         // reusing a pooled record so steady state allocates nothing.
-        self.window.push(block_pc, first_seq, slot_pred);
+        self.window.push(wkey, first_seq, slot_pred);
         let mut rec = self.record_pool.pop().unwrap_or_else(BlockRecord::empty);
         rec.lvt_index = lvt_index;
         rec.lvt_tag = lvt_tag;
+        rec.asid = asid;
         rec.provider = provider;
         rec.alloc_slots = alloc_slots;
         rec.slot_tags = slot_tags;
@@ -535,6 +638,7 @@ impl BlockDVtage {
         self.fifo.push(first_seq, rec);
         self.current = Some(CurrentBlock {
             block_pc,
+            asid,
             first_seq,
             cursor: 0,
             forbid_use: false,
@@ -584,7 +688,7 @@ impl BlockDVtage {
         // ---- LVT: retire last values, learn byte tags -----------------------------
         let lvt_matched;
         {
-            let e = &mut self.lvt[rec.lvt_index];
+            let e = self.lvt.get_mut(rec.lvt_index);
             lvt_matched = e.valid && e.tag == rec.lvt_tag;
             if !lvt_matched {
                 e.valid = true;
@@ -592,6 +696,9 @@ impl BlockDVtage {
                 e.reset_slots();
             }
         }
+        // Ownership accounting (side-band, never affects prediction): the
+        // retiring context claims — or steals — this LVT entry.
+        self.lvt.note_write(rec.lvt_index, rec.asid);
 
         // Dense actual-value lanes for the vectorised compare / stride diff.
         let mut actuals = [0u64; MAX_NPRED];
@@ -601,7 +708,7 @@ impl BlockDVtage {
             assigned_mask |= 1 << i;
         }
         let (prev_lasts, prev_valid) = {
-            let e = &self.lvt[rec.lvt_index];
+            let e = self.lvt.get(rec.lvt_index);
             (e.lasts, if lvt_matched { e.slot_valid } else { 0 })
         };
         // Vectorised slot compare: which assigned slots' block predictions
@@ -617,7 +724,7 @@ impl BlockDVtage {
         // Per assigned slot: (slot index, observed stride, correctness).
         let mut observed = [(0usize, None::<i64>, false); MAX_NPRED];
         for (&(i, b, actual), obs) in assignments[..num_assigned].iter().zip(observed.iter_mut()) {
-            let e = &mut self.lvt[rec.lvt_index];
+            let e = self.lvt.get_mut(rec.lvt_index);
             let bit = 1u8 << i;
             if e.slot_valid & bit == 0 {
                 e.slot_valid |= bit;
@@ -645,7 +752,7 @@ impl BlockDVtage {
         match rec.provider {
             Some((c, idx)) => {
                 let (_, expected_tag) = rec.alloc_slots[c];
-                let e = &mut self.tagged[c][idx];
+                let e = self.tagged[c].get_mut(idx);
                 if e.valid && e.tag == expected_tag {
                     for (&(i, stride, correct), &r) in observed.iter().zip(&entropy) {
                         if correct {
@@ -658,10 +765,11 @@ impl BlockDVtage {
                         }
                     }
                     e.useful = any_correct && !any_wrong;
+                    self.tagged[c].note_write(idx, rec.asid);
                 }
             }
             None => {
-                let e = &mut self.vt0[rec.lvt_index];
+                let e = self.vt0.get_mut(rec.lvt_index);
                 for (&(i, stride, correct), &r) in observed.iter().zip(&entropy) {
                     if correct {
                         e.slots.conf[i].on_correct_with(&fpc, r);
@@ -672,6 +780,7 @@ impl BlockDVtage {
                         }
                     }
                 }
+                self.vt0.note_write(rec.lvt_index, rec.asid);
             }
         }
 
@@ -683,14 +792,14 @@ impl BlockDVtage {
                 let mut candidates = [0usize; MAX_TAGGED];
                 let mut num_candidates = 0usize;
                 for c in start..self.cfg.num_tagged {
-                    if !self.tagged[c][rec.alloc_slots[c].0].useful {
+                    if !self.tagged[c].get(rec.alloc_slots[c].0).useful {
                         candidates[num_candidates] = c;
                         num_candidates += 1;
                     }
                 }
                 if num_candidates == 0 {
                     for c in start..self.cfg.num_tagged {
-                        self.tagged[c][rec.alloc_slots[c].0].useful = false;
+                        self.tagged[c].get_mut(rec.alloc_slots[c].0).useful = false;
                     }
                 } else {
                     let pick = (self.rand() as usize) % num_candidates.min(2);
@@ -708,12 +817,13 @@ impl BlockDVtage {
                             slots.conf[i] = ForwardProbabilisticCounter::new();
                         }
                     }
-                    self.tagged[comp][idx] = TaggedEntry {
+                    *self.tagged[comp].get_mut(idx) = TaggedEntry {
                         valid: true,
                         tag,
                         useful: false,
                         slots,
                     };
+                    self.tagged[comp].note_write(idx, rec.asid);
                 }
             }
         }
@@ -740,7 +850,9 @@ impl ValuePredictor for BlockDVtage {
         let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
         let needs_new = self.force_new_block
             || match &self.current {
-                Some(cur) => cur.block_pc != block_pc || ctx.new_fetch_block,
+                Some(cur) => {
+                    cur.block_pc != block_pc || cur.asid != ctx.asid || ctx.new_fetch_block
+                }
                 None => true,
             };
         if needs_new {
@@ -809,11 +921,11 @@ impl ValuePredictor for BlockDVtage {
         // written straight into the matching slot's last-value lane, from
         // which every later prediction of the block chains.
         let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
-        let idx = self.lvt_index(block_pc);
-        let tag = self.lvt_tag(block_pc);
+        let idx = self.lvt_index(block_pc, uop.asid);
+        let tag = self.lvt_tag(block_pc, uop.asid);
         let byte = byte_index_in_block(uop.pc, self.cfg.fetch_block_bytes);
         let np = self.cfg.npred;
-        let e = &mut self.lvt[idx];
+        let e = self.lvt.get_mut(idx);
         if e.valid && e.tag == tag {
             for i in 0..np {
                 if e.slot_valid & (1 << i) != 0 && e.byte_tags[i] == byte {
@@ -856,7 +968,10 @@ impl ValuePredictor for BlockDVtage {
             }
             RecoveryPolicy::DnRDnR => {
                 if let Some(cur) = &mut self.current {
-                    if cur.block_pc == bflush {
+                    // Same block *of the same context*: another context at the
+                    // same PC (multi-programmed traces overlap address spaces)
+                    // is not a refetch of this prediction block.
+                    if cur.block_pc == bflush && cur.asid == info.asid {
                         cur.forbid_use = true;
                     }
                 }
@@ -866,7 +981,8 @@ impl ValuePredictor for BlockDVtage {
                 // generate a fresh one when the block is re-fetched. The FIFO update
                 // record of the flushed block is kept so the retirements of its
                 // older (not squashed) µ-ops still train the tables consistently.
-                self.window.drop_newest_if_block(bflush);
+                let key = self.window_key(bflush, info.asid);
+                self.window.drop_newest_if_block(key);
                 self.current = None;
                 self.force_new_block = true;
             }
@@ -902,6 +1018,7 @@ mod tests {
             new_fetch_block: new_block,
             global_history: 0,
             path_history: 0,
+            asid: 0,
         }
     }
 
@@ -1114,6 +1231,7 @@ mod tests {
             flush_pc: 0x1000,
             next_pc: 0x1008,
             cause: bebop_uarch::SquashCause::ValueMispredict,
+            asid: 0,
         });
         // Repred drops the head prediction block from the speculative window and
         // will generate a new one on the next fetch of the block.
@@ -1138,6 +1256,7 @@ mod tests {
             flush_pc: 0x1000,
             next_pc: 0x1008,
             cause: bebop_uarch::SquashCause::ValueMispredict,
+            asid: 0,
         });
         // The refetched second instruction of the same block must not use its
         // prediction under DnRDnR.
@@ -1171,6 +1290,64 @@ mod tests {
     fn npred_above_max_is_rejected() {
         let _ = BlockDVtage::new(BlockDVtageConfig {
             npred: MAX_NPRED + 1,
+            ..BlockDVtageConfig::default()
+        });
+    }
+
+    #[test]
+    fn sharded_layout_predicts_identically_to_monolithic() {
+        // Sharding is a bijective re-layout: under the shared policy the
+        // predictor must behave bit-identically whatever the shard count.
+        let mut flat = BlockDVtage::new(fast_cfg());
+        let mut sharded = BlockDVtage::new(BlockDVtageConfig {
+            shards: 8,
+            ..fast_cfg()
+        });
+        let a = run_loop(&mut flat, 300, (8, 16));
+        let b = run_loop(&mut sharded, 300, (8, 16));
+        assert_eq!(a, b, "shard count changed prediction behaviour");
+        assert_eq!(flat.window_hit_rate(), sharded.window_hit_rate());
+        // Single-context runs never steal; occupancy is layout-visible.
+        assert_eq!(sharded.total_steals(), 0);
+        assert!(sharded.lvt_shard_counters().occupancy.iter().sum::<u64>() > 0);
+        assert_eq!(sharded.lvt_shard_counters().occupancy.len(), 8);
+    }
+
+    #[test]
+    fn single_context_runs_are_policy_invariant() {
+        // With every µ-op carrying ASID 0 the three sharing policies are the
+        // same predictor: the ASID folds are identity and no partition remap
+        // moves context 0 away from partition 0 of a 1-context config.
+        let mut results = Vec::new();
+        for sharing in SharingPolicy::ALL {
+            let mut d = BlockDVtage::new(BlockDVtageConfig {
+                shards: 4,
+                sharing,
+                contexts: 1,
+                ..fast_cfg()
+            });
+            results.push(run_loop(&mut d, 300, (8, 16)));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole shards")]
+    fn partitioned_contexts_must_fit_the_shards() {
+        let _ = BlockDVtage::new(BlockDVtageConfig {
+            shards: 2,
+            sharing: SharingPolicy::Partitioned,
+            contexts: 4,
+            ..BlockDVtageConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn shard_count_must_be_a_power_of_two() {
+        let _ = BlockDVtage::new(BlockDVtageConfig {
+            shards: 3,
             ..BlockDVtageConfig::default()
         });
     }

@@ -4,6 +4,7 @@
 use crate::block_dvtage::BlockDVtageConfig;
 use crate::recovery::RecoveryPolicy;
 use crate::spec_window::SpecWindowSize;
+use bebop_uarch::SharingPolicy;
 
 /// The "optimistic" configuration used as the working point of Section VI-B:
 /// 6 predictions per entry, a 2K-entry base component and six 256-entry tagged
@@ -75,6 +76,25 @@ pub fn large() -> BlockDVtageConfig {
         spec_window: SpecWindowSize::Entries(56),
         recovery: RecoveryPolicy::DnRDnR,
         ..BlockDVtageConfig::default()
+    }
+}
+
+/// Number of shards the multi-programmed (mix) experiments split the Medium
+/// configuration's tables into: enough that a pair of contexts can own four
+/// shards each under the partitioned policy, small enough that every Table III
+/// geometry (128-entry tagged components included) divides evenly.
+pub const MIX_SHARDS: usize = 8;
+
+/// The Table III `Medium` configuration prepared for a multi-programmed run:
+/// [`MIX_SHARDS`]-way sharded storage divided between `contexts` contexts
+/// under the given sharing policy. With `contexts == 1` (or ASID-0-only
+/// traces) every policy behaves bit-identically to [`medium`].
+pub fn medium_mix(sharing: SharingPolicy, contexts: usize) -> BlockDVtageConfig {
+    BlockDVtageConfig {
+        shards: MIX_SHARDS,
+        sharing,
+        contexts,
+        ..medium()
     }
 }
 

@@ -145,6 +145,18 @@ macro_rules! dispatch {
     };
 }
 
+impl AnyPredictor {
+    /// The inner block-based BeBoP predictor, when this is one — used by
+    /// harnesses that read its sharding counters (per-shard occupancy, cross-
+    /// context steals) after a run.
+    pub fn as_block_dvtage(&self) -> Option<&BlockDVtage> {
+        match self {
+            AnyPredictor::BlockDVtage(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
 impl ValuePredictor for AnyPredictor {
     fn name(&self) -> &str {
         dispatch!(self, p => p.name())
@@ -239,7 +251,20 @@ pub fn run_source(
     max_uops: u64,
 ) -> SimStats {
     let mut p = predictor.build();
-    Pipeline::new(pipeline.clone()).run(source.stream(), &mut p, max_uops)
+    run_source_with(source, pipeline, &mut p, max_uops)
+}
+
+/// [`run_source`] with a caller-owned predictor instance, for harnesses that
+/// inspect predictor-internal state (sharding counters, window hit rates)
+/// after the run. Behaviour is identical to [`run_source`] for a freshly
+/// built predictor.
+pub fn run_source_with(
+    source: UopSource<'_>,
+    pipeline: &PipelineConfig,
+    predictor: &mut AnyPredictor,
+    max_uops: u64,
+) -> SimStats {
+    Pipeline::new(pipeline.clone()).run(source.stream(), predictor, max_uops)
 }
 
 /// Runs one workload (generated live) on one pipeline configuration with one

@@ -61,8 +61,8 @@ mod update_queue;
 pub use bebop_vp::MAX_TAGGED;
 pub use block_dvtage::{BlockDVtage, BlockDVtageConfig};
 pub use driver::{
-    compare, run_one, run_source, AnyPredictor, BenchResult, PredictorKind, SpeedupSummary,
-    UopSource, UopStream,
+    compare, run_one, run_source, run_source_with, AnyPredictor, BenchResult, PredictorKind,
+    SpeedupSummary, UopSource, UopStream,
 };
 pub use recovery::RecoveryPolicy;
 pub use spec_window::{
@@ -72,7 +72,8 @@ pub use update_queue::FifoUpdateQueue;
 
 // Re-export the pieces downstream users almost always need alongside this crate.
 pub use bebop_trace::{
-    all_spec_benchmarks, spec_benchmark, spec_fingerprint, TraceBuffer, TraceStore, WorkloadSpec,
-    SPEC_BENCHMARK_NAMES, TRACE_FORMAT_VERSION,
+    all_spec_benchmarks, spec_benchmark, spec_fingerprint, MixSpec, TraceBuffer, TraceStore,
+    WorkloadSpec, SPEC_BENCHMARK_NAMES, TRACE_FORMAT_VERSION,
 };
-pub use bebop_uarch::{PipelineConfig, SimStats};
+pub use bebop_uarch::{MixConfig, PipelineConfig, SharingPolicy, SimStats};
+pub use bebop_vp::{ShardCounters, ShardedTable};

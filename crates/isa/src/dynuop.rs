@@ -87,6 +87,14 @@ pub struct DynUop {
     /// µ-ops are emitted by trace generators with wrong-path modelling enabled
     /// and are skipped entirely by pipelines that do not simulate them.
     pub wrong_path: bool,
+    /// Address-space identifier: which simulated program (context) of a
+    /// multi-programmed trace this µ-op belongs to. Single-program traces use
+    /// ASID 0 throughout, which is also the default, so everything built for
+    /// one context keeps working unchanged. Trace mixers
+    /// (`bebop-trace::MixSpec`) tag each interleaved context's µ-ops with its
+    /// index so the pipeline can switch contexts at quantum boundaries and
+    /// split its statistics per context.
+    pub asid: u8,
 }
 
 impl DynUop {
@@ -112,6 +120,7 @@ impl DynUop {
             branch: None,
             imm_available_at_decode: uop.kind() == UopKind::LoadImm,
             wrong_path: false,
+            asid: 0,
         }
     }
 
@@ -137,6 +146,13 @@ impl DynUop {
     #[must_use]
     pub fn with_wrong_path(mut self) -> Self {
         self.wrong_path = true;
+        self
+    }
+
+    /// Tags this µ-op with the address-space identifier of its context.
+    #[must_use]
+    pub fn with_asid(mut self, asid: u8) -> Self {
+        self.asid = asid;
         self
     }
 
@@ -187,7 +203,11 @@ impl fmt::Display for DynUop {
             self.uop_idx,
             self.uop,
             self.value
-        )
+        )?;
+        if self.asid != 0 {
+            write!(f, " asid={}", self.asid)?;
+        }
+        Ok(())
     }
 }
 
@@ -244,6 +264,16 @@ mod tests {
         assert!(wp.wrong_path);
         assert!(format!("{wp}").contains("(wp)"));
         assert!(!format!("{u}").contains("(wp)"));
+    }
+
+    #[test]
+    fn asid_tagging() {
+        let u = DynUop::new(0, 0x1000, 4, 0, 1, alu_uop(), 0);
+        assert_eq!(u.asid, 0, "single-program µ-ops default to ASID 0");
+        assert!(!format!("{u}").contains("asid"));
+        let tagged = u.with_asid(3);
+        assert_eq!(tagged.asid, 3);
+        assert!(format!("{tagged}").contains("asid=3"));
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub struct TraceBuffer {
     mem_size: Vec<u8>,
     /// Branch targets, one per µ-op with `meta::HAS_BRANCH`, in stream order.
     br_target: Vec<u64>,
+    /// Per-µop context tags for multi-programmed (mix) recordings. Either one
+    /// entry per µ-op, or — the overwhelmingly common single-context case —
+    /// empty, meaning "every µ-op carries ASID 0": recordings of plain
+    /// workloads pay zero bytes for the lane.
+    asid: Vec<u8>,
     /// Number of recorded µ-ops carrying `meta::WRONG_PATH` (cached so the
     /// committed-µ-op count is O(1) rather than a meta-lane scan).
     wrong_path_count: usize,
@@ -111,6 +116,7 @@ impl TraceBuffer {
             mem_addr: Vec::new(),
             mem_size: Vec::new(),
             br_target: Vec::new(),
+            asid: Vec::new(),
             wrong_path_count: 0,
         }
     }
@@ -140,15 +146,27 @@ impl TraceBuffer {
     /// Panics if the generator ends before `n` µ-ops were recorded (the
     /// synthetic generators are unbounded, so this indicates a logic error).
     pub fn record(spec: &WorkloadSpec, n: u64) -> Self {
+        Self::record_stream(TraceGenerator::new(spec), n)
+    }
+
+    /// Records `n` committed µ-ops from an arbitrary unbounded µ-op stream —
+    /// the generalisation of [`TraceBuffer::record`] that multi-programmed
+    /// mixes ([`crate::MixSpec::record`]) record through. The same budget
+    /// contract applies: wrong-path µ-ops ride along for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream ends before `n` committed µ-ops were recorded.
+    pub fn record_stream(stream: impl Iterator<Item = DynUop>, n: u64) -> Self {
         // Capacity is only a hint: when `n` overflows usize (32-bit targets)
         // start small and let the lanes grow until allocation fails loudly.
         let mut buf = TraceBuffer::with_capacity(usize::try_from(n).unwrap_or(0));
-        let mut gen = TraceGenerator::new(spec);
+        let mut stream = stream;
         let mut committed: u64 = 0;
         while committed < n {
-            let u = gen
+            let u = stream
                 .next()
-                .expect("TraceGenerator is unbounded; recording budget not honoured");
+                .expect("µ-op stream ended before the recording budget was honoured");
             buf.push(&u);
             if !u.wrong_path {
                 committed += 1;
@@ -173,6 +191,7 @@ impl TraceBuffer {
         self.mem_addr.shrink_to_fit();
         self.mem_size.shrink_to_fit();
         self.br_target.shrink_to_fit();
+        self.asid.shrink_to_fit();
     }
 
     /// A lower bound on the heap footprint of an `n`-µop recording: the dense
@@ -221,6 +240,15 @@ impl TraceBuffer {
             }
             self.br_target.push(b.target);
         }
+        // The ASID lane stays empty (implicitly all-zero) until the first
+        // non-zero tag, then is backfilled and kept dense: single-context
+        // recordings pay nothing, mixes pay one byte per µ-op.
+        if u.asid != 0 && self.asid.is_empty() {
+            self.asid = vec![0; self.pc.len()];
+        }
+        if !self.asid.is_empty() || u.asid != 0 {
+            self.asid.push(u.asid);
+        }
         self.pc.push(u.pc);
         self.uop.push(u.uop);
         self.value.push(u.value);
@@ -264,12 +292,15 @@ impl TraceBuffer {
             + self.mem_addr.capacity() * std::mem::size_of::<u64>()
             + self.mem_size.capacity()
             + self.br_target.capacity() * std::mem::size_of::<u64>()
+            + self.asid.capacity()
     }
 
     /// Lane views for binary serialisation, in on-disk order
-    /// `(pc, uop, value, meta, mem_addr, mem_size, br_target)`.
+    /// `(pc, uop, value, meta, mem_addr, mem_size, br_target, asid)`. The
+    /// ASID lane is either empty (single-context recording, every µ-op is
+    /// ASID 0) or one entry per µ-op.
     #[allow(clippy::type_complexity)]
-    pub(crate) fn lanes(&self) -> (&[u64], &[Uop], &[u64], &[u32], &[u64], &[u8], &[u64]) {
+    pub(crate) fn lanes(&self) -> (&[u64], &[Uop], &[u64], &[u32], &[u64], &[u8], &[u64], &[u8]) {
         (
             &self.pc,
             &self.uop,
@@ -278,6 +309,7 @@ impl TraceBuffer {
             &self.mem_addr,
             &self.mem_size,
             &self.br_target,
+            &self.asid,
         )
     }
 
@@ -296,6 +328,7 @@ impl TraceBuffer {
         mem_addr: Vec<u64>,
         mem_size: Vec<u8>,
         br_target: Vec<u64>,
+        asid: Vec<u8>,
     ) -> Result<Self, &'static str> {
         let n = pc.len();
         if uop.len() != n || value.len() != n || meta.len() != n {
@@ -309,6 +342,9 @@ impl TraceBuffer {
         if br_target.len() != brs {
             return Err("sparse branch lane disagrees with the metadata");
         }
+        if !(asid.is_empty() || asid.len() == n) {
+            return Err("ASID lane is neither absent nor one entry per µ-op");
+        }
         let wrong_path_count = meta.iter().filter(|&&m| m & meta::WRONG_PATH != 0).count();
         Ok(TraceBuffer {
             pc,
@@ -318,6 +354,7 @@ impl TraceBuffer {
             mem_addr,
             mem_size,
             br_target,
+            asid,
             wrong_path_count,
         })
     }
@@ -371,6 +408,11 @@ impl Iterator for TraceCursor<'_> {
         // bit so replay is faithful even for hand-built streams.
         u.imm_available_at_decode = m & meta::IMM_AT_DECODE != 0;
         u.wrong_path = m & meta::WRONG_PATH != 0;
+        // An absent ASID lane means a single-context recording: every µ-op
+        // keeps the default ASID 0.
+        if let Some(&asid) = b.asid.get(i) {
+            u.asid = asid;
+        }
         if m & meta::HAS_MEM != 0 {
             u.mem = Some(MemAccess {
                 addr: b.mem_addr[self.mem_i],
@@ -471,7 +513,8 @@ mod tests {
                 + buf.meta.len() * std::mem::size_of::<u32>()
                 + buf.mem_addr.len() * std::mem::size_of::<u64>()
                 + buf.mem_size.len()
-                + buf.br_target.len() * std::mem::size_of::<u64>();
+                + buf.br_target.len() * std::mem::size_of::<u64>()
+                + buf.asid.len();
             assert_eq!(
                 buf.footprint_bytes(),
                 exact,
@@ -485,7 +528,7 @@ mod tests {
     #[test]
     fn from_lanes_round_trips_and_validates() {
         let buf = TraceBuffer::record(&WorkloadSpec::new("lanes", 3), 5_000);
-        let (pc, uop, value, meta, mem_addr, mem_size, br_target) = buf.lanes();
+        let (pc, uop, value, meta, mem_addr, mem_size, br_target, asid) = buf.lanes();
         let rebuilt = TraceBuffer::from_lanes(
             pc.to_vec(),
             uop.to_vec(),
@@ -494,6 +537,7 @@ mod tests {
             mem_addr.to_vec(),
             mem_size.to_vec(),
             br_target.to_vec(),
+            asid.to_vec(),
         )
         .expect("valid lanes");
         assert_eq!(
@@ -512,6 +556,7 @@ mod tests {
             short_mem,
             mem_size.to_vec(),
             br_target.to_vec(),
+            asid.to_vec(),
         )
         .is_err());
         // Dense lane length mismatch likewise.
@@ -525,6 +570,7 @@ mod tests {
             mem_addr.to_vec(),
             mem_size.to_vec(),
             br_target.to_vec(),
+            asid.to_vec(),
         )
         .is_err());
     }
@@ -561,7 +607,7 @@ mod tests {
         let replayed: Vec<_> = buf.replay().collect();
         assert_eq!(live, replayed, "wrong-path replay diverged");
         // The marker round-trips through the lane encoding.
-        let (pc, uop, value, meta, mem_addr, mem_size, br_target) = buf.lanes();
+        let (pc, uop, value, meta, mem_addr, mem_size, br_target, asid) = buf.lanes();
         let rebuilt = TraceBuffer::from_lanes(
             pc.to_vec(),
             uop.to_vec(),
@@ -570,10 +616,59 @@ mod tests {
             mem_addr.to_vec(),
             mem_size.to_vec(),
             br_target.to_vec(),
+            asid.to_vec(),
         )
         .expect("valid lanes");
         assert_eq!(rebuilt.committed_len(), buf.committed_len());
         assert_eq!(rebuilt.wrong_path_len(), buf.wrong_path_len());
+    }
+
+    #[test]
+    fn asid_lane_is_absent_for_single_context_and_dense_for_mixes() {
+        // Plain recordings pay zero bytes for the lane.
+        let plain = TraceBuffer::record(&WorkloadSpec::named_demo("asid-plain"), 2_000);
+        assert!(plain.asid.is_empty(), "single-context lane must be absent");
+        assert!(plain.replay().all(|u| u.asid == 0));
+
+        // A hand-built tagged stream backfills and stays dense.
+        let alu = Uop::new(UopKind::Alu, Some(ArchReg::int(1)), &[]);
+        let mut buf = TraceBuffer::default();
+        buf.push(&DynUop::new(0, 0x100, 4, 0, 1, alu, 1));
+        buf.push(&DynUop::new(1, 0x104, 4, 0, 1, alu, 2).with_asid(1));
+        buf.push(&DynUop::new(2, 0x108, 4, 0, 1, alu, 3));
+        assert_eq!(buf.asid, vec![0, 1, 0]);
+        let asids: Vec<u8> = buf.replay().map(|u| u.asid).collect();
+        assert_eq!(asids, vec![0, 1, 0]);
+
+        // And the lane round-trips through from_lanes.
+        let (pc, uop, value, meta, mem_addr, mem_size, br_target, asid) = buf.lanes();
+        let rebuilt = TraceBuffer::from_lanes(
+            pc.to_vec(),
+            uop.to_vec(),
+            value.to_vec(),
+            meta.to_vec(),
+            mem_addr.to_vec(),
+            mem_size.to_vec(),
+            br_target.to_vec(),
+            asid.to_vec(),
+        )
+        .expect("valid lanes");
+        assert_eq!(
+            buf.replay().collect::<Vec<_>>(),
+            rebuilt.replay().collect::<Vec<_>>()
+        );
+        // A truncated ASID lane is rejected.
+        assert!(TraceBuffer::from_lanes(
+            pc.to_vec(),
+            uop.to_vec(),
+            value.to_vec(),
+            meta.to_vec(),
+            mem_addr.to_vec(),
+            mem_size.to_vec(),
+            br_target.to_vec(),
+            vec![0],
+        )
+        .is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 mod buffer;
 mod generator;
 mod memory;
+mod mix;
 mod spec;
 mod store;
 mod value;
@@ -48,12 +49,13 @@ mod workload;
 pub use buffer::{TraceBuffer, TraceCursor};
 pub use generator::TraceGenerator;
 pub use memory::{AddressPattern, AddressState};
+pub use mix::{MixGenerator, MixSpec, MAX_MIX_CONTEXTS};
 pub use spec::{
     all_spec_benchmarks, benchmark_class, spec_benchmark, BenchClass, SPEC_BENCHMARK_NAMES,
 };
 pub use store::{
-    decode_trace, encode_trace, spec_fingerprint, DecodedTrace, StoreError, SweepStats, TraceStore,
-    TRACE_FORMAT_VERSION, TRACE_MAGIC, TRACE_STREAM_VERSION,
+    decode_trace, encode_trace, encode_trace_key, spec_fingerprint, DecodedTrace, StoreError,
+    SweepStats, TraceKey, TraceStore, TRACE_FORMAT_VERSION, TRACE_MAGIC, TRACE_STREAM_VERSION,
 };
 pub use value::{ValuePattern, ValueProfile, ValueState};
 pub use workload::{

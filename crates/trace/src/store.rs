@@ -8,7 +8,7 @@
 //! `figures` invocations (and CI jobs restoring the directory from a cache)
 //! skip generation entirely and load the lanes straight from disk.
 //!
-//! # File format (`TRACE_FORMAT_VERSION` 2)
+//! # File format (`TRACE_FORMAT_VERSION` 3)
 //!
 //! Little-endian throughout. A fixed 64-byte header:
 //!
@@ -16,8 +16,8 @@
 //! | ------ | ----- | ----- |
 //! | 0      | 8     | magic `b"BBPTRACE"` |
 //! | 8      | 4     | format version (`u32`) |
-//! | 12     | 4     | reserved (zero) |
-//! | 16     | 8     | workload-spec fingerprint ([`spec_fingerprint`]) |
+//! | 12     | 4     | flags (`u32`; bit 0 = ASID lane present, rest zero) |
+//! | 16     | 8     | workload-spec fingerprint ([`spec_fingerprint`] / mix fingerprint) |
 //! | 24     | 8     | workload seed |
 //! | 32     | 8     | µ-op count (dense lane length) |
 //! | 40     | 8     | memory lane length |
@@ -27,7 +27,9 @@
 //! followed by the raw structure-of-arrays lanes in recording order: `pc`
 //! (`u64` each), static µ-ops (packed to one `u64` each), `value` (`u64`),
 //! `meta` (`u32`), then the sparse `mem_addr` (`u64`), `mem_size` (`u8`) and
-//! `br_target` (`u64`) lanes. Meta bit 31 marks wrong-path µ-ops; the µ-op
+//! `br_target` (`u64`) lanes, then — when flags bit 0 is set — the dense
+//! per-µop ASID lane (`u8` each; absent for single-context recordings, whose
+//! µ-ops all carry ASID 0). Meta bit 31 marks wrong-path µ-ops; the µ-op
 //! count in the header is the total (dense lane) length, while the cache key's
 //! budget counts *committed* µ-ops only ([`TraceBuffer::committed_len`]).
 //!
@@ -63,8 +65,15 @@ use std::time::SystemTime;
 /// Version history: 1 = initial layout; 2 = meta-lane bit 31 carries the
 /// wrong-path marker and the cache key's µ-op budget counts *committed*
 /// µ-ops (recordings of wrong-path workloads hold more total µ-ops than
-/// their budget).
-pub const TRACE_FORMAT_VERSION: u32 = 2;
+/// their budget); 3 = the reserved header word became a flags word whose bit
+/// 0 announces an optional dense per-µop ASID lane after the branch lane
+/// (multi-programmed mix recordings), and mix recordings key on a mix
+/// fingerprint. A v2 reader would silently replay a mix file with every
+/// ASID dropped — the version bump makes it reject-and-regenerate instead.
+pub const TRACE_FORMAT_VERSION: u32 = 3;
+
+/// Header flags (offset 12): bit 0 set when the ASID lane is present.
+const FLAG_HAS_ASID: u32 = 1;
 
 /// File magic, first 8 bytes of every trace file.
 pub const TRACE_MAGIC: [u8; 8] = *b"BBPTRACE";
@@ -208,6 +217,67 @@ pub fn spec_fingerprint(spec: &WorkloadSpec) -> u64 {
     fnv1a(FNV_OFFSET, &enc)
 }
 
+/// A stable fingerprint of a [`crate::MixSpec`]: the quantum, the context
+/// count and every context's [`spec_fingerprint`], under a domain separator
+/// so a mix can never collide with a plain workload. The mix analogue of the
+/// spec fingerprint — the trace-store cache key of mix recordings.
+pub(crate) fn mix_fingerprint(mix: &crate::MixSpec) -> u64 {
+    let mut enc: Vec<u8> = Vec::with_capacity(32 + 8 * mix.contexts.len());
+    enc.extend_from_slice(b"BBPMIX\0\0");
+    enc.extend_from_slice(&TRACE_STREAM_VERSION.to_le_bytes());
+    enc.extend_from_slice(&mix.quantum.to_le_bytes());
+    enc.extend_from_slice(&(mix.contexts.len() as u64).to_le_bytes());
+    for spec in &mix.contexts {
+        enc.extend_from_slice(&spec_fingerprint(spec).to_le_bytes());
+    }
+    fnv1a(FNV_OFFSET, &enc)
+}
+
+/// The folded seed a mix recording's header carries (order-sensitive fold of
+/// the context seeds and the quantum).
+pub(crate) fn mix_seed(mix: &crate::MixSpec) -> u64 {
+    let mut enc: Vec<u8> = Vec::with_capacity(8 + 8 * mix.contexts.len());
+    enc.extend_from_slice(&mix.quantum.to_le_bytes());
+    for spec in &mix.contexts {
+        enc.extend_from_slice(&spec.seed.to_le_bytes());
+    }
+    fnv1a(FNV_OFFSET, &enc)
+}
+
+/// The identity of one recording inside a [`TraceStore`]: the cache key
+/// (fingerprint + seed) plus a human-readable file stem. Plain workloads and
+/// multi-programmed mixes both reduce to a key, so the store handles either
+/// through the same `*_key` methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceKey {
+    /// Human-readable file stem (sanitised before use in paths).
+    pub stem: String,
+    /// Content fingerprint ([`spec_fingerprint`] or the mix fingerprint).
+    pub fingerprint: u64,
+    /// Seed recorded in (and checked against) the file header.
+    pub seed: u64,
+}
+
+impl TraceKey {
+    /// The key of a plain workload recording.
+    pub fn for_spec(spec: &WorkloadSpec) -> Self {
+        TraceKey {
+            stem: spec.name.clone(),
+            fingerprint: spec_fingerprint(spec),
+            seed: spec.seed,
+        }
+    }
+
+    /// The key of a multi-programmed mix recording.
+    pub fn for_mix(mix: &crate::MixSpec) -> Self {
+        TraceKey {
+            stem: mix.name.clone(),
+            fingerprint: mix_fingerprint(mix),
+            seed: mix_seed(mix),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Static µ-op packing
 // ---------------------------------------------------------------------------
@@ -346,21 +416,29 @@ pub struct DecodedTrace {
 
 /// Serialises a recording of `spec` to the versioned, checksummed byte format.
 pub fn encode_trace(spec: &WorkloadSpec, buf: &TraceBuffer) -> Vec<u8> {
-    let (pc, uop, value, meta, mem_addr, mem_size, br_target) = buf.lanes();
+    encode_trace_key(&TraceKey::for_spec(spec), buf)
+}
+
+/// Serialises a recording under an arbitrary [`TraceKey`] (plain workloads
+/// and mixes alike) to the versioned, checksummed byte format.
+pub fn encode_trace_key(key: &TraceKey, buf: &TraceBuffer) -> Vec<u8> {
+    let (pc, uop, value, meta, mem_addr, mem_size, br_target, asid) = buf.lanes();
     let payload_len = pc.len() * 8
         + uop.len() * 8
         + value.len() * 8
         + meta.len() * 4
         + mem_addr.len() * 8
         + mem_size.len()
-        + br_target.len() * 8;
+        + br_target.len() * 8
+        + asid.len();
     let mut out: Vec<u8> = Vec::with_capacity(HEADER_LEN + payload_len);
 
+    let flags = if asid.is_empty() { 0 } else { FLAG_HAS_ASID };
     out.extend_from_slice(&TRACE_MAGIC);
     out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
-    out.extend_from_slice(&spec_fingerprint(spec).to_le_bytes());
-    out.extend_from_slice(&spec.seed.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&key.fingerprint.to_le_bytes());
+    out.extend_from_slice(&key.seed.to_le_bytes());
     out.extend_from_slice(&(pc.len() as u64).to_le_bytes());
     out.extend_from_slice(&(mem_addr.len() as u64).to_le_bytes());
     out.extend_from_slice(&(br_target.len() as u64).to_le_bytes());
@@ -386,6 +464,7 @@ pub fn encode_trace(spec: &WorkloadSpec, buf: &TraceBuffer) -> Vec<u8> {
     for &x in br_target {
         out.extend_from_slice(&x.to_le_bytes());
     }
+    out.extend_from_slice(asid);
 
     let checksum = fnv1a(
         fnv1a(FNV_OFFSET, &out[..CHECKSUM_OFFSET]),
@@ -443,7 +522,10 @@ pub fn decode_trace(bytes: &[u8]) -> Result<DecodedTrace, StoreError> {
     if version != TRACE_FORMAT_VERSION {
         return Err(StoreError::VersionMismatch(version));
     }
-    let _reserved = r.u32()?;
+    let flags = r.u32()?;
+    if flags & !FLAG_HAS_ASID != 0 {
+        return Err(StoreError::Malformed("unknown header flags"));
+    }
     let fingerprint = r.u64()?;
     let seed = r.u64()?;
     let n = r.u64()?;
@@ -482,12 +564,18 @@ pub fn decode_trace(bytes: &[u8]) -> Result<DecodedTrace, StoreError> {
     let mem_addr = r.u64_lane(mem_len as usize)?;
     let mem_size = r.take(mem_len as usize)?.to_vec();
     let br_target = r.u64_lane(br_len as usize)?;
+    let asid = if flags & FLAG_HAS_ASID != 0 {
+        r.take(n)?.to_vec()
+    } else {
+        Vec::new()
+    };
     if r.at != bytes.len() {
         return Err(StoreError::Malformed("trailing bytes after the lanes"));
     }
 
-    let mut buffer = TraceBuffer::from_lanes(pc, uop, value, meta, mem_addr, mem_size, br_target)
-        .map_err(StoreError::Malformed)?;
+    let mut buffer =
+        TraceBuffer::from_lanes(pc, uop, value, meta, mem_addr, mem_size, br_target, asid)
+            .map_err(StoreError::Malformed)?;
     // Collecting through fallible adapters can over-allocate; keep loaded
     // footprints exact so the `--trace-cache-mb` cap math stays honest.
     buffer.shrink_to_fit();
@@ -598,11 +686,17 @@ impl TraceStore {
     /// actual key, and the format version is part of the name so incompatible
     /// generations coexist instead of fighting over one path.
     pub fn trace_path(&self, spec: &WorkloadSpec, uops: u64) -> PathBuf {
-        let stem: String = spec
-            .name
+        self.trace_path_key(&TraceKey::for_spec(spec), uops)
+    }
+
+    /// [`TraceStore::trace_path`] for an arbitrary [`TraceKey`] (mixes
+    /// included).
+    pub fn trace_path_key(&self, key: &TraceKey, uops: u64) -> PathBuf {
+        let stem: String = key
+            .stem
             .chars()
             .map(|c| {
-                if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_' | '+') {
                     c
                 } else {
                     '_'
@@ -611,7 +705,7 @@ impl TraceStore {
             .collect();
         self.dir.join(format!(
             "{stem}-{:016x}-{uops}u.v{TRACE_FORMAT_VERSION}.{TRACE_EXT}",
-            spec_fingerprint(spec)
+            key.fingerprint
         ))
     }
 
@@ -621,7 +715,12 @@ impl TraceStore {
     /// deleted so the next [`TraceStore::save`] replaces them. A hit bumps the
     /// file's modification time, which is what [`TraceStore::sweep`] evicts by.
     pub fn load(&self, spec: &WorkloadSpec, uops: u64) -> Option<TraceBuffer> {
-        let path = self.trace_path(spec, uops);
+        self.load_key(&TraceKey::for_spec(spec), uops)
+    }
+
+    /// [`TraceStore::load`] for an arbitrary [`TraceKey`] (mixes included).
+    pub fn load_key(&self, key: &TraceKey, uops: u64) -> Option<TraceBuffer> {
+        let path = self.trace_path_key(key, uops);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
@@ -639,8 +738,8 @@ impl TraceStore {
         };
         // The budget is counted in committed µ-ops: recordings of wrong-path
         // workloads hold extra (non-committing) burst µ-ops beyond it.
-        let identity_ok = decoded.fingerprint == spec_fingerprint(spec)
-            && decoded.seed == spec.seed
+        let identity_ok = decoded.fingerprint == key.fingerprint
+            && decoded.seed == key.seed
             && decoded.buffer.committed_len() as u64 == uops;
         if !identity_ok {
             self.remove_invalid(&path, &"identity mismatch (stale recording)");
@@ -658,15 +757,20 @@ impl TraceStore {
     /// Persists a recording of `(spec, uops)` via write-to-temporary +
     /// atomic rename, and returns the final path.
     pub fn save(&self, spec: &WorkloadSpec, uops: u64, buf: &TraceBuffer) -> io::Result<PathBuf> {
+        self.save_key(&TraceKey::for_spec(spec), uops, buf)
+    }
+
+    /// [`TraceStore::save`] for an arbitrary [`TraceKey`] (mixes included).
+    pub fn save_key(&self, key: &TraceKey, uops: u64, buf: &TraceBuffer) -> io::Result<PathBuf> {
         static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
-        let path = self.trace_path(spec, uops);
+        let path = self.trace_path_key(key, uops);
         let tmp = self.dir.join(format!(
             ".tmp-{:016x}-{}-{}",
-            spec_fingerprint(spec),
+            key.fingerprint,
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        fs::write(&tmp, encode_trace(spec, buf))?;
+        fs::write(&tmp, encode_trace_key(key, buf))?;
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
             Err(e) => {
@@ -685,6 +789,20 @@ impl TraceStore {
         }
         let buf = TraceBuffer::record(spec, uops);
         let _ = self.save(spec, uops, &buf);
+        (buf, false)
+    }
+
+    /// The mix counterpart of [`TraceStore::load_or_record`]: loads the
+    /// recording of `(mix, uops)` keyed by the mix fingerprint, or records
+    /// the interleaved stream and persists it (best-effort). The flag is
+    /// `true` on a store hit.
+    pub fn load_or_record_mix(&self, mix: &crate::MixSpec, uops: u64) -> (TraceBuffer, bool) {
+        let key = TraceKey::for_mix(mix);
+        if let Some(buf) = self.load_key(&key, uops) {
+            return (buf, true);
+        }
+        let buf = mix.record(uops);
+        let _ = self.save_key(&key, uops, &buf);
         (buf, false)
     }
 

@@ -137,6 +137,83 @@ pub struct WrongPathConfig {
     pub update_predictor: bool,
 }
 
+/// How a shared value-prediction infrastructure is divided between the
+/// contexts of a multi-programmed trace.
+///
+/// The policy is consumed in two places: the pipeline records it on its
+/// [`MixConfig`] (and flushes front-end fetch continuity at context switches),
+/// and sharded predictors (the BeBoP `ShardedTable`-backed block D-VTAGE)
+/// use it to decide how per-context accesses map onto their storage. For a
+/// single-context trace (every µ-op carries ASID 0) all three policies are
+/// exactly equivalent — the policy only matters once a second context exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SharingPolicy {
+    /// One fully shared predictor: every context indexes the whole table with
+    /// the same hash, so contexts alias (and destructively interfere) freely.
+    /// This is the paper's single-program model extended verbatim.
+    #[default]
+    Shared,
+    /// The table's shards are partitioned between contexts: context `c` may
+    /// only index its own shard range, so cross-context interference is
+    /// structurally impossible (at the cost of each context seeing a smaller
+    /// table).
+    Partitioned,
+    /// Entries are shared but tagged with the owning context: indexing is
+    /// identical to [`SharingPolicy::Shared`], tags are extended with the
+    /// ASID, so a context misses (rather than mispredicts) on another
+    /// context's entries and reallocates them.
+    Tagged,
+}
+
+impl SharingPolicy {
+    /// All policies, in report order.
+    pub const ALL: [SharingPolicy; 3] = [
+        SharingPolicy::Shared,
+        SharingPolicy::Partitioned,
+        SharingPolicy::Tagged,
+    ];
+
+    /// The display label used in reports and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SharingPolicy::Shared => "shared",
+            SharingPolicy::Partitioned => "partitioned",
+            SharingPolicy::Tagged => "tagged",
+        }
+    }
+}
+
+/// Multi-programmed (mix) execution configuration.
+///
+/// When present on a [`PipelineConfig`], the pipeline treats changes of
+/// [`bebop_isa::DynUop::asid`] in its input stream as context switches: the
+/// front-end fetch continuity (current fetch group, fetch-block adjacency) is
+/// flushed per `flush_on_switch`, the switch is counted, and per-context
+/// statistics are split in `SimStats::contexts`. Single-context traces never
+/// switch, so a mix-configured pipeline over an ASID-0-only stream behaves
+/// bit-identically to one configured without.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MixConfig {
+    /// How the value-prediction infrastructure is shared between contexts
+    /// (recorded here for reporting; sharded predictors carry their own copy).
+    pub sharing: SharingPolicy,
+    /// Flush front-end fetch state (fetch group, block adjacency) at context
+    /// switches, modelling the fetch redirect of a real context switch. The
+    /// default (`true` via [`MixConfig::for_policy`]) is the realistic model.
+    pub flush_on_switch: bool,
+}
+
+impl MixConfig {
+    /// The standard mix configuration for a sharing policy: fetch state is
+    /// flushed at every context switch.
+    pub fn for_policy(sharing: SharingPolicy) -> Self {
+        MixConfig {
+            sharing,
+            flush_on_switch: true,
+        }
+    }
+}
+
 /// Full pipeline configuration, mirroring Table I of the paper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
@@ -188,6 +265,9 @@ pub struct PipelineConfig {
     /// Wrong-path execution mode (None = wrong-path µ-ops are skipped for
     /// free, the paper's model).
     pub wrong_path: Option<WrongPathConfig>,
+    /// Multi-programmed execution mode (None = the trace is assumed
+    /// single-context; ASID changes are still counted but never flush).
+    pub mix: Option<MixConfig>,
 }
 
 impl PipelineConfig {
@@ -218,6 +298,7 @@ impl PipelineConfig {
             btb_entries: 8192,
             ras_entries: 32,
             wrong_path: None,
+            mix: None,
         }
     }
 
@@ -266,6 +347,15 @@ impl PipelineConfig {
         self.wrong_path = Some(WrongPathConfig { update_predictor });
         self
     }
+
+    /// Returns this configuration with multi-programmed (mix) execution
+    /// enabled under the given sharing policy (fetch state flushed at
+    /// context switches).
+    #[must_use]
+    pub fn with_mix(mut self, sharing: SharingPolicy) -> Self {
+        self.mix = Some(MixConfig::for_policy(sharing));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -308,5 +398,18 @@ mod tests {
     fn eole_n_width_is_configurable() {
         assert_eq!(PipelineConfig::eole_n_60(8).issue_width, 8);
         assert_eq!(PipelineConfig::eole_n_60(8).name, "EOLE_8_60");
+    }
+
+    #[test]
+    fn mix_config_defaults_and_labels() {
+        let c = PipelineConfig::baseline_vp_6_60();
+        assert!(c.mix.is_none(), "mix mode is opt-in");
+        let m = c.with_mix(SharingPolicy::Partitioned);
+        let mix = m.mix.expect("mix enabled");
+        assert_eq!(mix.sharing, SharingPolicy::Partitioned);
+        assert!(mix.flush_on_switch);
+        assert_eq!(SharingPolicy::default(), SharingPolicy::Shared);
+        let labels: Vec<_> = SharingPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["shared", "partitioned", "tagged"]);
     }
 }

@@ -42,11 +42,15 @@ mod vp_iface;
 
 pub use branch::{BranchPredictorUnit, BranchStats, Btb, ReturnAddressStack, Tage, TageConfig};
 pub use cache::{MemStats, MemoryHierarchy, SetAssocCache};
-pub use config::{EoleConfig, FuConfig, MemConfig, PipelineConfig, WrongPathConfig};
+pub use config::{
+    EoleConfig, FuConfig, MemConfig, MixConfig, PipelineConfig, SharingPolicy, WrongPathConfig,
+};
 pub use pipeline::Pipeline;
 pub use prefetch::StridePrefetcher;
 pub use resources::{OccupancyRing, SlotPool};
-pub use stats::{gmean, EoleStats, SimStats, VpStats, WrongPathStats};
+pub use stats::{
+    gmean, ContextStats, EoleStats, SimStats, VpStats, WrongPathStats, MAX_SIM_CONTEXTS,
+};
 pub use vp_iface::{
     NoValuePredictor, PerfectValuePredictor, PredictCtx, SquashCause, SquashInfo, ValuePredictor,
 };

@@ -37,7 +37,7 @@ use crate::branch::{BranchPredictorUnit, TageConfig};
 use crate::cache::MemoryHierarchy;
 use crate::config::PipelineConfig;
 use crate::resources::{OccupancyRing, SlotPool};
-use crate::stats::SimStats;
+use crate::stats::{SimStats, MAX_SIM_CONTEXTS};
 use crate::vp_iface::{PredictCtx, SquashCause, SquashInfo, ValuePredictor};
 use bebop_isa::{fetch_block_pc, DynUop, ExecClass, UopKind, NUM_ARCH_REGS};
 use std::collections::VecDeque;
@@ -68,9 +68,12 @@ struct PendingTrain {
 const MAX_FETCH_BLOCKS: usize = 8;
 
 /// Committed-µ-op horizon of the pollution-attribution heuristic: a value
-/// misprediction within this many commits of a polluting wrong-path train is
-/// counted as `WrongPathStats::pollution_mispredicts`. See that field's
-/// documentation for why this is a heuristic, not ground truth.
+/// misprediction within this many commits of a polluting wrong-path train *of
+/// the same context* is counted as `WrongPathStats::pollution_mispredicts`
+/// (the window is kept per context so a burst spanning a quantum boundary of
+/// a multi-programmed trace cannot charge another context's mispredicts to
+/// pollution). See that field's documentation for why this is a heuristic,
+/// not ground truth.
 const POLLUTION_WINDOW: u32 = 64;
 
 /// An in-progress wrong-path episode: a mispredicted branch whose burst is
@@ -171,9 +174,17 @@ pub struct Pipeline {
 
     // Wrong-path execution state.
     wrong_path: Option<WrongPathEpisode>,
-    /// Committed µ-ops remaining in the pollution-attribution window (armed on
-    /// every polluting wrong-path train).
-    pollution_window: u32,
+    /// Committed µ-ops remaining in the pollution-attribution window, *per
+    /// context* (armed on every polluting wrong-path train of that context).
+    /// A single shared window would leak attribution across a context switch:
+    /// a burst of context A arming the window just before a quantum boundary
+    /// would charge context B's unrelated early mispredicts to pollution.
+    /// Each context's window is armed by its own wrong-path trains and
+    /// consumed by its own commits only.
+    pollution_window: [u32; MAX_SIM_CONTEXTS],
+
+    // Multi-programming state: the context of the last committed µ-op.
+    cur_asid: u8,
 
     stats: SimStats,
 }
@@ -224,7 +235,8 @@ impl Pipeline {
             last_commit: 0,
             pending_train: VecDeque::new(),
             wrong_path: None,
-            pollution_window: 0,
+            pollution_window: [0; MAX_SIM_CONTEXTS],
+            cur_asid: 0,
             stats: SimStats::default(),
             cfg,
         }
@@ -285,11 +297,27 @@ impl Pipeline {
     /// Processes one committed (correct-path) µ-op.
     fn step<P: ValuePredictor + ?Sized>(&mut self, uop: &DynUop, predictor: &mut P) {
         let cfg_vp = self.cfg.value_prediction;
+        let ctx_slot = SimStats::context_slot(uop.asid);
 
         // A wrong-path episode ends at the first correct-path µ-op: the
         // mispredicted branch has resolved, and the squash — deferred so the
         // predictor could observe the wrong-path fetches first — lands now.
         self.resolve_wrong_path(predictor);
+
+        // ---- Context switch ----------------------------------------------------
+        // A change of ASID between committed µ-ops is a quantum boundary of a
+        // multi-programmed trace. Fetch continuity never spans it: the next
+        // context starts a fresh fetch group (when the mix mode says to
+        // flush), exactly like a taken redirect. Single-context traces carry
+        // ASID 0 throughout and never reach this branch.
+        if uop.asid != self.cur_asid {
+            self.cur_asid = uop.asid;
+            self.stats.context_switches += 1;
+            if self.cfg.mix.map(|m| m.flush_on_switch).unwrap_or(false) {
+                self.fetch_resume = self.fetch_resume.max(self.group.cycle + 1);
+                self.last_block_pc = None;
+            }
+        }
 
         // ---- Fetch -------------------------------------------------------------
         let fetch_cycle = self.fetch(uop);
@@ -322,20 +350,24 @@ impl Pipeline {
         let free_imm = self.cfg.free_load_immediates && uop.uop.kind() == UopKind::LoadImm;
         if cfg_vp && uop.vp_eligible() {
             self.stats.vp.eligible += 1;
+            self.stats.contexts[ctx_slot].vp.eligible += 1;
             let ctx = PredictCtx {
                 seq: uop.seq,
                 fetch_block_pc: block_pc,
                 new_fetch_block: new_block,
                 global_history: self.bpu.global_history(),
                 path_history: self.bpu.path_history(),
+                asid: uop.asid,
             };
             predicted = predictor.predict(&ctx, uop);
             if predicted.is_some() {
                 self.stats.vp.predicted += 1;
+                self.stats.contexts[ctx_slot].vp.predicted += 1;
             }
         }
         if free_imm {
             self.stats.vp.free_load_immediates += 1;
+            self.stats.contexts[ctx_slot].vp.free_load_immediates += 1;
         }
         let predicted_used = predicted.is_some();
         let prediction_correct = predicted.map(|v| v == uop.value).unwrap_or(false);
@@ -470,12 +502,14 @@ impl Pipeline {
         // ---- Flushes --------------------------------------------------------------------------
         if branch_mispredicted {
             self.stats.branch_flushes += 1;
+            self.stats.contexts[ctx_slot].branch_flushes += 1;
             self.fetch_resume = self.fetch_resume.max(complete_cycle + 1);
             let info = SquashInfo {
                 flush_seq: uop.seq,
                 flush_pc: uop.pc,
                 next_pc: uop.next_pc(),
                 cause: SquashCause::BranchMispredict,
+                asid: uop.asid,
             };
             if self.cfg.wrong_path.is_some() {
                 // Wrong-path mode: the burst following this branch in the
@@ -491,13 +525,19 @@ impl Pipeline {
             }
         }
         if predicted_used && !prediction_correct {
-            if self.pollution_window > 0 {
+            // Pollution attribution is gated per context: only a polluting
+            // wrong-path train of *this* µ-op's context within the window
+            // counts, so a burst spanning a context switch cannot charge the
+            // next context's unrelated mispredicts to pollution.
+            if self.pollution_window[ctx_slot] > 0 {
                 self.stats.wrong_path.pollution_mispredicts += 1;
             }
             // Validation at commit detects the wrong value and squashes everything
             // younger than this µ-op.
             self.stats.vp_flushes += 1;
             self.stats.vp.incorrect += 1;
+            self.stats.contexts[ctx_slot].vp_flushes += 1;
+            self.stats.contexts[ctx_slot].vp.incorrect += 1;
             self.fetch_resume = self.fetch_resume.max(commit_cycle + 1);
             predictor.squash(&SquashInfo {
                 flush_seq: uop.seq,
@@ -508,9 +548,11 @@ impl Pipeline {
                     uop.pc
                 },
                 cause: SquashCause::ValueMispredict,
+                asid: uop.asid,
             });
         } else if predicted_used {
             self.stats.vp.correct += 1;
+            self.stats.contexts[ctx_slot].vp.correct += 1;
         }
 
         // ---- Deferred training --------------------------------------------------------------------
@@ -524,10 +566,13 @@ impl Pipeline {
 
         // ---- Accounting -----------------------------------------------------------------------------
         self.stats.uops += 1;
+        self.stats.contexts[ctx_slot].uops += 1;
         if uop.is_last_uop() {
             self.stats.insts += 1;
+            self.stats.contexts[ctx_slot].insts += 1;
         }
-        self.pollution_window = self.pollution_window.saturating_sub(1);
+        // Only this context's commits consume its attribution window.
+        self.pollution_window[ctx_slot] = self.pollution_window[ctx_slot].saturating_sub(1);
 
         // Keep the bandwidth pools bounded: nothing can ever be allocated below the
         // current fetch cycle again.
@@ -604,6 +649,7 @@ impl Pipeline {
                 new_fetch_block: new_block,
                 global_history: self.bpu.global_history(),
                 path_history: self.bpu.path_history(),
+                asid: uop.asid,
             };
             predicted = predictor.predict(&ctx, uop);
             if predicted.is_some() {
@@ -648,7 +694,11 @@ impl Pipeline {
             if wp_cfg.update_predictor && self.cfg.value_prediction && uop.vp_eligible() {
                 predictor.train_wrong_path(uop, uop.value, predicted);
                 self.stats.wrong_path.vp_trains += 1;
-                self.pollution_window = POLLUTION_WINDOW;
+                // Arm the attribution window of the burst's own context only:
+                // wrong-path µ-ops carry the ASID of the mispredicting
+                // context, and its pollution must not be charged to whichever
+                // context happens to commit next after a quantum boundary.
+                self.pollution_window[SimStats::context_slot(uop.asid)] = POLLUTION_WINDOW;
             }
         }
     }

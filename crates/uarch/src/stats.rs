@@ -70,6 +70,34 @@ pub struct WrongPathStats {
     pub pollution_mispredicts: u64,
 }
 
+/// Number of per-context statistics slots carried by [`SimStats`].
+///
+/// Multi-programmed traces with more contexts than this fold the surplus into
+/// the last slot, so the per-context totals always sum to the aggregate
+/// counters regardless of context count. Four covers every mix the harness
+/// runs (pairs, plus headroom).
+pub const MAX_SIM_CONTEXTS: usize = 4;
+
+/// Per-context slice of a multi-programmed simulation run.
+///
+/// Every counter here is the per-ASID share of the equally named aggregate
+/// [`SimStats`] field: summed over all slots they reproduce the aggregate
+/// exactly ([`SimStats::context_totals_consistent`]). Single-context runs
+/// accumulate everything in slot 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// µ-ops committed by this context.
+    pub uops: u64,
+    /// Macro-instructions committed by this context.
+    pub insts: u64,
+    /// Branch-misprediction flushes charged to this context.
+    pub branch_flushes: u64,
+    /// Value-misprediction flushes charged to this context.
+    pub vp_flushes: u64,
+    /// Value-prediction statistics of this context's µ-ops.
+    pub vp: VpStats,
+}
+
 /// EOLE statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EoleStats {
@@ -104,9 +132,38 @@ pub struct SimStats {
     pub eole: EoleStats,
     /// Wrong-path execution statistics.
     pub wrong_path: WrongPathStats,
+    /// Context switches observed in the µ-op stream (changes of
+    /// [`bebop_isa::DynUop::asid`] between consecutive committed µ-ops; 0 for
+    /// single-context traces).
+    pub context_switches: u64,
+    /// Per-context split of the committed-path counters (see
+    /// [`ContextStats`]); context `c` accumulates in slot
+    /// `min(c, MAX_SIM_CONTEXTS - 1)`.
+    pub contexts: [ContextStats; MAX_SIM_CONTEXTS],
 }
 
 impl SimStats {
+    /// The statistics slot a context's counters accumulate in.
+    pub fn context_slot(asid: u8) -> usize {
+        (asid as usize).min(MAX_SIM_CONTEXTS - 1)
+    }
+
+    /// Returns `true` when the per-context splits sum exactly to the
+    /// aggregate committed-path counters — the invariant the pipeline
+    /// maintains by construction, asserted by the mix experiments and CI.
+    pub fn context_totals_consistent(&self) -> bool {
+        let sum = |f: fn(&ContextStats) -> u64| self.contexts.iter().map(f).sum::<u64>();
+        sum(|c| c.uops) == self.uops
+            && sum(|c| c.insts) == self.insts
+            && sum(|c| c.branch_flushes) == self.branch_flushes
+            && sum(|c| c.vp_flushes) == self.vp_flushes
+            && sum(|c| c.vp.eligible) == self.vp.eligible
+            && sum(|c| c.vp.predicted) == self.vp.predicted
+            && sum(|c| c.vp.correct) == self.vp.correct
+            && sum(|c| c.vp.incorrect) == self.vp.incorrect
+            && sum(|c| c.vp.free_load_immediates) == self.vp.free_load_immediates
+    }
+
     /// Committed µ-ops per cycle.
     pub fn uop_ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -222,6 +279,26 @@ mod tests {
         assert!((v.accuracy() - 0.9).abs() < 1e-12);
         assert_eq!(VpStats::default().coverage(), 0.0);
         assert_eq!(VpStats::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn context_slots_clamp_and_totals_check() {
+        assert_eq!(SimStats::context_slot(0), 0);
+        assert_eq!(SimStats::context_slot(3), 3);
+        assert_eq!(SimStats::context_slot(200), MAX_SIM_CONTEXTS - 1);
+
+        let mut s = SimStats {
+            uops: 10,
+            insts: 6,
+            ..Default::default()
+        };
+        assert!(!s.context_totals_consistent(), "unsplit counters must fail");
+        s.contexts[0].uops = 4;
+        s.contexts[1].uops = 6;
+        s.contexts[0].insts = 6;
+        assert!(s.context_totals_consistent());
+        s.contexts[1].vp.correct = 1;
+        assert!(!s.context_totals_consistent());
     }
 
     #[test]

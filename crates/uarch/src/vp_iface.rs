@@ -29,6 +29,10 @@ pub struct PredictCtx {
     pub global_history: u64,
     /// Folded path history.
     pub path_history: u64,
+    /// Address-space identifier of the context being predicted (0 for
+    /// single-program traces). Sharing-policy-aware predictors use it to
+    /// partition or tag their storage; everything else may ignore it.
+    pub asid: u8,
 }
 
 /// Why the pipeline flushed.
@@ -52,6 +56,10 @@ pub struct SquashInfo {
     pub next_pc: u64,
     /// The cause of the flush.
     pub cause: SquashCause,
+    /// Address-space identifier of the flushing µ-op's context (0 for
+    /// single-program traces); sharing-policy-aware predictors need it to
+    /// re-derive the context-folded block keys of `flush_pc`/`next_pc`.
+    pub asid: u8,
 }
 
 /// A value predictor as seen by the pipeline.
@@ -153,6 +161,7 @@ mod tests {
             new_fetch_block: true,
             global_history: 0,
             path_history: 0,
+            asid: 0,
         }
     }
 
@@ -179,6 +188,7 @@ mod tests {
             flush_pc: 0x100,
             next_pc: 0x104,
             cause: SquashCause::ValueMispredict,
+            asid: 0,
         });
     }
 }

@@ -468,6 +468,7 @@ mod tests {
             new_fetch_block: false,
             global_history: ghist,
             path_history: 0,
+            asid: 0,
         }
     }
 
@@ -601,6 +602,7 @@ mod tests {
             flush_pc: 0x100,
             next_pc: 0x104,
             cause: bebop_uarch::SquashCause::ValueMispredict,
+            asid: 0,
         });
         // After the squash the chain restarts from the retired last value (40).
         assert_eq!(d.predict(&ctx(0), &uop(22, 0x100, 48)), Some(48));

@@ -98,6 +98,7 @@ mod tests {
             new_fetch_block: false,
             global_history: ghist,
             path_history: 0,
+            asid: 0,
         }
     }
 

@@ -125,6 +125,7 @@ mod tests {
             new_fetch_block: false,
             global_history: 0,
             path_history: 0,
+            asid: 0,
         }
     }
 

@@ -42,6 +42,7 @@ mod dvtage;
 mod fpc;
 mod hybrid;
 mod last_value;
+mod sharded;
 mod stride;
 mod vtage;
 
@@ -49,6 +50,7 @@ pub use dvtage::{DVtage, DVtageConfig};
 pub use fpc::{ForwardProbabilisticCounter, FpcParams};
 pub use hybrid::VtageStrideHybrid;
 pub use last_value::LastValuePredictor;
+pub use sharded::{ShardCounters, ShardedTable};
 pub use stride::{StridePredictor, TwoDeltaStridePredictor};
 pub use vtage::{Vtage, VtageConfig};
 

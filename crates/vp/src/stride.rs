@@ -314,6 +314,7 @@ mod tests {
             new_fetch_block: false,
             global_history: 0,
             path_history: 0,
+            asid: 0,
         }
     }
 
@@ -393,6 +394,7 @@ mod tests {
             flush_pc: 0x300,
             next_pc: 0x304,
             cause: bebop_uarch::SquashCause::ValueMispredict,
+            asid: 0,
         });
         assert_eq!(p.predict(&ctx(), &uop(5, 0x300, 20)), Some(20));
     }

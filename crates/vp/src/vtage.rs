@@ -361,6 +361,7 @@ mod tests {
             new_fetch_block: false,
             global_history: ghist,
             path_history: 0,
+            asid: 0,
         }
     }
 
@@ -436,6 +437,7 @@ mod tests {
             flush_pc: 0x400,
             next_pc: 0x404,
             cause: bebop_uarch::SquashCause::BranchMispredict,
+            asid: 0,
         });
         // Training after the squash silently ignores the dropped entry.
         v.train(&u, 1, None);

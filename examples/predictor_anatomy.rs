@@ -30,6 +30,7 @@ fn ctx(seq: u64, pc: u64, new_block: bool) -> PredictCtx {
         new_fetch_block: new_block,
         global_history: 0,
         path_history: 0,
+        asid: 0,
     }
 }
 

@@ -4,7 +4,10 @@
 //! seeded-case harness: each property is checked against a few hundred
 //! deterministic pseudo-random inputs (failures are reproducible by case index).
 
-use bebop::{BlockDVtageConfig, FifoUpdateQueue, SpecWindowSize, SpeculativeWindow, MAX_NPRED};
+use bebop::{
+    BlockDVtageConfig, FifoUpdateQueue, MixSpec, ShardedTable, SpecWindowSize, SpeculativeWindow,
+    MAX_NPRED,
+};
 use bebop_isa::{byte_index_in_block, fetch_block_pc, FetchBlockLayout};
 use bebop_trace::{TraceGenerator, WorkloadSpec};
 use bebop_uarch::{gmean, OccupancyRing, SlotPool};
@@ -224,6 +227,92 @@ fn prop_trace_determinism() {
                 assert_eq!(w[1].pc, w[0].next_pc(), "case {case}");
             } else {
                 assert_eq!(w[1].pc, w[0].pc, "case {case}");
+            }
+        }
+    }
+}
+
+/// The sharded table's flat → (shard, slot) mapping is a bijection for
+/// arbitrary geometries: coordinates stay in bounds, distinct flat indices
+/// map to distinct coordinates, every coordinate is hit, and writes through
+/// flat indices read back losslessly whatever the shard count.
+#[test]
+fn prop_sharded_index_mapping_is_a_bijection() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let shards = 1usize << r.gen_range(0u32..6);
+        let slots = r.gen_range(1usize..48);
+        let total = shards * slots;
+        let mut t: ShardedTable<u64> = ShardedTable::new(0, total, shards);
+        assert_eq!(t.len(), total);
+        assert_eq!(t.num_shards(), shards);
+        assert_eq!(t.slots_per_shard(), slots);
+
+        let mut seen = vec![false; total];
+        for flat in 0..total {
+            let (s, i) = t.locate(flat);
+            assert!(s < shards && i < slots, "case {case}: out of bounds");
+            let coord = s * slots + i;
+            assert!(!seen[coord], "case {case}: coordinate hit twice");
+            seen[coord] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "case {case}: coordinate missed");
+
+        // Writes through flat indices are lossless (no aliasing).
+        for flat in 0..total {
+            *t.get_mut(flat) = flat as u64 ^ 0xABCD;
+        }
+        for flat in 0..total {
+            assert_eq!(*t.get(flat), flat as u64 ^ 0xABCD, "case {case}");
+        }
+    }
+}
+
+/// Mix interleaving conserves every context's µ-op stream: filtering the mix
+/// by ASID recovers the plain per-context stream in order (all fields except
+/// the global renumbering), global sequence numbers are contiguous, and the
+/// committed-µ-op split across contexts is fair to within one quantum.
+#[test]
+fn prop_mix_interleaving_conserves_per_context_streams() {
+    for case in 0..40 {
+        let mut r = rng(case);
+        let n_ctx = r.gen_range(1usize..4);
+        let quantum = r.gen_range(1u64..400);
+        let specs: Vec<WorkloadSpec> = (0..n_ctx)
+            .map(|i| WorkloadSpec::new(format!("prop-mix-{i}"), r.gen()))
+            .collect();
+        let mix = MixSpec::new("prop", quantum, specs.clone());
+        let stream: Vec<_> = mix.generator().take(3_000).collect();
+
+        let mut committed = vec![0i64; n_ctx];
+        for (i, u) in stream.iter().enumerate() {
+            assert_eq!(u.seq, i as u64, "case {case}: seq not contiguous");
+            assert!((u.asid as usize) < n_ctx, "case {case}: bad ASID");
+            if !u.wrong_path {
+                committed[u.asid as usize] += 1;
+            }
+        }
+        let (min, max) = (
+            *committed.iter().min().unwrap(),
+            *committed.iter().max().unwrap(),
+        );
+        assert!(
+            max - min <= quantum as i64,
+            "case {case}: unfair split {committed:?} for quantum {quantum}"
+        );
+
+        for (asid, spec) in specs.iter().enumerate() {
+            let got: Vec<_> = stream
+                .iter()
+                .filter(|u| u.asid as usize == asid)
+                .cloned()
+                .collect();
+            let want: Vec<_> = TraceGenerator::new(spec).take(got.len()).collect();
+            for (g, w) in got.iter().zip(&want) {
+                let mut w2 = *w;
+                w2.seq = g.seq;
+                w2.asid = asid as u8;
+                assert_eq!(*g, w2, "case {case}: context {asid} diverged");
             }
         }
     }

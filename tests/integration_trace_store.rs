@@ -8,10 +8,10 @@
 //! workload) must be rejected and transparently regenerated, never replayed.
 
 use bebop::{
-    configs, run_source, spec_fingerprint, PipelineConfig, PredictorKind, TraceBuffer, TraceStore,
-    UopSource, WorkloadSpec,
+    configs, run_source, spec_fingerprint, MixSpec, PipelineConfig, PredictorKind, TraceBuffer,
+    TraceStore, UopSource, WorkloadSpec,
 };
-use bebop_trace::{decode_trace, encode_trace, StoreError, TRACE_FORMAT_VERSION};
+use bebop_trace::{decode_trace, encode_trace, StoreError, TraceKey, TRACE_FORMAT_VERSION};
 use std::fs;
 use std::path::PathBuf;
 
@@ -162,6 +162,95 @@ fn corrupt_and_stale_files_regenerate_transparently() {
         3_000,
     );
     assert_eq!(live, replay, "regenerated trace must match live generation");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// FNV-1a, reimplemented here so the tests can re-checksum deliberately
+/// doctored headers (same function as the store's).
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Rewrites the header checksum of a trace file whose header was edited, so
+/// version-downgrade tests exercise the *version* check, not the checksum.
+fn rechecksum(bytes: &mut [u8]) {
+    let sum = fnv(fnv(0xcbf2_9ce4_8422_2325, &bytes[..56]), &bytes[64..]);
+    bytes[56..64].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[test]
+fn format_v2_files_are_rejected_and_regenerated() {
+    // A valid v3 file downgraded to version 2 (checksum made consistent, so
+    // only the version differs) must be rejected with VersionMismatch — a
+    // v2-era recording has no ASID lane and meta-only wrong-path semantics,
+    // so mis-replaying it silently would corrupt mix experiments — and the
+    // store must delete it and regenerate transparently.
+    assert_eq!(TRACE_FORMAT_VERSION, 3, "update this test on a format bump");
+    let (dir, store) = tmp_store("v2");
+    let spec = WorkloadSpec::named_demo("v2-reject");
+    let (original, _) = store.load_or_record(&spec, 2_000);
+    let path = store.trace_path(&spec, 2_000);
+
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    rechecksum(&mut bytes);
+    assert!(
+        matches!(decode_trace(&bytes), Err(StoreError::VersionMismatch(2))),
+        "a checksum-consistent v2 file must fail on the version, not the checksum"
+    );
+    fs::write(&path, &bytes).unwrap();
+
+    assert!(store.load(&spec, 2_000).is_none(), "v2 file must miss");
+    assert!(!path.exists(), "v2 file must be deleted");
+    let (rebuilt, loaded) = store.load_or_record(&spec, 2_000);
+    assert!(!loaded, "regeneration, not a load");
+    assert_eq!(
+        original.replay().collect::<Vec<_>>(),
+        rebuilt.replay().collect::<Vec<_>>()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mix_recordings_round_trip_with_their_asid_lane() {
+    let (dir, store) = tmp_store("mix");
+    let mix = MixSpec::pair(
+        500,
+        bebop::spec_benchmark("171.swim"),
+        bebop::spec_benchmark("429.mcf"),
+    );
+
+    let (cold, was_hit) = store.load_or_record_mix(&mix, UOPS);
+    assert!(!was_hit, "first materialisation must record");
+    let (warm, was_hit) = store.load_or_record_mix(&mix, UOPS);
+    assert!(was_hit, "second materialisation must load");
+
+    // Bit-identity including the ASID lane: the store round trip preserves
+    // every context tag.
+    let live: Vec<_> = mix.generator().take(cold.len()).collect();
+    let cold_replay: Vec<_> = cold.replay().collect();
+    let warm_replay: Vec<_> = warm.replay().collect();
+    assert_eq!(live, cold_replay, "recording diverged from live interleave");
+    assert_eq!(cold_replay, warm_replay, "store round trip lost fidelity");
+    assert!(warm_replay.iter().any(|u| u.asid == 1), "tags must survive");
+
+    // And end-to-end: a mix-mode simulation of the loaded trace matches one
+    // of the freshly recorded trace bit-for-bit.
+    let pipe = PipelineConfig::baseline_vp_6_60().with_mix(bebop::SharingPolicy::Tagged);
+    let kind = PredictorKind::BlockDVtage(configs::medium_mix(bebop::SharingPolicy::Tagged, 2));
+    let a = run_source(UopSource::Replay(&cold), &pipe, &kind, UOPS);
+    let b = run_source(UopSource::Replay(&warm), &pipe, &kind, UOPS);
+    assert_eq!(a, b, "mix simulation diverged through the store");
+
+    // Mix keys never alias plain workload keys.
+    let key = TraceKey::for_mix(&mix);
+    for spec in &mix.contexts {
+        assert_ne!(key.fingerprint, spec_fingerprint(spec));
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 
