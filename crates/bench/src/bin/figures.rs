@@ -8,6 +8,8 @@
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-dir .trace-store
 //! cargo run -p bebop-bench --release --bin figures -- --wrong-path --subset
 //! cargo run -p bebop-bench --release --bin figures -- --mix --subset
+//! cargo run -p bebop-bench --release --bin figures -- --sweep .sweep --subset
+//! cargo run -p bebop-bench --release --bin figures -- --sweep .sweep --resume --subset
 //! ```
 //!
 //! Each experiment prints the series the paper reports: per-benchmark speedups and
@@ -42,8 +44,17 @@
 //! delta of each policy against fully shared storage, context-switch counts
 //! and cross-context predictor-entry steals (also landed in the `--json`
 //! report as `mix_context_switches` / `mix_shard_steals`).
+//!
+//! `--sweep <dir>` runs the crash-safe resumable predictor-geometry sweep
+//! (see `bebop_bench::sweep`): the grid expands into content-addressed jobs,
+//! every completed cell is journaled incrementally into `<dir>`, and a killed
+//! run continues with `--resume` re-simulating only in-flight cells. The
+//! `--fault-*` flags attach a deterministic fault-injection plan (store I/O
+//! errors, short reads, corruption, per-job panics) for robustness testing;
+//! sweep cell counts land in the `--json` report as `sweep_cells_*`.
 
 use bebop::SpeedupSummary;
+use bebop_bench::sweep::{run_sweep_jobs, SweepOptions, SweepRequest};
 use bebop_bench::*;
 use std::time::Instant;
 
@@ -56,6 +67,33 @@ struct Options {
     trace_cache: TraceCachePolicy,
     trace_dir: Option<String>,
     trace_dir_mb: Option<u64>,
+    sweep_dir: Option<String>,
+    resume: bool,
+    sweep_cells: Option<usize>,
+    fault_seed: Option<u64>,
+    fault_read: u64,
+    fault_write: u64,
+    fault_short: u64,
+    fault_corrupt: u64,
+    fault_panic_jobs: Vec<u64>,
+}
+
+/// Exits with a usage error (a bad flag is the caller's mistake, not a crash).
+fn fail(msg: &str) -> ! {
+    eprintln!("[figures] {msg}");
+    std::process::exit(2);
+}
+
+/// The next argument of `flag`, parsed; exits with a clear message otherwise.
+fn arg_value<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+) -> T {
+    match args.next().map(|v| v.parse::<T>()) {
+        Some(Ok(v)) => v,
+        _ => fail(&format!("{flag} needs {what}")),
+    }
 }
 
 fn parse_args() -> Options {
@@ -68,44 +106,61 @@ fn parse_args() -> Options {
         trace_cache: TraceCachePolicy::default(),
         trace_dir: None,
         trace_dir_mb: None,
+        sweep_dir: None,
+        resume: false,
+        sweep_cells: None,
+        fault_seed: None,
+        fault_read: 0,
+        fault_write: 0,
+        fault_short: 0,
+        fault_corrupt: 0,
+        fault_panic_jobs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--uops" => {
-                opts.uops = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--uops needs a number");
-            }
-            "--json" => {
-                opts.json = Some(args.next().expect("--json needs a path"));
-            }
-            "--threads" => {
-                opts.threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
-            }
+            "--uops" => opts.uops = arg_value(&mut args, "--uops", "a number"),
+            "--json" => opts.json = Some(arg_value(&mut args, "--json", "a path")),
+            "--threads" => opts.threads = arg_value(&mut args, "--threads", "a number"),
             "--serial" => opts.threads = 1,
             "--subset" => opts.subset = true,
             "--no-trace-cache" => opts.trace_cache = TraceCachePolicy::disabled(),
-            "--trace-dir" => {
-                opts.trace_dir = Some(args.next().expect("--trace-dir needs a path"));
-            }
+            "--trace-dir" => opts.trace_dir = Some(arg_value(&mut args, "--trace-dir", "a path")),
             "--trace-dir-mb" => {
-                opts.trace_dir_mb = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--trace-dir-mb needs a number of MiB"),
-                );
+                opts.trace_dir_mb = Some(arg_value(&mut args, "--trace-dir-mb", "a number of MiB"));
             }
             "--trace-cache-mb" => {
-                let mb = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--trace-cache-mb needs a number of MiB");
+                let mb = arg_value(&mut args, "--trace-cache-mb", "a number of MiB");
                 opts.trace_cache = TraceCachePolicy::capped_mb(mb);
+            }
+            "--sweep" => opts.sweep_dir = Some(arg_value(&mut args, "--sweep", "a directory")),
+            "--resume" => opts.resume = true,
+            "--sweep-cells" => {
+                opts.sweep_cells = Some(arg_value(&mut args, "--sweep-cells", "a cell count"));
+            }
+            "--fault-seed" => {
+                opts.fault_seed = Some(arg_value(&mut args, "--fault-seed", "a seed"));
+            }
+            "--fault-read-1in" => {
+                opts.fault_read = arg_value(&mut args, "--fault-read-1in", "a rate denominator");
+            }
+            "--fault-write-1in" => {
+                opts.fault_write = arg_value(&mut args, "--fault-write-1in", "a rate denominator");
+            }
+            "--fault-short-read-1in" => {
+                opts.fault_short =
+                    arg_value(&mut args, "--fault-short-read-1in", "a rate denominator");
+            }
+            "--fault-corrupt-1in" => {
+                opts.fault_corrupt =
+                    arg_value(&mut args, "--fault-corrupt-1in", "a rate denominator");
+            }
+            "--fault-panic-job" => {
+                opts.fault_panic_jobs.push(arg_value(
+                    &mut args,
+                    "--fault-panic-job",
+                    "a job index",
+                ));
             }
             "--all" => opts.which.push("all".to_string()),
             "--wrong-path" => opts.which.push("wrongpath".to_string()),
@@ -113,7 +168,9 @@ fn parse_args() -> Options {
             other => opts.which.push(other.trim_start_matches("--").to_string()),
         }
     }
-    if opts.which.is_empty() {
+    // A bare `--sweep <dir>` invocation runs only the sweep; the classic
+    // figure set still defaults to `--all` when nothing was selected.
+    if opts.which.is_empty() && opts.sweep_dir.is_none() {
         opts.which.push("all".to_string());
     }
     const KNOWN: [&str; 14] = [
@@ -134,16 +191,32 @@ fn parse_args() -> Options {
     ];
     for w in &opts.which {
         if !KNOWN.contains(&w.as_str()) {
-            eprintln!(
-                "[figures] unknown experiment '{w}' (known: {})",
+            fail(&format!(
+                "unknown experiment '{w}' (known: {})",
                 KNOWN.join(", ")
-            );
-            std::process::exit(2);
+            ));
         }
     }
     if opts.trace_dir_mb.is_some() && opts.trace_dir.is_none() {
-        eprintln!("[figures] --trace-dir-mb bounds the on-disk store: it requires --trace-dir");
-        std::process::exit(2);
+        fail("--trace-dir-mb bounds the on-disk store: it requires --trace-dir");
+    }
+    if opts.sweep_dir.is_none() {
+        if opts.resume {
+            fail("--resume continues a sweep directory: it requires --sweep <dir>");
+        }
+        if opts.sweep_cells.is_some() {
+            fail("--sweep-cells bounds a sweep run: it requires --sweep <dir>");
+        }
+    }
+    let has_fault_flags = opts.fault_read != 0
+        || opts.fault_write != 0
+        || opts.fault_short != 0
+        || opts.fault_corrupt != 0
+        || !opts.fault_panic_jobs.is_empty();
+    if has_fault_flags && opts.fault_seed.is_none() {
+        // Panic-job injection is positional and needs no randomness, but one
+        // explicit seed for the whole plan keeps every faulty run replayable.
+        fail("fault injection is deterministic: the --fault-* flags require --fault-seed");
     }
     opts
 }
@@ -218,6 +291,17 @@ struct MixAgg {
     shard_steals: u64,
 }
 
+/// Aggregated sweep-engine counters for the perf JSON (zero when no `--sweep`
+/// ran; old reports parse the missing fields as zero).
+#[derive(Default)]
+struct SweepAgg {
+    cells_total: u64,
+    cells_resumed: u64,
+    cells_executed: u64,
+    cells_quarantined: u64,
+    io_retries: u64,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
@@ -228,7 +312,8 @@ fn write_json(
     store: Option<&bebop_bench::TraceStore>,
     wp: &WrongPathAgg,
     mix: &MixAgg,
-) {
+    sweep: &SweepAgg,
+) -> std::io::Result<()> {
     // The worker-pool width the experiments actually fanned out with (the
     // flattened (config × workload) task lists of the sweeps saturate it).
     let threads = bebop::par::worker_threads();
@@ -271,6 +356,25 @@ fn write_json(
         mix.context_switches
     ));
     out.push_str(&format!("  \"mix_shard_steals\": {},\n", mix.shard_steals));
+    // Sweep-engine traffic (zero unless --sweep ran): the resumed/executed
+    // split is the crash-safety ledger — resumed cells cost no simulation.
+    out.push_str(&format!(
+        "  \"sweep_cells_total\": {},\n",
+        sweep.cells_total
+    ));
+    out.push_str(&format!(
+        "  \"sweep_cells_resumed\": {},\n",
+        sweep.cells_resumed
+    ));
+    out.push_str(&format!(
+        "  \"sweep_cells_executed\": {},\n",
+        sweep.cells_executed
+    ));
+    out.push_str(&format!(
+        "  \"sweep_cells_quarantined\": {},\n",
+        sweep.cells_quarantined
+    ));
+    out.push_str(&format!("  \"sweep_io_retries\": {},\n", sweep.io_retries));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_uops\": {total_uops},\n"));
     out.push_str(&format!(
@@ -293,8 +397,9 @@ fn write_json(
         ));
     }
     out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("failed to write the JSON perf report");
+    perf_json::write_atomic(path.as_ref(), &out)?;
     eprintln!("[figures] perf report written to {path}");
+    Ok(())
 }
 
 fn main() {
@@ -319,8 +424,20 @@ fn main() {
     ];
     let needs_traces = SIMULATING.iter().any(|e| wants(&opts, e));
     let store = opts.trace_dir.as_ref().map(|dir| {
-        bebop_bench::TraceStore::open(dir)
-            .unwrap_or_else(|e| panic!("--trace-dir {dir}: cannot open trace store: {e}"))
+        let mut st = bebop_bench::TraceStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("[figures] --trace-dir {dir}: cannot open trace store: {e}");
+            std::process::exit(1);
+        });
+        if let Some(seed) = opts.fault_seed {
+            st.set_faults(
+                FaultPlan::seeded(seed)
+                    .with_read_errors(opts.fault_read)
+                    .with_write_errors(opts.fault_write)
+                    .with_short_reads(opts.fault_short)
+                    .with_corruption(opts.fault_corrupt),
+            );
+        }
+        st
     });
     let start = Instant::now();
     let set = if needs_traces {
@@ -614,8 +731,78 @@ fn main() {
         });
     }
 
+    let mut sweep_agg = SweepAgg::default();
+    if let Some(dir) = &opts.sweep_dir {
+        let dir = std::path::PathBuf::from(dir);
+        // Starting over an existing sweep must be a conscious decision: an
+        // accidental re-launch into a half-finished directory is exactly the
+        // crash-resume scenario, so demand the flag that names it.
+        if dir.join("journal.bbl").exists() && !opts.resume {
+            fail(&format!(
+                "{} already holds a sweep journal; pass --resume to continue it \
+                 (or use a fresh directory)",
+                dir.display()
+            ));
+        }
+        let req = SweepRequest::bebop_geometry(specs.clone(), uops);
+        let mut sweep_opts = SweepOptions {
+            max_cells: opts.sweep_cells,
+            ..SweepOptions::default()
+        };
+        if let Some(seed) = opts.fault_seed {
+            let mut plan = FaultPlan::seeded(seed);
+            for &job in &opts.fault_panic_jobs {
+                plan = plan.with_panic_job(job);
+            }
+            sweep_opts.faults = Some(plan);
+        }
+        timed(&mut report, "sweep", || {
+            let out = run_sweep_jobs(&req, &dir, store.as_ref(), &sweep_opts).unwrap_or_else(|e| {
+                eprintln!("[figures] sweep in {} failed: {e}", dir.display());
+                std::process::exit(1);
+            });
+            println!(
+                "\n=== Sweep: {} ({} cells = {} workloads × {} variants, {uops} µ-ops each) ===",
+                req.name,
+                out.total,
+                req.workloads.len(),
+                req.variants.len()
+            );
+            println!("    {}", out.summary_line());
+            for (cell, reason) in &out.quarantined {
+                println!("    quarantined {cell}: {reason}");
+            }
+            if out.complete {
+                println!(
+                    "    ledger: {} (complete)",
+                    out.ledger_path.as_ref().expect("complete sweep").display()
+                );
+                println!(
+                    "    gmean speedup over {} (completed workloads only):",
+                    req.variants[0].0
+                );
+                for (label, speedup, n) in out.variant_speedups(&req) {
+                    println!("    {label:<28} gmean {speedup:.3}  ({n} workloads)");
+                }
+            } else {
+                println!(
+                    "    sweep incomplete: {} cell(s) remaining — re-run with --resume to continue",
+                    out.total - out.resumed - out.executed
+                );
+            }
+            sweep_agg = SweepAgg {
+                cells_total: out.total as u64,
+                cells_resumed: out.resumed as u64,
+                cells_executed: out.executed as u64,
+                cells_quarantined: out.quarantined.len() as u64,
+                io_retries: out.io_retries,
+            };
+            out.simulated_uops
+        });
+    }
+
     if let Some(path) = &opts.json {
-        write_json(
+        if let Err(e) = write_json(
             path,
             &report,
             &opts,
@@ -624,6 +811,10 @@ fn main() {
             store.as_ref(),
             &wp_agg,
             &mix_agg,
-        );
+            &sweep_agg,
+        ) {
+            eprintln!("[figures] cannot write the JSON perf report to {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -32,8 +32,9 @@ use bebop_uarch::{PipelineConfig, SharingPolicy};
 mod trace_set;
 
 pub mod perf_json;
+pub mod sweep;
 
-pub use bebop_trace::{TraceStore, TRACE_FORMAT_VERSION};
+pub use bebop_trace::{FaultPlan, TraceStore, TRACE_FORMAT_VERSION};
 pub use trace_set::{TraceCachePolicy, TraceSet};
 
 /// Number of µ-ops simulated per benchmark when regenerating figures

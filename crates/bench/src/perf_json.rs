@@ -36,8 +36,42 @@ pub struct PerfReport {
     /// Cross-context predictor-entry steals observed by the `--mix`
     /// experiment's sharded tables.
     pub mix_shard_steals: u64,
+    /// Cells in the `--sweep` request (0 when no sweep ran, and for reports
+    /// from before the sweep engine existed).
+    pub sweep_cells_total: u64,
+    /// Sweep cells restored from the journal instead of re-simulated.
+    pub sweep_cells_resumed: u64,
+    /// Sweep cells newly simulated by the run.
+    pub sweep_cells_executed: u64,
+    /// Sweep cells quarantined (panicked configuration).
+    pub sweep_cells_quarantined: u64,
+    /// Transient-I/O retries the sweep engine performed.
+    pub sweep_io_retries: u64,
     /// `(experiment name, µops/sec)` rows, in report order.
     pub experiments: Vec<(String, f64)>,
+}
+
+/// Writes `text` to `path` via a temporary file in the same directory plus an
+/// atomic rename, so a crash mid-write can never leave a torn report for the
+/// perf gate (or a watching dashboard) to choke on.
+pub fn write_atomic(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let mut tmp = dir.map_or_else(std::path::PathBuf::new, |d| d.to_path_buf());
+    tmp.push(format!(
+        ".tmp-{}-{}",
+        path.file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("perf-report"),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 /// Extracts the JSON number following `"key":` in `text`, starting at `from`.
@@ -90,6 +124,15 @@ pub fn parse(text: &str) -> Option<PerfReport> {
     let mix_context_switches =
         number_after(text, "mix_context_switches", 0).map_or(0, |(v, _)| v as u64);
     let mix_shard_steals = number_after(text, "mix_shard_steals", 0).map_or(0, |(v, _)| v as u64);
+    // Optional: reports written before the sweep engine read as 0.
+    let sweep_cells_total = number_after(text, "sweep_cells_total", 0).map_or(0, |(v, _)| v as u64);
+    let sweep_cells_resumed =
+        number_after(text, "sweep_cells_resumed", 0).map_or(0, |(v, _)| v as u64);
+    let sweep_cells_executed =
+        number_after(text, "sweep_cells_executed", 0).map_or(0, |(v, _)| v as u64);
+    let sweep_cells_quarantined =
+        number_after(text, "sweep_cells_quarantined", 0).map_or(0, |(v, _)| v as u64);
+    let sweep_io_retries = number_after(text, "sweep_io_retries", 0).map_or(0, |(v, _)| v as u64);
 
     let exp_at = text.find("\"experiments\"")?;
     let mut experiments = Vec::new();
@@ -114,6 +157,11 @@ pub fn parse(text: &str) -> Option<PerfReport> {
         wrong_path_pollution_mispredicts,
         mix_context_switches,
         mix_shard_steals,
+        sweep_cells_total,
+        sweep_cells_resumed,
+        sweep_cells_executed,
+        sweep_cells_quarantined,
+        sweep_io_retries,
         experiments,
     })
 }
@@ -184,6 +232,21 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
             current.mix_shard_steals,
             baseline.mix_context_switches,
             baseline.mix_shard_steals
+        ));
+    }
+    if baseline.sweep_cells_total > 0 || current.sweep_cells_total > 0 {
+        lines.push(format!(
+            "  sweep: {} cell(s), {} resumed / {} executed / {} quarantined, {} io retry(ies) (baseline {} / {} / {} / {} / {})",
+            current.sweep_cells_total,
+            current.sweep_cells_resumed,
+            current.sweep_cells_executed,
+            current.sweep_cells_quarantined,
+            current.sweep_io_retries,
+            baseline.sweep_cells_total,
+            baseline.sweep_cells_resumed,
+            baseline.sweep_cells_executed,
+            baseline.sweep_cells_quarantined,
+            baseline.sweep_io_retries
         ));
     }
     for (name, base_ups) in &baseline.experiments {
@@ -377,6 +440,70 @@ mod tests {
         // No mix traffic on either side: no mix line.
         let quiet = diff(&old, &old, 0.20);
         assert!(!quiet.lines.iter().any(|l| l.contains("mix:")));
+    }
+
+    #[test]
+    fn sweep_counters_parse_and_default_to_zero() {
+        // Old reports (no sweep fields) parse as zero traffic.
+        let old = parse(&report(1000.0, 1000.0)).expect("parse");
+        assert_eq!(old.sweep_cells_total, 0);
+        assert_eq!(old.sweep_cells_resumed, 0);
+        assert_eq!(old.sweep_cells_executed, 0);
+        assert_eq!(old.sweep_cells_quarantined, 0);
+        assert_eq!(old.sweep_io_retries, 0);
+
+        let with_sweep = r#"{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 1,
+  "uops_per_run": 200000,
+  "benchmarks": 6,
+  "sweep_cells_total": 66,
+  "sweep_cells_resumed": 40,
+  "sweep_cells_executed": 26,
+  "sweep_cells_quarantined": 1,
+  "sweep_io_retries": 3,
+  "total_wall_s": 10.5,
+  "total_uops": 1000,
+  "total_uops_per_sec": 1000.0,
+  "experiments": [
+    {"name": "sweep", "wall_s": 9.5, "uops": 500, "uops_per_sec": 1000.0}
+  ]
+}
+"#;
+        let cur = parse(with_sweep).expect("parse");
+        assert_eq!(cur.sweep_cells_total, 66);
+        assert_eq!(cur.sweep_cells_resumed, 40);
+        assert_eq!(cur.sweep_cells_executed, 26);
+        assert_eq!(cur.sweep_cells_quarantined, 1);
+        assert_eq!(cur.sweep_io_retries, 3);
+        let d = diff(&old, &cur, 0.20);
+        assert!(
+            d.lines
+                .iter()
+                .any(|l| l.contains("66 cell(s), 40 resumed / 26 executed / 1 quarantined")),
+            "{:?}",
+            d.lines
+        );
+        // No sweep traffic on either side: no sweep line.
+        let quiet = diff(&old, &old, 0.20);
+        assert!(!quiet.lines.iter().any(|l| l.contains("sweep:")));
+    }
+
+    #[test]
+    fn write_atomic_replaces_the_file_in_one_step() {
+        let dir = std::env::temp_dir().join(format!("bebop-perfjson-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        write_atomic(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temporary debris left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        // A missing parent directory is a clean error, not a panic.
+        assert!(write_atomic(&dir.join("no/such/dir/r.json"), "x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -61,8 +61,8 @@ mod update_queue;
 pub use bebop_vp::MAX_TAGGED;
 pub use block_dvtage::{BlockDVtage, BlockDVtageConfig};
 pub use driver::{
-    compare, run_one, run_source, run_source_with, AnyPredictor, BenchResult, PredictorKind,
-    SpeedupSummary, UopSource, UopStream,
+    compare, panic_reason, run_one, run_source, run_source_checked, run_source_with, AnyPredictor,
+    BenchResult, PredictorKind, SpeedupSummary, UopSource, UopStream,
 };
 pub use recovery::RecoveryPolicy;
 pub use spec_window::{

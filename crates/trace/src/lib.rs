@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 mod buffer;
+mod fault;
 mod generator;
 mod memory;
 mod mix;
@@ -47,6 +48,7 @@ mod value;
 mod workload;
 
 pub use buffer::{TraceBuffer, TraceCursor};
+pub use fault::FaultPlan;
 pub use generator::TraceGenerator;
 pub use memory::{AddressPattern, AddressState};
 pub use mix::{MixGenerator, MixSpec, MAX_MIX_CONTEXTS};

@@ -91,7 +91,7 @@ const CHECKSUM_OFFSET: usize = 56;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
@@ -642,6 +642,8 @@ pub struct TraceStore {
     hits: AtomicU64,
     misses: AtomicU64,
     delete_errors: AtomicU64,
+    read_errors: AtomicU64,
+    faults: Option<crate::FaultPlan>,
 }
 
 impl TraceStore {
@@ -654,7 +656,18 @@ impl TraceStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             delete_errors: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            faults: None,
         })
+    }
+
+    /// Attaches a deterministic fault-injection plan to this store's read and
+    /// write paths (see [`crate::FaultPlan`]). Injected read errors degrade to
+    /// misses, injected short reads and corruption exercise the
+    /// reject-and-regenerate path, and injected write errors surface as real
+    /// `io::Error`s from [`TraceStore::save`] for callers to retry or absorb.
+    pub fn set_faults(&mut self, plan: crate::FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Deletes an invalid (corrupt, stale or mismatched) trace file, logging —
@@ -721,9 +734,23 @@ impl TraceStore {
     /// [`TraceStore::load`] for an arbitrary [`TraceKey`] (mixes included).
     pub fn load_key(&self, key: &TraceKey, uops: u64) -> Option<TraceBuffer> {
         let path = self.trace_path_key(key, uops);
-        let bytes = match fs::read(&path) {
+        let read = fs::read(&path).and_then(|b| match &self.faults {
+            Some(plan) => plan.filter_read(b),
+            None => Ok(b),
+        });
+        let bytes = match read {
             Ok(b) => b,
-            Err(_) => {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(e) => {
+                // A file that exists but cannot be read (permissions, I/O
+                // error, injected fault) degrades to a miss: the caller
+                // regenerates, the run survives. Counted separately from
+                // plain misses so a sick filesystem is visible.
+                self.read_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[trace-store] cannot read {}: {e}", path.display());
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
@@ -770,6 +797,9 @@ impl TraceStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
+        if let Some(plan) = &self.faults {
+            plan.check_write()?;
+        }
         fs::write(&tmp, encode_trace_key(key, buf))?;
         match fs::rename(&tmp, &path) {
             Ok(()) => Ok(path),
@@ -822,6 +852,14 @@ impl TraceStore {
     /// should look at — the cache still works, it just cannot heal itself.
     pub fn delete_errors(&self) -> u64 {
         self.delete_errors.load(Ordering::Relaxed)
+    }
+
+    /// Reads that failed for a reason other than the file being absent
+    /// (permissions, I/O errors, injected faults) since open. Each is also a
+    /// miss — the caller regenerated — but a non-zero count means the store
+    /// directory itself is unhealthy.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
     }
 
     /// Total bytes of trace files currently in the store.
@@ -1149,6 +1187,88 @@ mod tests {
         assert_ne!(spec_fingerprint(&spec), spec_fingerprint(&plain));
         assert!(store.load(&plain, 1_500).is_none());
         assert_eq!(store.delete_errors(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_read_is_rejected_and_regenerated_like_corruption() {
+        // A crash can tear a file mid-write outside the store's own atomic
+        // rename protocol (torn directory copy, truncated cache restore). A
+        // short read of such a file must behave exactly like a bad checksum:
+        // reject, delete, regenerate — never an error that kills the run.
+        let dir = tmp_dir("shortread");
+        let store = TraceStore::open(&dir).expect("open");
+        let spec = WorkloadSpec::named_demo("short-demo");
+        let (_, loaded) = store.load_or_record(&spec, 1_200);
+        assert!(!loaded);
+        let path = store.trace_path(&spec, 1_200);
+        let bytes = fs::read(&path).unwrap();
+
+        // Truncated inside the payload (the classic mid-write crash shape).
+        fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        assert!(store.load(&spec, 1_200).is_none(), "short read must miss");
+        assert!(!path.exists(), "truncated file must be deleted");
+        let (_, loaded) = store.load_or_record(&spec, 1_200);
+        assert!(!loaded, "regeneration, not a stale hit");
+        assert!(path.exists(), "healed recording must be persisted");
+
+        // Truncated inside the header, and to zero length.
+        for cut in [40usize, 0] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(store.load(&spec, 1_200).is_none(), "cut={cut} must miss");
+            assert!(!path.exists(), "cut={cut} file must be deleted");
+            store
+                .save(&spec, 1_200, &TraceBuffer::record(&spec, 1_200))
+                .unwrap();
+        }
+        assert_eq!(
+            store.read_errors(),
+            0,
+            "short reads are rejects, not I/O errors"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_degrade_and_heal_instead_of_failing() {
+        let dir = tmp_dir("faults");
+        let mut store = TraceStore::open(&dir).expect("open");
+        // Aggressive rates so every path fires within a few operations.
+        store.set_faults(
+            crate::FaultPlan::seeded(11)
+                .with_read_errors(3)
+                .with_short_reads(3)
+                .with_corruption(3)
+                .with_write_errors(3),
+        );
+        let spec = WorkloadSpec::named_demo("fault-demo");
+        let reference = TraceBuffer::record(&spec, 1_000);
+
+        let mut hits = 0;
+        for _ in 0..24 {
+            // Saves may fail with the injected write error: retry until one
+            // lands (the sweep engine's policy, inlined).
+            if !store.trace_path(&spec, 1_000).exists() {
+                while store.save(&spec, 1_000, &reference).is_err() {}
+            }
+            // Loads may miss (injected read error → degrade; injected short
+            // read / corruption → reject-and-delete) but must never return a
+            // recording that differs from the reference.
+            if let Some(buf) = store.load(&spec, 1_000) {
+                hits += 1;
+                assert_eq!(
+                    buf.replay().collect::<Vec<_>>(),
+                    reference.replay().collect::<Vec<_>>(),
+                    "a fault must never surface as silently wrong data"
+                );
+            }
+        }
+        assert!(hits > 0, "some loads must survive the fault plan");
+        assert!(store.misses() > 0, "some loads must be degraded by it");
+        assert!(
+            store.read_errors() > 0,
+            "injected read errors must be counted"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
