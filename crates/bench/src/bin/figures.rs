@@ -70,12 +70,15 @@ struct Options {
     sweep_dir: Option<String>,
     resume: bool,
     sweep_cells: Option<usize>,
+    cell_timeout_ms: Option<u64>,
+    checkpoint_every: u64,
     fault_seed: Option<u64>,
     fault_read: u64,
     fault_write: u64,
     fault_short: u64,
     fault_corrupt: u64,
     fault_panic_jobs: Vec<u64>,
+    fault_stall_jobs: Vec<u64>,
 }
 
 /// Exits with a usage error (a bad flag is the caller's mistake, not a crash).
@@ -109,12 +112,15 @@ fn parse_args() -> Options {
         sweep_dir: None,
         resume: false,
         sweep_cells: None,
+        cell_timeout_ms: None,
+        checkpoint_every: 0,
         fault_seed: None,
         fault_read: 0,
         fault_write: 0,
         fault_short: 0,
         fault_corrupt: 0,
         fault_panic_jobs: Vec::new(),
+        fault_stall_jobs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -138,6 +144,20 @@ fn parse_args() -> Options {
             "--sweep-cells" => {
                 opts.sweep_cells = Some(arg_value(&mut args, "--sweep-cells", "a cell count"));
             }
+            "--cell-timeout" => {
+                opts.cell_timeout_ms = Some(arg_value(
+                    &mut args,
+                    "--cell-timeout",
+                    "a budget in milliseconds",
+                ));
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = arg_value(
+                    &mut args,
+                    "--checkpoint-every",
+                    "an interval in committed µ-ops",
+                );
+            }
             "--fault-seed" => {
                 opts.fault_seed = Some(arg_value(&mut args, "--fault-seed", "a seed"));
             }
@@ -159,6 +179,13 @@ fn parse_args() -> Options {
                 opts.fault_panic_jobs.push(arg_value(
                     &mut args,
                     "--fault-panic-job",
+                    "a job index",
+                ));
+            }
+            "--fault-stall-job" => {
+                opts.fault_stall_jobs.push(arg_value(
+                    &mut args,
+                    "--fault-stall-job",
                     "a job index",
                 ));
             }
@@ -207,12 +234,24 @@ fn parse_args() -> Options {
         if opts.sweep_cells.is_some() {
             fail("--sweep-cells bounds a sweep run: it requires --sweep <dir>");
         }
+        if opts.cell_timeout_ms.is_some() {
+            fail("--cell-timeout supervises sweep cells: it requires --sweep <dir>");
+        }
+        if opts.checkpoint_every != 0 {
+            fail("--checkpoint-every snapshots sweep cells: it requires --sweep <dir>");
+        }
+    }
+    if !opts.fault_stall_jobs.is_empty() && opts.cell_timeout_ms.is_none() {
+        // A stalled cell only exits through the watchdog's cancellation; a
+        // stall without a watchdog is a deliberate hang, not a test.
+        fail("--fault-stall-job stalls a cell until the watchdog cancels it: it requires --cell-timeout");
     }
     let has_fault_flags = opts.fault_read != 0
         || opts.fault_write != 0
         || opts.fault_short != 0
         || opts.fault_corrupt != 0
-        || !opts.fault_panic_jobs.is_empty();
+        || !opts.fault_panic_jobs.is_empty()
+        || !opts.fault_stall_jobs.is_empty();
     if has_fault_flags && opts.fault_seed.is_none() {
         // Panic-job injection is positional and needs no randomness, but one
         // explicit seed for the whole plan keeps every faulty run replayable.
@@ -299,6 +338,8 @@ struct SweepAgg {
     cells_resumed: u64,
     cells_executed: u64,
     cells_quarantined: u64,
+    cells_timed_out: u64,
+    checkpoint_resumes: u64,
     io_retries: u64,
 }
 
@@ -374,6 +415,14 @@ fn write_json(
         "  \"sweep_cells_quarantined\": {},\n",
         sweep.cells_quarantined
     ));
+    out.push_str(&format!(
+        "  \"sweep_cells_timed_out\": {},\n",
+        sweep.cells_timed_out
+    ));
+    out.push_str(&format!(
+        "  \"sweep_checkpoint_resumes\": {},\n",
+        sweep.checkpoint_resumes
+    ));
     out.push_str(&format!("  \"sweep_io_retries\": {},\n", sweep.io_retries));
     out.push_str(&format!("  \"total_wall_s\": {total_wall:.6},\n"));
     out.push_str(&format!("  \"total_uops\": {total_uops},\n"));
@@ -403,6 +452,10 @@ fn write_json(
 }
 
 fn main() {
+    // Ctrl-C / SIGTERM set a flag the simulation loops poll: in-flight cells
+    // write a final checkpoint, the journal keeps every completed cell, and
+    // the run exits cleanly for `--resume` to continue.
+    bebop::install_shutdown_handler();
     let opts = parse_args();
     bebop::par::set_threads(opts.threads);
     let specs = workloads(opts.subset);
@@ -747,12 +800,17 @@ fn main() {
         let req = SweepRequest::bebop_geometry(specs.clone(), uops);
         let mut sweep_opts = SweepOptions {
             max_cells: opts.sweep_cells,
+            cell_timeout: opts.cell_timeout_ms.map(std::time::Duration::from_millis),
+            checkpoint_every: opts.checkpoint_every,
             ..SweepOptions::default()
         };
         if let Some(seed) = opts.fault_seed {
             let mut plan = FaultPlan::seeded(seed);
             for &job in &opts.fault_panic_jobs {
                 plan = plan.with_panic_job(job);
+            }
+            for &job in &opts.fault_stall_jobs {
+                plan = plan.with_stall_job(job);
             }
             sweep_opts.faults = Some(plan);
         }
@@ -769,8 +827,15 @@ fn main() {
                 req.variants.len()
             );
             println!("    {}", out.summary_line());
-            for (cell, reason) in &out.quarantined {
-                println!("    quarantined {cell}: {reason}");
+            for (cell, kind, reason) in &out.quarantined {
+                println!("    quarantined {cell}: {kind:?}: {reason}");
+            }
+            if out.checkpoint_resumes > 0 {
+                // CI greps this line in the kill-resume smoke.
+                println!(
+                    "    checkpoint resume: {} cell(s) resumed from checkpoints carrying {} committed µ-ops",
+                    out.checkpoint_resumes, out.checkpoint_resumed_uops
+                );
             }
             if out.complete {
                 println!(
@@ -795,6 +860,12 @@ fn main() {
                 cells_resumed: out.resumed as u64,
                 cells_executed: out.executed as u64,
                 cells_quarantined: out.quarantined.len() as u64,
+                cells_timed_out: out
+                    .quarantined
+                    .iter()
+                    .filter(|(_, kind, _)| *kind == bebop_bench::sweep::ReasonKind::Timeout)
+                    .count() as u64,
+                checkpoint_resumes: out.checkpoint_resumes,
                 io_retries: out.io_retries,
             };
             out.simulated_uops

@@ -185,6 +185,14 @@ impl ValuePredictor for AnyPredictor {
     fn storage_bits(&self) -> u64 {
         dispatch!(self, p => p.storage_bits())
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        dispatch!(self, p => p.save_state())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        dispatch!(self, p => p.restore_state(bytes))
+    }
 }
 
 /// Where a simulation draws its dynamic µ-op stream from.
@@ -413,23 +421,19 @@ impl SpeedupSummary {
         if v.is_empty() {
             return 1.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("speedups are finite"));
+        v.sort_by(f64::total_cmp);
         let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         v[idx]
     }
 
     /// The benchmark with the highest speedup.
     pub fn best(&self) -> Option<&(String, f64)> {
-        self.per_bench
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        self.per_bench.iter().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// The benchmark with the lowest speedup.
     pub fn worst(&self) -> Option<&(String, f64)> {
-        self.per_bench
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        self.per_bench.iter().min_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 

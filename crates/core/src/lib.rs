@@ -50,21 +50,30 @@
 #![warn(missing_debug_implementations)]
 
 mod block_dvtage;
+mod checkpoint;
 pub mod configs;
 mod driver;
 pub mod par;
 mod recovery;
+mod resume;
+mod shutdown;
 pub mod slot_simd;
 mod spec_window;
 mod update_queue;
 
 pub use bebop_vp::MAX_TAGGED;
 pub use block_dvtage::{BlockDVtage, BlockDVtageConfig};
+pub use checkpoint::{CheckpointError, SimCheckpoint, CHECKPOINT_FORMAT_VERSION, CHECKPOINT_MAGIC};
 pub use driver::{
     compare, panic_reason, run_one, run_source, run_source_checked, run_source_with, AnyPredictor,
     BenchResult, PredictorKind, SpeedupSummary, UopSource, UopStream,
 };
 pub use recovery::RecoveryPolicy;
+pub use resume::{
+    run_fingerprint, run_source_resumable, ResumableRun, ResumeOptions, RunControl, RunOutcome,
+    CHUNK_UOPS,
+};
+pub use shutdown::{install_shutdown_handler, set_shutdown_requested, shutdown_requested};
 pub use spec_window::{
     SlotPredictions, SpecWindowEntry, SpecWindowSize, SpeculativeWindow, MAX_NPRED,
 };

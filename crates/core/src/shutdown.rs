@@ -1,0 +1,77 @@
+//! Cooperative shutdown on SIGINT/SIGTERM.
+//!
+//! Long runs should not lose work to a Ctrl-C: the signal handler only sets a
+//! flag, and the simulation loops poll it at chunk granularity to write a
+//! final checkpoint and flush journals before exiting. The handler is
+//! installed with the raw libc `signal(2)` entry point (declared here — the
+//! container has no `libc` crate) and does nothing but store into an
+//! `AtomicBool`, which is async-signal-safe.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent). Call once at the top of
+/// a long-running binary; afterwards [`shutdown_requested`] reports whether a
+/// termination signal has arrived.
+pub fn install_shutdown_handler() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if !INSTALLED.swap(true, Ordering::SeqCst) {
+        imp::install();
+    }
+}
+
+/// Whether SIGINT or SIGTERM has been received since
+/// [`install_shutdown_handler`] was called.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets or clears the shutdown flag directly. Tests use this to exercise the
+/// final-checkpoint path without delivering a real signal; binaries may set
+/// it to request an orderly stop from their own logic.
+pub fn set_shutdown_requested(v: bool) {
+    SHUTDOWN.store(v, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trip() {
+        install_shutdown_handler();
+        install_shutdown_handler(); // idempotent
+        set_shutdown_requested(false);
+        assert!(!shutdown_requested());
+        set_shutdown_requested(true);
+        assert!(shutdown_requested());
+        set_shutdown_requested(false);
+    }
+}

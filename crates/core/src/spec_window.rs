@@ -7,7 +7,7 @@
 //! needed) and read associatively by partial tag, with an internal sequence number
 //! selecting the most recent matching entry.
 
-use bebop_isa::SeqNum;
+use bebop_isa::{SeqNum, StateError, StateReader, StateResult, StateWriter};
 use std::collections::VecDeque;
 
 /// The maximum number of prediction slots per entry (`Npred`) supported by the
@@ -214,6 +214,73 @@ impl SpeculativeWindow {
     /// Clears the window entirely.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Serialises the window contents (entries only; capacity and tag width
+    /// are configuration and are re-derived at construction).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            w.u64(e.partial_tag);
+            w.u64(e.seq);
+            for v in &e.values {
+                w.opt_u64(*v);
+            }
+        }
+    }
+
+    /// Restores window contents saved by [`SpeculativeWindow::save_state`]
+    /// onto a window of identical configuration.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        let n = r.len_of(24)?;
+        if let Some(cap) = self.capacity {
+            if n > cap {
+                return Err(StateError("speculative window overfilled"));
+            }
+        }
+        if self.is_disabled() && n > 0 {
+            return Err(StateError("disabled speculative window has entries"));
+        }
+        self.entries.clear();
+        let mut last_seq = None;
+        for _ in 0..n {
+            let partial_tag = r.u64()?;
+            let seq = r.u64()?;
+            if last_seq.is_some_and(|p| seq <= p) {
+                return Err(StateError("speculative window entries out of order"));
+            }
+            last_seq = Some(seq);
+            let mut values = [None; MAX_NPRED];
+            for v in values.iter_mut() {
+                *v = r.opt_u64()?;
+            }
+            self.entries.push_back(SpecWindowEntry {
+                partial_tag,
+                seq,
+                values,
+            });
+        }
+        Ok(())
+    }
+
+    /// Invariant check (`simcheck` feature): entry keys — the sequence number
+    /// of the first µ-op of each block instance — must be strictly increasing
+    /// (and therefore unique), or the associative most-recent-match lookup is
+    /// ambiguous.
+    #[cfg(feature = "simcheck")]
+    pub fn check_unique_keys(&self) {
+        let mut prev: Option<SeqNum> = None;
+        for e in &self.entries {
+            if let Some(p) = prev {
+                assert!(
+                    e.seq > p,
+                    "simcheck: speculative window: duplicate or out-of-order entry key \
+                     (seq {} after {p})",
+                    e.seq
+                );
+            }
+            prev = Some(e.seq);
+        }
     }
 }
 

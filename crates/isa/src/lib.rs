@@ -44,6 +44,7 @@ mod dynuop;
 mod inst;
 mod program;
 mod reg;
+mod state;
 mod uop;
 
 pub use block::{
@@ -53,4 +54,5 @@ pub use dynuop::{BranchInfo, BranchKind, DynUop, MemAccess, SeqNum};
 pub use inst::{InstBuilder, StaticInst, MAX_INST_BYTES, MAX_UOPS_PER_INST};
 pub use program::{BasicBlock, BasicBlockId, Program, ProgramBuilder, Terminator};
 pub use reg::{ArchReg, RegClass, NUM_ARCH_REGS, NUM_FP_REGS, NUM_INT_REGS};
+pub use state::{StateError, StateReader, StateResult, StateWriter};
 pub use uop::{ExecClass, Uop, UopKind, MAX_SRCS};

@@ -1,0 +1,512 @@
+//! Little-endian byte codec for simulation-state snapshots.
+//!
+//! The checkpoint/restore layer (see `bebop::checkpoint`) snapshots the
+//! *mutable* state of every simulation component — predictor tables, branch
+//! histories, in-flight windows — into a flat byte payload. Components are
+//! always restored onto a freshly constructed instance of the identical
+//! configuration, so configuration-derived state (masks, geometries, folded
+//! history shapes) is never serialised: only what mutates during a run is.
+//!
+//! [`StateWriter`] appends fixed-width little-endian fields; [`StateReader`]
+//! consumes them in the same order, failing loudly (never panicking) on a
+//! truncated or oversized payload so a corrupt checkpoint is rejected rather
+//! than restored into nonsense.
+
+use crate::dynuop::{BranchKind, DynUop, MemAccess};
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use crate::uop::{Uop, UopKind, MAX_SRCS};
+use std::fmt;
+
+/// Error produced when decoding a state payload fails.
+///
+/// Carries a static description of the violated expectation; the
+/// checkpoint layer wraps it with component context before surfacing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateError(pub &'static str);
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Shorthand for state-decoding results.
+pub type StateResult<T> = Result<T, StateError>;
+
+/// Appends fixed-width little-endian fields to a growing byte payload.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Consumes the writer, returning the accumulated payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64` (two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a collection length as a `u64` (usize-safe on every target).
+    pub fn len_of(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    /// Writes raw bytes verbatim (length must be framed by the caller).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed nested payload.
+    pub fn nested(&mut self, b: &[u8]) {
+        self.len_of(b.len());
+        self.bytes(b);
+    }
+
+    /// Writes an `Option<u64>` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes a dynamic µ-op record (everything [`DynUop`] carries).
+    pub fn dyn_uop(&mut self, u: &DynUop) {
+        self.u64(u.seq);
+        self.u64(u.pc);
+        self.u8(u.inst_len);
+        self.u8(u.uop_idx);
+        self.u8(u.inst_num_uops);
+        self.uop(&u.uop);
+        self.u64(u.value);
+        match u.mem {
+            Some(m) => {
+                self.bool(true);
+                self.u64(m.addr);
+                self.u8(m.size);
+            }
+            None => self.bool(false),
+        }
+        match u.branch {
+            Some(b) => {
+                self.bool(true);
+                self.u8(encode_branch_kind(b.kind));
+                self.bool(b.taken);
+                self.u64(b.target);
+            }
+            None => self.bool(false),
+        }
+        self.bool(u.imm_available_at_decode);
+        self.bool(u.wrong_path);
+        self.u8(u.asid);
+    }
+
+    /// Writes a static µ-op (kind, destination, sources).
+    pub fn uop(&mut self, u: &Uop) {
+        self.u8(encode_uop_kind(u.kind()));
+        self.opt_reg(u.dst());
+        let srcs: Vec<ArchReg> = u.srcs().collect();
+        self.u8(srcs.len() as u8);
+        for s in srcs {
+            self.u16(s.raw());
+        }
+    }
+
+    fn opt_reg(&mut self, r: Option<ArchReg>) {
+        match r {
+            Some(r) => {
+                self.bool(true);
+                self.u16(r.raw());
+            }
+            None => self.bool(false),
+        }
+    }
+}
+
+/// Consumes fixed-width little-endian fields from a state payload.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        StateReader { bytes, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Fails unless the payload was consumed exactly — trailing garbage means
+    /// the payload does not match the component shape it claims to restore.
+    pub fn expect_done(&self) -> StateResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StateError("payload has trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> StateResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StateError("payload truncated"));
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> StateResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> StateResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> StateResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> StateResult<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> StateResult<i64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Reads a `bool` byte, rejecting values other than 0/1.
+    pub fn bool(&mut self) -> StateResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(StateError("invalid bool byte")),
+        }
+    }
+
+    /// Reads a collection length written by [`StateWriter::len_of`], bounded
+    /// by what the remaining payload could possibly hold (each element takes
+    /// at least `min_elem_bytes`), so corrupt lengths fail instead of
+    /// attempting absurd allocations.
+    pub fn len_of(&mut self, min_elem_bytes: usize) -> StateResult<usize> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| StateError("length overflows usize"))?;
+        if min_elem_bytes > 0 && n > self.remaining() / min_elem_bytes {
+            return Err(StateError("length exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed nested payload written by
+    /// [`StateWriter::nested`].
+    pub fn nested(&mut self) -> StateResult<&'a [u8]> {
+        let n = self.len_of(1)?;
+        self.take(n)
+    }
+
+    /// Reads an `Option<u64>`.
+    pub fn opt_u64(&mut self) -> StateResult<Option<u64>> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a dynamic µ-op record written by [`StateWriter::dyn_uop`].
+    pub fn dyn_uop(&mut self) -> StateResult<DynUop> {
+        let seq = self.u64()?;
+        let pc = self.u64()?;
+        let inst_len = self.u8()?;
+        let uop_idx = self.u8()?;
+        let inst_num_uops = self.u8()?;
+        let uop = self.uop()?;
+        let value = self.u64()?;
+        let mem = if self.bool()? {
+            Some(MemAccess {
+                addr: self.u64()?,
+                size: self.u8()?,
+            })
+        } else {
+            None
+        };
+        let branch = if self.bool()? {
+            let kind = decode_branch_kind(self.u8()?)?;
+            let taken = self.bool()?;
+            let target = self.u64()?;
+            Some(crate::dynuop::BranchInfo {
+                kind,
+                taken,
+                target,
+            })
+        } else {
+            None
+        };
+        let imm_available_at_decode = self.bool()?;
+        let wrong_path = self.bool()?;
+        let asid = self.u8()?;
+        let mut u = DynUop::new(seq, pc, inst_len, uop_idx, inst_num_uops, uop, value);
+        u.mem = mem;
+        u.branch = branch;
+        u.imm_available_at_decode = imm_available_at_decode;
+        u.wrong_path = wrong_path;
+        u.asid = asid;
+        Ok(u)
+    }
+
+    /// Reads a static µ-op written by [`StateWriter::uop`].
+    pub fn uop(&mut self) -> StateResult<Uop> {
+        let kind = decode_uop_kind(self.u8()?)?;
+        let dst = self.opt_reg()?;
+        let n = self.u8()? as usize;
+        if n > MAX_SRCS {
+            return Err(StateError("µ-op source count out of range"));
+        }
+        let mut srcs = [ArchReg::int(0); MAX_SRCS];
+        for s in srcs.iter_mut().take(n) {
+            *s = self.reg()?;
+        }
+        Ok(Uop::new(kind, dst, &srcs[..n]))
+    }
+
+    fn opt_reg(&mut self) -> StateResult<Option<ArchReg>> {
+        if self.bool()? {
+            Ok(Some(self.reg()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn reg(&mut self) -> StateResult<ArchReg> {
+        let raw = self.u16()?;
+        if raw >= NUM_ARCH_REGS {
+            return Err(StateError("register index out of range"));
+        }
+        Ok(ArchReg::from_raw(raw))
+    }
+}
+
+fn encode_uop_kind(k: UopKind) -> u8 {
+    match k {
+        UopKind::Alu => 0,
+        UopKind::Mul => 1,
+        UopKind::Div => 2,
+        UopKind::FpAdd => 3,
+        UopKind::FpMul => 4,
+        UopKind::FpDiv => 5,
+        UopKind::Load => 6,
+        UopKind::Store => 7,
+        UopKind::Branch => 8,
+        UopKind::LoadImm => 9,
+        UopKind::Nop => 10,
+    }
+}
+
+fn decode_uop_kind(b: u8) -> StateResult<UopKind> {
+    Ok(match b {
+        0 => UopKind::Alu,
+        1 => UopKind::Mul,
+        2 => UopKind::Div,
+        3 => UopKind::FpAdd,
+        4 => UopKind::FpMul,
+        5 => UopKind::FpDiv,
+        6 => UopKind::Load,
+        7 => UopKind::Store,
+        8 => UopKind::Branch,
+        9 => UopKind::LoadImm,
+        10 => UopKind::Nop,
+        _ => return Err(StateError("invalid µ-op kind byte")),
+    })
+}
+
+fn encode_branch_kind(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 0,
+        BranchKind::Unconditional => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn decode_branch_kind(b: u8) -> StateResult<BranchKind> {
+    Ok(match b {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Unconditional,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        _ => return Err(StateError("invalid branch kind byte")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = StateWriter::new();
+        w.u8(7);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(0x0123_4567_89ab_cdef);
+        w.i64(-42);
+        w.bool(true);
+        w.bool(false);
+        w.opt_u64(Some(99));
+        w.opt_u64(None);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.opt_u64().unwrap(), Some(99));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        r.expect_done().unwrap();
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let mut w = StateWriter::new();
+        w.u64(1);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes[..4]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = StateWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(r.expect_done().is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocation() {
+        let mut w = StateWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes);
+        assert!(r.len_of(8).is_err());
+    }
+
+    #[test]
+    fn dyn_uop_round_trip() {
+        let uop = Uop::new(UopKind::Load, Some(ArchReg::int(3)), &[ArchReg::int(4)]);
+        let mut u = DynUop::new(77, 0x1003, 5, 1, 2, uop, 0xabcdef)
+            .with_mem(0xdead_0000, 8)
+            .with_wrong_path()
+            .with_asid(2);
+        u.imm_available_at_decode = true;
+        let br = DynUop::new(78, 0x2000, 2, 0, 1, Uop::new(UopKind::Branch, None, &[]), 0)
+            .with_branch(BranchKind::Return, true, 0x3000);
+        let mut w = StateWriter::new();
+        w.dyn_uop(&u);
+        w.dyn_uop(&br);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.dyn_uop().unwrap(), u);
+        assert_eq!(r.dyn_uop().unwrap(), br);
+        r.expect_done().unwrap();
+    }
+
+    #[test]
+    fn nested_payload_round_trip() {
+        let mut inner = StateWriter::new();
+        inner.u64(5);
+        let mut w = StateWriter::new();
+        w.nested(&inner.finish());
+        w.u8(9);
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes);
+        let nested = r.nested().unwrap();
+        assert_eq!(StateReader::new(nested).u64().unwrap(), 5);
+        assert_eq!(r.u8().unwrap(), 9);
+    }
+
+    #[test]
+    fn invalid_enum_bytes_are_rejected() {
+        let mut r = StateReader::new(&[200]);
+        assert!(decode_uop_kind(r.u8().unwrap()).is_err());
+        let mut r = StateReader::new(&[77]);
+        assert!(decode_branch_kind(r.u8().unwrap()).is_err());
+        let mut r = StateReader::new(&[3]);
+        assert!(r.bool().is_err());
+    }
+}

@@ -91,13 +91,19 @@ const CHECKSUM_OFFSET: usize = 56;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+/// One FNV-1a round over `bytes`, continuing from hash state `h` (seed with
+/// [`FNV_OFFSET_BASIS`]). Shared by the trace store, the fault injector and
+/// the simulation checkpoint codec in the `bebop` core crate.
+pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
+
+/// The FNV-1a offset basis: the initial hash state for [`fnv1a`].
+pub const FNV_OFFSET_BASIS: u64 = FNV_OFFSET;
 
 /// Version of the *generation behaviour*: the mapping from a [`WorkloadSpec`]
 /// to a µ-op stream. Bump it whenever `TraceGenerator` (or anything it calls —

@@ -1,5 +1,7 @@
 //! Branch target buffer and return-address stack.
 
+use bebop_isa::{StateError, StateReader, StateResult, StateWriter};
+
 /// A set-associative branch target buffer (Table I: 2-way, 8K entries).
 #[derive(Debug, Clone)]
 pub struct Btb {
@@ -49,6 +51,39 @@ impl Btb {
         }
         lines.insert(0, (pc, target));
     }
+
+    /// Serialises the BTB contents (set lines in MRU order) for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.len_of(self.sets.len());
+        for set in &self.sets {
+            w.len_of(set.len());
+            for &(tag, target) in set {
+                w.u64(tag);
+                w.u64(target);
+            }
+        }
+    }
+
+    /// Restores state saved by [`Btb::save_state`] onto a freshly constructed
+    /// BTB of the identical geometry.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        if r.len_of(8)? != self.sets.len() {
+            return Err(StateError("BTB set count mismatch"));
+        }
+        for set in self.sets.iter_mut() {
+            let n = r.len_of(16)?;
+            if n > self.ways {
+                return Err(StateError("BTB set overfilled"));
+            }
+            set.clear();
+            for _ in 0..n {
+                let tag = r.u64()?;
+                let target = r.u64()?;
+                set.push((tag, target));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A bounded return-address stack. Pushing onto a full stack drops the oldest
@@ -89,6 +124,28 @@ impl ReturnAddressStack {
     /// Current depth.
     pub fn depth(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Serialises the stack contents for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.len_of(self.entries.len());
+        for &e in &self.entries {
+            w.u64(e);
+        }
+    }
+
+    /// Restores state saved by [`ReturnAddressStack::save_state`] onto a
+    /// freshly constructed stack of the identical capacity.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        let n = r.len_of(8)?;
+        if n > self.capacity {
+            return Err(StateError("RAS depth exceeds capacity"));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(r.u64()?);
+        }
+        Ok(())
     }
 }
 

@@ -6,7 +6,7 @@ mod tage;
 pub use btb::{Btb, ReturnAddressStack};
 pub use tage::{Tage, TageConfig};
 
-use bebop_isa::{BranchInfo, BranchKind};
+use bebop_isa::{BranchInfo, BranchKind, StateReader, StateResult, StateWriter};
 
 /// Statistics of the branch prediction unit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -124,6 +124,29 @@ impl BranchPredictorUnit {
     /// Prediction statistics.
     pub fn stats(&self) -> BranchStats {
         self.stats
+    }
+
+    /// Serialises the whole unit's mutable state (TAGE, BTB, RAS, stats) for
+    /// checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.tage.save_state(w);
+        self.btb.save_state(w);
+        self.ras.save_state(w);
+        w.u64(self.stats.cond_branches);
+        w.u64(self.stats.cond_mispredicts);
+        w.u64(self.stats.target_mispredicts);
+    }
+
+    /// Restores state saved by [`BranchPredictorUnit::save_state`] onto a
+    /// freshly constructed unit of the identical configuration.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        self.tage.restore_state(r)?;
+        self.btb.restore_state(r)?;
+        self.ras.restore_state(r)?;
+        self.stats.cond_branches = r.u64()?;
+        self.stats.cond_mispredicts = r.u64()?;
+        self.stats.target_mispredicts = r.u64()?;
+        Ok(())
     }
 }
 

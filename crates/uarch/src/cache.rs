@@ -2,6 +2,7 @@
 
 use crate::config::MemConfig;
 use crate::prefetch::StridePrefetcher;
+use bebop_isa::{StateError, StateReader, StateResult, StateWriter};
 
 /// A set-associative cache with true-LRU replacement, tracking only tags (the
 /// simulator needs hit/miss decisions, not data).
@@ -108,6 +109,41 @@ impl SetAssocCache {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Serialises the cache contents (tags in MRU order) and access counters
+    /// for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.len_of(self.sets.len());
+        for set in &self.sets {
+            w.len_of(set.len());
+            for &tag in set {
+                w.u64(tag);
+            }
+        }
+        w.u64(self.accesses);
+        w.u64(self.misses);
+    }
+
+    /// Restores state saved by [`SetAssocCache::save_state`] onto a freshly
+    /// constructed cache of the identical geometry.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        if r.len_of(8)? != self.sets.len() {
+            return Err(StateError("cache set count mismatch"));
+        }
+        for set in self.sets.iter_mut() {
+            let n = r.len_of(8)?;
+            if n > self.ways {
+                return Err(StateError("cache set overfilled"));
+            }
+            set.clear();
+            for _ in 0..n {
+                set.push(r.u64()?);
+            }
+        }
+        self.accesses = r.u64()?;
+        self.misses = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Statistics of the memory hierarchy.
@@ -185,6 +221,33 @@ impl MemoryHierarchy {
     /// Hierarchy statistics.
     pub fn stats(&self) -> MemStats {
         self.stats
+    }
+
+    /// Serialises both cache levels, the prefetcher and the hierarchy
+    /// statistics for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        self.prefetcher.save_state(w);
+        w.u64(self.stats.l1d_accesses);
+        w.u64(self.stats.l1d_misses);
+        w.u64(self.stats.l2_accesses);
+        w.u64(self.stats.l2_misses);
+        w.u64(self.stats.prefetches);
+    }
+
+    /// Restores state saved by [`MemoryHierarchy::save_state`] onto a freshly
+    /// constructed hierarchy of the identical configuration.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        self.l1d.restore_state(r)?;
+        self.l2.restore_state(r)?;
+        self.prefetcher.restore_state(r)?;
+        self.stats.l1d_accesses = r.u64()?;
+        self.stats.l1d_misses = r.u64()?;
+        self.stats.l2_accesses = r.u64()?;
+        self.stats.l2_misses = r.u64()?;
+        self.stats.prefetches = r.u64()?;
+        Ok(())
     }
 }
 

@@ -39,7 +39,10 @@ use crate::config::PipelineConfig;
 use crate::resources::{OccupancyRing, SlotPool};
 use crate::stats::{SimStats, MAX_SIM_CONTEXTS};
 use crate::vp_iface::{PredictCtx, SquashCause, SquashInfo, ValuePredictor};
-use bebop_isa::{fetch_block_pc, DynUop, ExecClass, UopKind, NUM_ARCH_REGS};
+use bebop_isa::{
+    fetch_block_pc, DynUop, ExecClass, StateError, StateReader, StateResult, StateWriter, UopKind,
+    NUM_ARCH_REGS,
+};
 use std::collections::VecDeque;
 
 /// How a µ-op was executed.
@@ -259,28 +262,62 @@ impl Pipeline {
         I: IntoIterator<Item = DynUop>,
         P: ValuePredictor + ?Sized,
     {
+        let mut iter = trace.into_iter();
+        let mut stream_pos = 0u64;
+        self.run_segment(&mut iter, predictor, max_uops, &mut stream_pos);
+        self.finish(predictor)
+    }
+
+    /// Runs the pipeline until the *absolute* committed-µ-op count reaches
+    /// `stop_at_committed` or the stream ends, whichever comes first.
+    ///
+    /// `stream_pos` is incremented once per µ-op pulled from `trace`
+    /// (wrong-path slots included), giving the caller the exact stream cursor
+    /// a checkpoint must record: a resumed run fast-forwards a fresh stream by
+    /// that many `next()` calls and continues bit-identically. The checkpoint
+    /// driver calls this in chunks — committed µ-ops since construction/restore
+    /// are carried in the statistics, so the budget is absolute, not relative.
+    pub fn run_segment<I, P>(
+        &mut self,
+        trace: &mut I,
+        predictor: &mut P,
+        stop_at_committed: u64,
+        stream_pos: &mut u64,
+    ) where
+        I: Iterator<Item = DynUop>,
+        P: ValuePredictor + ?Sized,
+    {
         // Count the budget in u64 rather than `take(max_uops as usize)`:
         // the cast silently truncates >4G-µop budgets on 32-bit targets.
         // The budget counts *committed* µ-ops only: wrong-path burst µ-ops
         // are simulated (or skipped) without consuming it, so a run over a
         // wrong-path trace commits exactly as many µ-ops as one over the
         // equivalent plain trace.
-        let mut committed: u64 = 0;
-        for uop in trace {
-            if committed == max_uops {
+        while self.stats.uops < stop_at_committed {
+            let Some(uop) = trace.next() else {
                 break;
-            }
+            };
+            *stream_pos += 1;
             if uop.wrong_path {
                 self.step_wrong_path(&uop, predictor);
                 continue;
             }
             self.step(&uop, predictor);
-            committed += 1;
         }
-        debug_assert_eq!(
-            committed, self.stats.uops,
-            "budget accounting diverged from the per-µop statistics"
-        );
+    }
+
+    /// Committed µ-ops so far (the absolute budget consumed across every
+    /// [`Pipeline::run_segment`] call, surviving checkpoint restore).
+    pub fn committed_uops(&self) -> u64 {
+        self.stats.uops
+    }
+
+    /// Ends the run: delivers any deferred squash, drains pending predictor
+    /// training, and returns the final statistics.
+    pub fn finish<P>(mut self, predictor: &mut P) -> SimStats
+    where
+        P: ValuePredictor + ?Sized,
+    {
         // Deliver a squash deferred past the end of the stream so predictor
         // bookkeeping is consistent before the final training drain.
         self.resolve_wrong_path(predictor);
@@ -590,6 +627,9 @@ impl Pipeline {
             self.late_pool.prune_below(horizon);
             self.commit_pool.prune_below(horizon);
         }
+
+        #[cfg(feature = "simcheck")]
+        self.simcheck_step();
     }
 
     /// Ends a pending wrong-path episode, delivering its deferred squash.
@@ -756,6 +796,242 @@ impl Pipeline {
         }
         self.group.uops += 1;
         self.group.cycle
+    }
+
+    /// Serialises the pipeline's complete mutable state — branch predictor,
+    /// caches, bandwidth pools, occupancy rings, register availability, fetch
+    /// and commit state, deferred training, wrong-path episode and statistics
+    /// — for checkpointing. Configuration-derived state is not written: the
+    /// payload restores onto a freshly built pipeline of the same config.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.bpu.save_state(&mut w);
+        self.mem.save_state(&mut w);
+        for pool in self.pools() {
+            pool.save_state(&mut w);
+        }
+        for ring in [&self.rob, &self.iq, &self.lq, &self.sq] {
+            ring.save_state(&mut w);
+        }
+        w.len_of(self.reg_avail.len());
+        for &c in &self.reg_avail {
+            w.u64(c);
+        }
+        for &f in &self.reg_frontend {
+            w.bool(f);
+        }
+        w.u64(self.group.cycle);
+        w.u8(self.group.uops);
+        w.u8(self.group.num_blocks);
+        for &b in &self.group.blocks {
+            w.u64(b);
+        }
+        w.u64(self.fetch_resume);
+        w.opt_u64(self.last_block_pc);
+        w.u64(self.last_commit);
+        w.len_of(self.pending_train.len());
+        for p in &self.pending_train {
+            w.u64(p.commit_cycle);
+            w.dyn_uop(&p.uop);
+            w.opt_u64(p.predicted);
+        }
+        match self.wrong_path {
+            Some(wp) => {
+                w.bool(true);
+                w.u64(wp.resolve);
+                match wp.squash {
+                    Some(s) => {
+                        w.bool(true);
+                        w.u64(s.flush_seq);
+                        w.u64(s.flush_pc);
+                        w.u64(s.next_pc);
+                        w.u8(match s.cause {
+                            SquashCause::BranchMispredict => 0,
+                            SquashCause::ValueMispredict => 1,
+                        });
+                        w.u8(s.asid);
+                    }
+                    None => w.bool(false),
+                }
+                w.bool(wp.counted);
+            }
+            None => w.bool(false),
+        }
+        for &p in &self.pollution_window {
+            w.u32(p);
+        }
+        w.u8(self.cur_asid);
+        self.stats.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores state saved by [`Pipeline::save_state`] onto a freshly built
+    /// pipeline of the identical configuration. Rejects truncated, corrupt or
+    /// shape-mismatched payloads without touching `self` beyond the fields
+    /// already consumed (callers discard the pipeline on error).
+    pub fn restore_state(&mut self, bytes: &[u8]) -> StateResult<()> {
+        let mut r = StateReader::new(bytes);
+        self.bpu.restore_state(&mut r)?;
+        self.mem.restore_state(&mut r)?;
+        for pool in self.pools_mut() {
+            pool.restore_state(&mut r)?;
+        }
+        for ring in [&mut self.rob, &mut self.iq, &mut self.lq, &mut self.sq] {
+            ring.restore_state(&mut r)?;
+        }
+        if r.len_of(8)? != self.reg_avail.len() {
+            return Err(StateError("register file size mismatch"));
+        }
+        for c in self.reg_avail.iter_mut() {
+            *c = r.u64()?;
+        }
+        for f in self.reg_frontend.iter_mut() {
+            *f = r.bool()?;
+        }
+        self.group.cycle = r.u64()?;
+        self.group.uops = r.u8()?;
+        let num_blocks = r.u8()?;
+        if num_blocks as usize > MAX_FETCH_BLOCKS {
+            return Err(StateError("fetch group block count out of range"));
+        }
+        self.group.num_blocks = num_blocks;
+        for b in self.group.blocks.iter_mut() {
+            *b = r.u64()?;
+        }
+        self.fetch_resume = r.u64()?;
+        self.last_block_pc = r.opt_u64()?;
+        self.last_commit = r.u64()?;
+        let n = r.len_of(17)?;
+        self.pending_train.clear();
+        for _ in 0..n {
+            let commit_cycle = r.u64()?;
+            let uop = r.dyn_uop()?;
+            let predicted = r.opt_u64()?;
+            self.pending_train.push_back(PendingTrain {
+                commit_cycle,
+                uop,
+                predicted,
+            });
+        }
+        self.wrong_path = if r.bool()? {
+            let resolve = r.u64()?;
+            let squash = if r.bool()? {
+                let flush_seq = r.u64()?;
+                let flush_pc = r.u64()?;
+                let next_pc = r.u64()?;
+                let cause = match r.u8()? {
+                    0 => SquashCause::BranchMispredict,
+                    1 => SquashCause::ValueMispredict,
+                    _ => return Err(StateError("invalid squash cause byte")),
+                };
+                let asid = r.u8()?;
+                Some(SquashInfo {
+                    flush_seq,
+                    flush_pc,
+                    next_pc,
+                    cause,
+                    asid,
+                })
+            } else {
+                None
+            };
+            let counted = r.bool()?;
+            Some(WrongPathEpisode {
+                resolve,
+                squash,
+                counted,
+            })
+        } else {
+            None
+        };
+        for p in self.pollution_window.iter_mut() {
+            *p = r.u32()?;
+        }
+        self.cur_asid = r.u8()?;
+        self.stats.restore_state(&mut r)?;
+        r.expect_done()
+    }
+
+    fn pools(&self) -> [&SlotPool; 11] {
+        [
+            &self.rename_pool,
+            &self.issue_pool,
+            &self.alu_pool,
+            &self.muldiv_pool,
+            &self.fp_pool,
+            &self.fpmuldiv_pool,
+            &self.load_pool,
+            &self.store_pool,
+            &self.early_pool,
+            &self.late_pool,
+            &self.commit_pool,
+        ]
+    }
+
+    fn pools_mut(&mut self) -> [&mut SlotPool; 11] {
+        [
+            &mut self.rename_pool,
+            &mut self.issue_pool,
+            &mut self.alu_pool,
+            &mut self.muldiv_pool,
+            &mut self.fp_pool,
+            &mut self.fpmuldiv_pool,
+            &mut self.load_pool,
+            &mut self.store_pool,
+            &mut self.early_pool,
+            &mut self.late_pool,
+            &mut self.commit_pool,
+        ]
+    }
+
+    /// Validates per-cycle pipeline invariants: bandwidth-pool conservation,
+    /// in-order occupancy-ring release monotonicity (ROB/LQ/SQ release at
+    /// commit, which is in order; the IQ releases at issue, which is not),
+    /// program-ordered deferred-training records, and — every 4096 committed
+    /// µ-ops — per-context statistics consistency. Panics with a structured
+    /// `simcheck:` reason captured by the quarantine path.
+    #[cfg(feature = "simcheck")]
+    fn simcheck_step(&self) {
+        // The cheap O(pending) check runs every µ-op; the O(tracked-window)
+        // scans are amortised to every 256 µ-ops. That costs nothing in
+        // detection strength — a conservation or monotonicity violation is
+        // persistent state (pools are pruned only every 4096 µ-ops, ring
+        // entries only on reuse), so the next gated scan still sees it —
+        // but it is the difference between a usable sanitizer and a
+        // quadratic one: just before a prune each pool tracks thousands of
+        // cycles, and scanning 11 of them per committed µ-op turned the
+        // simcheck suite ~300× slower than plain debug.
+        let mut prev: Option<u64> = None;
+        for p in &self.pending_train {
+            if let Some(q) = prev {
+                assert!(
+                    p.uop.seq > q,
+                    "simcheck: pipeline: pending-train records out of program order (seq {} after {q})",
+                    p.uop.seq
+                );
+            }
+            prev = Some(p.uop.seq);
+        }
+        if self.stats.uops % 256 != 0 {
+            return;
+        }
+        let names = [
+            "rename", "issue", "alu", "muldiv", "fp", "fpmuldiv", "load", "store", "early", "late",
+            "commit",
+        ];
+        for (pool, name) in self.pools().into_iter().zip(names) {
+            pool.check_conservation(name);
+        }
+        self.rob.check_monotone("rob");
+        self.lq.check_monotone("lq");
+        self.sq.check_monotone("sq");
+        if self.stats.uops % 4096 == 0 {
+            assert!(
+                self.stats.context_totals_consistent(),
+                "simcheck: pipeline: per-context statistics diverged from aggregates at {} committed µ-ops",
+                self.stats.uops
+            );
+        }
     }
 }
 

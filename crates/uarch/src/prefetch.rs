@@ -1,5 +1,7 @@
 //! PC-indexed stride prefetcher (Table I: L2 stride prefetcher, degree 8).
 
+use bebop_isa::{StateError, StateReader, StateResult, StateWriter};
+
 /// One entry of the prefetcher's reference prediction table.
 #[derive(Debug, Clone, Copy, Default)]
 struct PrefetchEntry {
@@ -66,6 +68,34 @@ impl StridePrefetcher {
             };
         }
         out
+    }
+
+    /// Serialises the reference prediction table for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.len_of(self.table.len());
+        for e in &self.table {
+            w.u64(e.pc_tag);
+            w.u64(e.last_addr);
+            w.i64(e.stride);
+            w.u8(e.confidence);
+            w.bool(e.valid);
+        }
+    }
+
+    /// Restores state saved by [`StridePrefetcher::save_state`] onto a freshly
+    /// constructed prefetcher of the identical geometry.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        if r.len_of(26)? != self.table.len() {
+            return Err(StateError("prefetcher table size mismatch"));
+        }
+        for e in self.table.iter_mut() {
+            e.pc_tag = r.u64()?;
+            e.last_addr = r.u64()?;
+            e.stride = r.i64()?;
+            e.confidence = r.u8()?;
+            e.valid = r.bool()?;
+        }
+        Ok(())
     }
 }
 

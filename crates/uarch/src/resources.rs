@@ -1,6 +1,7 @@
 //! Low-level resource bookkeeping used by the pipeline timing model: per-cycle
 //! bandwidth pools and age-ordered occupancy rings.
 
+use bebop_isa::{StateError, StateReader, StateResult, StateWriter};
 use std::collections::VecDeque;
 
 /// A per-cycle slot pool modelling a bandwidth-limited resource (issue ports of one
@@ -75,6 +76,51 @@ impl SlotPool {
     pub fn tracked_cycles(&self) -> usize {
         self.used.len()
     }
+
+    /// Serialises the pool's moving horizon and per-cycle usage counts for
+    /// checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.base);
+        w.len_of(self.used.len());
+        for &u in &self.used {
+            w.u16(u);
+        }
+    }
+
+    /// Restores state saved by [`SlotPool::save_state`] onto a freshly
+    /// constructed pool of the identical width.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        self.base = r.u64()?;
+        let n = r.len_of(2)?;
+        self.used.clear();
+        for _ in 0..n {
+            let u = r.u16()?;
+            if u > self.width {
+                return Err(StateError("slot pool usage exceeds width"));
+            }
+            self.used.push_back(u);
+        }
+        Ok(())
+    }
+
+    /// Validates the pool's conservation invariant: no cycle may have more
+    /// slots consumed than the pool's width.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a structured `simcheck:` reason on violation. Compiled only
+    /// under the `simcheck` feature.
+    #[cfg(feature = "simcheck")]
+    pub fn check_conservation(&self, name: &str) {
+        for (i, &u) in self.used.iter().enumerate() {
+            assert!(
+                u <= self.width,
+                "simcheck: slot pool '{name}': cycle {} uses {u} of {} slots",
+                self.base + i as u64,
+                self.width
+            );
+        }
+    }
 }
 
 /// An age-ordered occupancy ring modelling a finite buffer (ROB, IQ, LQ, SQ)
@@ -134,6 +180,55 @@ impl OccupancyRing {
     /// their slots immediately).
     pub fn clear(&mut self) {
         self.releases.clear();
+    }
+
+    /// Serialises the outstanding release cycles for checkpointing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.len_of(self.releases.len());
+        for &c in &self.releases {
+            w.u64(c);
+        }
+    }
+
+    /// Restores state saved by [`OccupancyRing::save_state`] onto a freshly
+    /// constructed ring of the identical capacity.
+    pub fn restore_state(&mut self, r: &mut StateReader) -> StateResult<()> {
+        let n = r.len_of(8)?;
+        if n > self.capacity {
+            return Err(StateError("occupancy ring overfilled"));
+        }
+        self.releases.clear();
+        for _ in 0..n {
+            self.releases.push_back(r.u64()?);
+        }
+        Ok(())
+    }
+
+    /// Validates that the recorded release cycles are age-ordered
+    /// (non-decreasing): entries of an in-order-released structure (ROB, LQ,
+    /// SQ) free their slots in allocation order, so a younger entry releasing
+    /// before an older one means the ring's bookkeeping leaked.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a structured `simcheck:` reason on violation. Compiled only
+    /// under the `simcheck` feature.
+    #[cfg(feature = "simcheck")]
+    pub fn check_monotone(&self, name: &str) {
+        let mut prev = 0u64;
+        for (i, &c) in self.releases.iter().enumerate() {
+            assert!(
+                c >= prev,
+                "simcheck: occupancy ring '{name}': release {i} at cycle {c} precedes {prev}"
+            );
+            prev = c;
+        }
+        assert!(
+            self.releases.len() <= self.capacity,
+            "simcheck: occupancy ring '{name}': {} entries exceed capacity {}",
+            self.releases.len(),
+            self.capacity
+        );
     }
 }
 

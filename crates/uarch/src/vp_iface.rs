@@ -102,6 +102,36 @@ pub trait ValuePredictor: Debug {
     fn storage_bits(&self) -> u64 {
         0
     }
+
+    /// Serialises the predictor's *mutable* state (table entries, in-flight
+    /// records, RNG state) into a flat byte payload for checkpointing.
+    ///
+    /// The payload is restored onto a freshly constructed predictor of the
+    /// identical configuration via [`ValuePredictor::restore_state`], after
+    /// which the pair must behave bit-identically to the original. Stateless
+    /// predictors (the default) return an empty payload.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state saved by [`ValuePredictor::save_state`] onto a freshly
+    /// constructed predictor of the identical configuration.
+    ///
+    /// Implementations must reject (return `Err`) rather than panic on a
+    /// truncated, corrupt or mismatched payload, leaving the caller free to
+    /// discard the checkpoint and fall back to a from-zero run. The default
+    /// accepts only the empty payload the default `save_state` produces.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "predictor '{}' carries no restorable state but the payload has {} bytes",
+                self.name(),
+                bytes.len()
+            ))
+        }
+    }
 }
 
 /// A predictor that never predicts: plugging it in yields the baseline pipeline.

@@ -8,7 +8,7 @@
 use crate::stride::TwoDeltaStridePredictor;
 use crate::vtage::Vtage;
 use crate::FpcParams;
-use bebop_isa::DynUop;
+use bebop_isa::{DynUop, StateReader, StateWriter};
 use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
 
 /// A side-by-side hybrid of [`Vtage`] and [`TwoDeltaStridePredictor`].
@@ -69,6 +69,29 @@ impl ValuePredictor for VtageStrideHybrid {
 
     fn storage_bits(&self) -> u64 {
         self.vtage.storage_bits() + self.stride.storage_bits()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.nested(&self.vtage.save_state());
+        w.nested(&self.stride.save_state());
+        w.finish()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = StateReader::new(bytes);
+        let vtage_bytes = r
+            .nested()
+            .map_err(|e| format!("VTAGE-2d-Stride: {e}"))?
+            .to_vec();
+        let stride_bytes = r
+            .nested()
+            .map_err(|e| format!("VTAGE-2d-Stride: {e}"))?
+            .to_vec();
+        r.expect_done()
+            .map_err(|e| format!("VTAGE-2d-Stride: {e}"))?;
+        self.vtage.restore_state(&vtage_bytes)?;
+        self.stride.restore_state(&stride_bytes)
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::fpc::{ForwardProbabilisticCounter, FpcParams};
 use crate::{inst_key, Lfsr};
-use bebop_isa::DynUop;
+use bebop_isa::{DynUop, StateError, StateReader, StateResult, StateWriter};
 use bebop_uarch::{PredictCtx, ValuePredictor};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,6 +47,22 @@ impl LastValuePredictor {
 
     fn tag(&self, key: u64) -> u16 {
         (((key >> 1) >> self.index_mask.count_ones()) & ((1 << self.tag_bits) - 1)) as u16
+    }
+
+    fn restore_impl(&mut self, r: &mut StateReader) -> StateResult<()> {
+        if r.len_of(12)? != self.entries.len() {
+            return Err(StateError("LVP table size mismatch"));
+        }
+        let params = self.params.clone();
+        for e in self.entries.iter_mut() {
+            e.valid = r.bool()?;
+            e.tag = r.u16()?;
+            e.value = r.u64()?;
+            let level = r.u8()?;
+            e.conf.set_level(level, &params);
+        }
+        self.rng.set_state(r.u64()?);
+        r.expect_done()
     }
 }
 
@@ -97,6 +113,24 @@ impl ValuePredictor for LastValuePredictor {
     fn storage_bits(&self) -> u64 {
         // valid + tag + 64-bit value + 3-bit confidence.
         self.entries.len() as u64 * (1 + u64::from(self.tag_bits) + 64 + 3)
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u16(e.tag);
+            w.u64(e.value);
+            w.u8(e.conf.level());
+        }
+        w.u64(self.rng.state());
+        w.finish()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.restore_impl(&mut StateReader::new(bytes))
+            .map_err(|e| format!("LVP: {e}"))
     }
 }
 

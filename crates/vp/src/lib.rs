@@ -130,6 +130,19 @@ impl Lfsr {
         Lfsr { state: seed | 1 }
     }
 
+    /// The raw generator state, for checkpointing.
+    pub(crate) fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrites the generator state with a checkpointed value. A running
+    /// xorshift state is never zero but may well be even, so only zero (a
+    /// corrupt or hand-built checkpoint) is coerced — forcing the low bit
+    /// here would silently perturb every second restored generator.
+    pub(crate) fn set_state(&mut self, state: u64) {
+        self.state = if state == 0 { 1 } else { state };
+    }
+
     pub(crate) fn next(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
@@ -174,6 +187,29 @@ mod tests {
             0,
         );
         assert_ne!(inst_key(&u0), inst_key(&u1));
+    }
+
+    #[test]
+    fn lfsr_state_round_trips_even_states() {
+        // A running xorshift state is even half the time; restoring one must
+        // reproduce the exact generator, not a low-bit-coerced neighbour.
+        let mut a = Lfsr::new(42);
+        let mut seen_even = false;
+        for _ in 0..64 {
+            a.next();
+            let saved = a.state();
+            seen_even |= saved % 2 == 0;
+            let mut b = Lfsr::new(1);
+            b.set_state(saved);
+            assert_eq!(b.state(), saved);
+            assert_eq!(a.next(), b.next());
+        }
+        assert!(seen_even, "the walk never exercised an even state");
+        // Zero (never produced by a healthy generator) is still coerced to a
+        // usable state rather than wedging the generator.
+        let mut z = Lfsr::new(1);
+        z.set_state(0);
+        assert_ne!(z.state(), 0);
     }
 
     #[test]

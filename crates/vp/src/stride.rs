@@ -10,7 +10,7 @@
 
 use crate::fpc::{ForwardProbabilisticCounter, FpcParams};
 use crate::{inst_key, Lfsr};
-use bebop_isa::{DynUop, SeqNum};
+use bebop_isa::{DynUop, SeqNum, StateError, StateReader, StateResult, StateWriter};
 use bebop_uarch::{PredictCtx, SquashInfo, ValuePredictor};
 use std::collections::VecDeque;
 
@@ -106,6 +106,8 @@ impl StrideCore {
             None
         };
         self.update_entry(uop, actual, internal);
+        #[cfg(feature = "simcheck")]
+        self.simcheck_inflight();
     }
 
     /// The guarded wrong-path update: applies `actual` to the µ-op's table
@@ -193,6 +195,77 @@ impl StrideCore {
         let per = 1 + u64::from(self.tag_bits) + 64 + 64 + if self.two_delta { 64 } else { 0 } + 3;
         self.entries.len() as u64 * per
     }
+
+    fn save_state_impl(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u16(e.tag);
+            w.u64(e.last);
+            w.i64(e.stride);
+            w.i64(e.last_delta);
+            w.u8(e.conf.level());
+            w.u64(e.spec_last);
+            w.u32(e.spec_inflight);
+        }
+        w.u64(self.rng.state());
+        w.len_of(self.inflight.len());
+        for &(seq, pred) in &self.inflight {
+            w.u64(seq);
+            w.u64(pred);
+        }
+        w.finish()
+    }
+
+    fn restore_state_impl(&mut self, bytes: &[u8]) -> StateResult<()> {
+        let mut r = StateReader::new(bytes);
+        if r.len_of(40)? != self.entries.len() {
+            return Err(StateError("stride table size mismatch"));
+        }
+        let params = self.params.clone();
+        for e in self.entries.iter_mut() {
+            e.valid = r.bool()?;
+            e.tag = r.u16()?;
+            e.last = r.u64()?;
+            e.stride = r.i64()?;
+            e.last_delta = r.i64()?;
+            let level = r.u8()?;
+            e.conf.set_level(level, &params);
+            e.spec_last = r.u64()?;
+            e.spec_inflight = r.u32()?;
+        }
+        self.rng.set_state(r.u64()?);
+        let n = r.len_of(16)?;
+        self.inflight.clear();
+        let mut prev: Option<SeqNum> = None;
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let pred = r.u64()?;
+            if prev.is_some_and(|p| p > seq) {
+                return Err(StateError("stride in-flight records out of order"));
+            }
+            prev = Some(seq);
+            self.inflight.push_back((seq, pred));
+        }
+        r.expect_done()
+    }
+
+    /// Validates that the in-flight record deque is in program order, the
+    /// invariant retirement-time front-pops rely on.
+    #[cfg(feature = "simcheck")]
+    fn simcheck_inflight(&self) {
+        let mut prev: Option<SeqNum> = None;
+        for &(seq, _) in &self.inflight {
+            if let Some(p) = prev {
+                assert!(
+                    seq >= p,
+                    "simcheck: stride: in-flight record seq {seq} precedes {p}"
+                );
+            }
+            prev = Some(seq);
+        }
+    }
 }
 
 /// The baseline Stride predictor: predicts `last value + stride` where the stride
@@ -239,6 +312,16 @@ impl ValuePredictor for StridePredictor {
 
     fn storage_bits(&self) -> u64 {
         self.core.storage_bits_impl()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        self.core.save_state_impl()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.core
+            .restore_state_impl(bytes)
+            .map_err(|e| format!("Stride: {e}"))
     }
 }
 
@@ -287,6 +370,16 @@ impl ValuePredictor for TwoDeltaStridePredictor {
 
     fn storage_bits(&self) -> u64 {
         self.core.storage_bits_impl()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        self.core.save_state_impl()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.core
+            .restore_state_impl(bytes)
+            .map_err(|e| format!("2d-Stride: {e}"))
     }
 }
 

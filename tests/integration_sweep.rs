@@ -7,7 +7,7 @@
 //! on every seed while staying reproducible.
 
 use bebop::{configs, PredictorKind};
-use bebop_bench::sweep::{run_sweep_jobs, CellStatus, SweepOptions, SweepRequest};
+use bebop_bench::sweep::{run_sweep_jobs, CellStatus, ReasonKind, SweepOptions, SweepRequest};
 use bebop_bench::{FaultPlan, TraceStore};
 use bebop_trace::WorkloadSpec;
 use bebop_uarch::PipelineConfig;
@@ -177,7 +177,8 @@ fn faulty_store_and_poisoned_job_degrade_without_losing_the_sweep() {
     assert!(out.complete, "faults must degrade, never lose the sweep");
     assert_eq!(out.executed, 9);
     assert_eq!(out.quarantined.len(), 1, "exactly the poisoned job");
-    assert!(out.quarantined[0].1.contains("injected"));
+    assert_eq!(out.quarantined[0].1, ReasonKind::Panic);
+    assert!(out.quarantined[0].2.contains("injected"));
     assert_eq!(
         out.cells
             .iter()
@@ -200,6 +201,85 @@ fn faulty_store_and_poisoned_job_degrade_without_losing_the_sweep() {
 
     let _ = fs::remove_dir_all(&dir);
     let _ = fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn stalled_cell_is_timed_out_by_the_watchdog_and_only_it() {
+    let req = tiny_request();
+    let dir = tmp_dir("stall");
+
+    // Job 5 (variant 1 × workload 2) stalls: it makes no committed-µop
+    // progress, so the watchdog must cancel it within the cell timeout while
+    // every other cell completes normally.
+    let opts = SweepOptions {
+        faults: Some(FaultPlan::seeded(11).with_stall_job(5)),
+        cell_timeout: Some(std::time::Duration::from_millis(100)),
+        ..SweepOptions::default()
+    };
+    let out = run_sweep_jobs(&req, &dir, None, &opts).expect("stalled sweep");
+    assert!(
+        out.complete,
+        "a timed-out cell is terminal, not missing work"
+    );
+    assert_eq!(out.executed, 9);
+    assert_eq!(out.quarantined.len(), 1, "exactly the stalled cell");
+    assert_eq!(out.quarantined[0].1, ReasonKind::Timeout);
+    assert_eq!(out.quarantined[0].2, "timed_out");
+    assert!(out.quarantined[0].0.contains("swp-c"), "job 5 = v1 × w2");
+    assert!(out.quarantined[0].0.contains("Small_4p"));
+    assert_eq!(
+        out.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .count(),
+        8,
+        "the other eight cells must complete"
+    );
+
+    // The timeout is journaled distinctly from a panic and survives resume.
+    let resumed = run_sweep_jobs(&req, &dir, None, &SweepOptions::default()).expect("resume");
+    assert_eq!((resumed.resumed, resumed.executed), (9, 0));
+    assert_eq!(resumed.quarantined.len(), 1);
+    assert_eq!(resumed.quarantined[0].1, ReasonKind::Timeout);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_cells_checkpoint_and_produce_identical_ledgers() {
+    // A sweep with intra-cell checkpointing enabled produces the same ledger
+    // bytes as one without: checkpoints change durability, never results.
+    let req = tiny_request();
+    let plain_dir = tmp_dir("ckpt-plain");
+    let ckpt_dir = tmp_dir("ckpt-on");
+    let plain = run_sweep_jobs(&req, &plain_dir, None, &SweepOptions::default()).expect("plain");
+    let ckpt = run_sweep_jobs(
+        &req,
+        &ckpt_dir,
+        None,
+        &SweepOptions {
+            // Far smaller than the budget, so every cell snapshots repeatedly.
+            checkpoint_every: 256,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("checkpointed");
+    assert!(plain.complete && ckpt.complete);
+    assert_eq!(
+        fs::read(plain.ledger_path.as_ref().unwrap()).unwrap(),
+        fs::read(ckpt.ledger_path.as_ref().unwrap()).unwrap(),
+        "checkpointing must not change any result bit"
+    );
+    // Completed cells delete their snapshots: the checkpoint directory holds
+    // no stale state to resurrect.
+    let ckpt_files = fs::read_dir(ckpt_dir.join("ckpt"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert_eq!(
+        ckpt_files, 0,
+        "completed cells must discard their snapshots"
+    );
+    let _ = fs::remove_dir_all(&plain_dir);
+    let _ = fs::remove_dir_all(&ckpt_dir);
 }
 
 #[test]
