@@ -53,6 +53,8 @@
 //! errors, short reads, corruption, per-job panics) for robustness testing;
 //! sweep cell counts land in the `--json` report as `sweep_cells_*`.
 
+#![forbid(unsafe_code)]
+
 use bebop::SpeedupSummary;
 use bebop_bench::sweep::{run_sweep_jobs, SweepOptions, SweepRequest};
 use bebop_bench::*;
@@ -840,6 +842,7 @@ fn main() {
             if out.complete {
                 println!(
                     "    ledger: {} (complete)",
+                    // INVARIANT: run_sweep sets ledger_path whenever complete.
                     out.ledger_path.as_ref().expect("complete sweep").display()
                 );
                 println!(

@@ -11,6 +11,8 @@
 //! input. Per-experiment ratios are printed as context but do not gate: single
 //! experiments are noisy on shared CI runners, the aggregate is not.
 
+#![forbid(unsafe_code)]
+
 use bebop_bench::perf_json;
 
 fn load(path: &str) -> perf_json::PerfReport {
@@ -34,6 +36,8 @@ fn main() {
                 tolerance = args
                     .next()
                     .and_then(|v| v.parse().ok())
+                    // INVARIANT: CLI usage error — a gate that cannot parse
+                    // its threshold must die loudly, not run with a default.
                     .expect("--max-regression needs a fraction (e.g. 0.20)");
             }
             other => paths.push(other.to_string()),

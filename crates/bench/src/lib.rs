@@ -20,6 +20,7 @@
 //!   workload and shares the statistics across every variant group, then fans
 //!   the whole (variant × workload) product out over the cores.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use bebop::{

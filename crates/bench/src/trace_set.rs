@@ -131,6 +131,8 @@ impl TraceSet {
                 }
                 let (probe, probe_loaded) = materialise(&specs[0]);
                 let per_trace = (probe.footprint_bytes() as u64).max(1);
+                // CAST: min() with specs.len() bounds the result to a
+                // real collection size even if the u64 quotient is huge.
                 let fit = ((cap / per_trace) as usize).min(specs.len());
                 if fit == 0 {
                     // The sparse lanes pushed the probe past the dense lower

@@ -677,6 +677,7 @@ impl BlockDVtage {
                 assignments[num_assigned] = (i, b, actual);
                 num_assigned += 1;
             } else if let Some(i) = (0..np).find(|&i| {
+                // INVARIANT: is_none() short-circuits before the unwrap.
                 !consumed[i] && (rec.slot_tags[i].is_none() || rec.slot_tags[i].unwrap() > b)
             }) {
                 consumed[i] = true;
@@ -1142,6 +1143,8 @@ impl ValuePredictor for BlockDVtage {
         let cur = self
             .current
             .as_mut()
+            // INVARIANT: predict_block opens a current block before any
+            // per-µ-op probe can reach this path.
             .expect("a block is always current here");
         // Attribute the next matching prediction slot to this µ-op.
         let slot = (cur.cursor..np).find(|&i| cur.slot_tags[i] == Some(byte));

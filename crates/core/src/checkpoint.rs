@@ -126,12 +126,16 @@ impl SimCheckpoint {
             return Err(CheckpointError::Corrupt("bad magic"));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 8);
+        // INVARIANT: split_at(len - 8) makes the tail exactly 8 bytes.
         let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
         if fnv1a(FNV_OFFSET_BASIS, body) != stored {
             return Err(CheckpointError::Corrupt("checksum mismatch"));
         }
+        // INVARIANT: the header-length check above covers every fixed
+        // offset these two helpers are called with.
         let u32_at =
             |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte field"));
+        // INVARIANT: same header-length bound as above.
         let u64_at =
             |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte field"));
         let version = u32_at(8);
@@ -144,10 +148,18 @@ impl SimCheckpoint {
         }
         let committed = u64_at(20);
         let stream_pos = u64_at(28);
-        let pipeline_len = u64_at(36) as usize;
-        let predictor_len = u64_at(44) as usize;
+        let pipeline_len = usize::try_from(u64_at(36))
+            .map_err(|_| CheckpointError::Corrupt("pipeline payload length overflows usize"))?;
+        let predictor_len = usize::try_from(u64_at(44))
+            .map_err(|_| CheckpointError::Corrupt("predictor payload length overflows usize"))?;
         let payload = &body[HEADER_LEN..];
-        if payload.len() != pipeline_len + predictor_len {
+        // checked_add: two usize lengths from a (possibly corrupt) file can
+        // overflow their sum even when each fits — that must be a decode
+        // error, not a debug-build panic.
+        let expected_payload = pipeline_len
+            .checked_add(predictor_len)
+            .ok_or(CheckpointError::Corrupt("payload length overflow"))?;
+        if payload.len() != expected_payload {
             return Err(CheckpointError::Corrupt("payload length mismatch"));
         }
         Ok(SimCheckpoint {
@@ -247,6 +259,40 @@ mod tests {
                 SimCheckpoint::decode(&bad, 0xfeed_f00d).is_err(),
                 "flipped byte {at} must be rejected"
             );
+        }
+    }
+
+    /// Re-seals the trailing checksum after a header edit so length-field
+    /// tests exercise the length validation, not the corruption check.
+    fn reseal(bytes: &mut [u8]) {
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a(FNV_OFFSET_BASIS, &bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    }
+
+    #[test]
+    fn absurd_payload_lengths_are_a_decode_error_not_a_panic() {
+        // A corrupt file can claim any u64 for its payload lengths. Each must
+        // fail as `Corrupt`, never as an arithmetic panic or a huge
+        // allocation: u64::MAX (usize conversion / sum overflow), and a large
+        // value whose sum stays representable (plain length mismatch).
+        let good = sample().encode();
+        for (pipeline_len, predictor_len) in [
+            (u64::MAX, u64::MAX),
+            (u64::MAX, 3),
+            (u64::MAX / 2, u64::MAX / 2 + 2),
+            (1 << 40, 3),
+        ] {
+            let mut bad = good.clone();
+            bad[36..44].copy_from_slice(&pipeline_len.to_le_bytes());
+            bad[44..52].copy_from_slice(&predictor_len.to_le_bytes());
+            reseal(&mut bad);
+            match SimCheckpoint::decode(&bad, 0xfeed_f00d) {
+                Err(CheckpointError::Corrupt(_)) => {}
+                other => panic!(
+                    "lengths ({pipeline_len}, {predictor_len}) must decode as Corrupt, got {other:?}"
+                ),
+            }
         }
     }
 

@@ -422,6 +422,7 @@ impl SpeedupSummary {
             return 1.0;
         }
         v.sort_by(f64::total_cmp);
+        // CAST: nearest-rank result is clamped to 0..len by the q clamp.
         let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         v[idx]
     }

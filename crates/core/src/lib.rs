@@ -46,6 +46,7 @@
 //! assert!(bebop.uop_ipc() > 0.0 && baseline.uop_ipc() > 0.0);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -79,6 +79,8 @@ where
             }));
         }
         for handle in handles {
+            // INVARIANT: a panicking worker must propagate (fail loudly),
+            // not yield partial figure data.
             for (i, r) in handle.join().expect("worker thread panicked") {
                 slots[i] = Some(r);
             }
@@ -87,6 +89,7 @@ where
 
     slots
         .into_iter()
+        // INVARIANT: the chunk fan-out covers 0..items.len() exactly.
         .map(|s| s.expect("every index was assigned exactly once"))
         .collect()
 }

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
+#[allow(unsafe_code)] // The one sanctioned unsafe block in the workspace (see lib.rs deny).
 mod imp {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
@@ -25,6 +26,15 @@ mod imp {
     }
 
     pub(super) fn install() {
+        // SAFETY: `signal(2)` is called with a valid signal number and a
+        // handler whose only action — a relaxed-free SeqCst store into a
+        // `'static` AtomicBool — is async-signal-safe (no allocation, no
+        // locks, no re-entrant libc). The handler address is produced from a
+        // real `extern "C" fn` of the matching signature, so the transmute
+        // through `usize` (the declaration models `sighandler_t`) hands the
+        // kernel a callable C ABI entry point. Installation is idempotent
+        // and never racing a concurrent `signal` call for these signums
+        // (guarded by the INSTALLED flag in install_shutdown_handler).
         unsafe {
             signal(SIGINT, on_signal as *const () as usize);
             signal(SIGTERM, on_signal as *const () as usize);

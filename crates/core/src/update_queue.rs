@@ -105,6 +105,7 @@ impl<T> FifoUpdateQueue<T> {
     pub fn squash_with(&mut self, flush_seq: SeqNum, mut recycle: impl FnMut(T)) {
         while let Some((seq, _)) = self.entries.back() {
             if *seq > flush_seq {
+                // INVARIANT: while-let on back() just returned Some.
                 let (_, record) = self.entries.pop_back().expect("back exists");
                 recycle(record);
             } else {

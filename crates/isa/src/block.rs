@@ -49,6 +49,7 @@ pub fn byte_index_in_block(pc: u64, block_bytes: u64) -> u8 {
         block_bytes.is_power_of_two(),
         "block size must be a power of two"
     );
+    // CAST: masked by block_bytes - 1, and fetch blocks are at most 256 bytes.
     (pc & (block_bytes - 1)) as u8
 }
 

@@ -36,6 +36,7 @@
 //! assert_eq!(byte_index_in_block(0x1003, 16), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

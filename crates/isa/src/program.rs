@@ -195,6 +195,7 @@ impl ProgramBuilder {
         let slot = self
             .blocks
             .get_mut(id.0)
+            // INVARIANT: documented panic — misuse of the builder API.
             .unwrap_or_else(|| panic!("basic block {id} was never reserved"));
         assert!(slot.is_none(), "basic block {id} defined twice");
         *slot = Some(BasicBlock::new(insts, terminator));
@@ -219,6 +220,7 @@ impl ProgramBuilder {
             .into_iter()
             .enumerate()
             .map(|(i, b)| {
+                // INVARIANT: documented panic — misuse of the builder API.
                 b.unwrap_or_else(|| panic!("basic block bb{i} reserved but never defined"))
             })
             .collect();

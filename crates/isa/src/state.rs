@@ -155,6 +155,7 @@ impl StateWriter {
         self.u8(encode_uop_kind(u.kind()));
         self.opt_reg(u.dst());
         let srcs: Vec<ArchReg> = u.srcs().collect();
+        // CAST: a µ-op encodes at most a handful of sources (far below 256).
         self.u8(srcs.len() as u8);
         for s in srcs {
             self.u16(s.raw());

@@ -11,6 +11,7 @@
 //!
 //! [`rand`]: https://crates.io/crates/rand
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

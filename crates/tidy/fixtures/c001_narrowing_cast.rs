@@ -1,0 +1,20 @@
+// Fixture: must trip C001 twice (budget and footprint truncations — the
+// PR 3 bug class: a u64 µ-op budget silently truncated through `as usize`).
+fn truncates(budget: u64, footprint_bytes: u64) -> usize {
+    let n = budget as usize;
+    let b = footprint_bytes as u32;
+    n + b as usize
+}
+
+// Must NOT trip: checked conversion, justified cast, or no narrowing.
+fn checked(budget: u64) -> Option<usize> {
+    usize::try_from(budget).ok()
+}
+
+fn justified(len_bytes: u64) -> u32 {
+    len_bytes as u32 // CAST: caller bounds len_bytes to a single 4 KiB page
+}
+
+fn widening(tag: u16) -> u64 {
+    tag as u64
+}

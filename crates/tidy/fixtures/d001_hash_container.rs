@@ -1,0 +1,15 @@
+// Fixture: must trip D001 twice (import and use site).
+use std::collections::HashMap;
+
+fn report_order_depends_on_hasher_seed() -> Vec<(u64, u64)> {
+    let mut m: HashMap<u64, u64> = Default::default();
+    m.insert(1, 2);
+    m.into_iter().collect()
+}
+
+// Must NOT trip: ordered containers are the sanctioned replacement.
+use std::collections::BTreeMap;
+
+fn deterministic() -> BTreeMap<u64, u64> {
+    BTreeMap::new()
+}

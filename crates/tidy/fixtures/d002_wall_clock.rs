@@ -1,0 +1,14 @@
+// Fixture: must trip D002 twice (Instant and SystemTime).
+fn sim_state_tainted_by_wall_clock() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn mtime_outside_allowlisted_module() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+// Must NOT trip: Duration is plain arithmetic data, not a clock.
+fn timeout() -> std::time::Duration {
+    std::time::Duration::from_millis(200)
+}

@@ -1,0 +1,11 @@
+// Fixture: must trip D003 on every RandomState mention.
+use std::collections::hash_map::RandomState;
+
+fn seeded_from_the_os() -> RandomState {
+    RandomState::new()
+}
+
+// Must NOT trip: explicitly seeded generators are the whole point.
+fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

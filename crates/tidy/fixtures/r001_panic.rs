@@ -1,0 +1,24 @@
+// Fixture: must trip R001 three times (unwrap, expect, panic).
+fn swallows_errors(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("fixture");
+    if a == b {
+        panic!("fixture");
+    }
+    a + b
+}
+
+// Must NOT trip: justified invariant panics are allowed.
+fn justified(x: Option<u32>) -> u32 {
+    // INVARIANT: x is always Some here; populated unconditionally in new().
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Must NOT trip: test code may unwrap freely.
+    #[test]
+    fn unwraps_are_fine_here() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: must trip S001 once (the undocumented block).
+fn undocumented(p: *const u32) -> u32 {
+    unsafe { p.read() }
+}
+
+// Must NOT trip: a SAFETY argument directly above the block.
+fn documented(p: *const u32) -> u32 {
+    // SAFETY: p is non-null and valid for reads; the caller checked it.
+    unsafe { p.read() }
+}

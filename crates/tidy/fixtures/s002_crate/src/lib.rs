@@ -1,0 +1,4 @@
+// Fixture: an unsafe-free compilation unit that forgets to forbid unsafe.
+pub fn entirely_safe() -> u32 {
+    7
+}

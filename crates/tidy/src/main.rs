@@ -1,0 +1,93 @@
+//! CLI front end for [`bebop_tidy`]: scan the workspace, print diagnostics,
+//! exit nonzero on any violation (the blocking CI contract).
+//!
+//! ```text
+//! bebop-tidy [--root <dir>]
+//! ```
+//!
+//! Without `--root` the workspace root is found by walking up from the
+//! current directory to the first ancestor holding a `crates/` directory
+//! next to a `Cargo.toml`, so the binary works from any subdirectory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("bebop-tidy: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bebop-tidy [--root <workspace dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bebop-tidy: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "bebop-tidy: no workspace root found (no ancestor with crates/ + Cargo.toml); \
+                 pass --root"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "bebop-tidy: {} is not a workspace root (no crates/ directory)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    match bebop_tidy::check_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("tidy ok: {} is clean", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!(
+                "tidy: {} error(s); see docs/ARCHITECTURE.md \u{a7} Static analysis for the \
+                 rule table and how to justify exceptions",
+                diags.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bebop-tidy: cannot scan {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! End-to-end self-tests for `bebop-tidy`.
+//!
+//! Three layers: (1) each rule fixture under `fixtures/` trips exactly the
+//! diagnostics it documents, with a golden check of the rendered output;
+//! (2) the workspace this test runs inside is clean — tidy gates CI, so the
+//! gate must hold on the tree that ships it; (3) the installed binary
+//! reports the right exit codes (0 clean, 1 violations, 2 usage/IO errors).
+
+use bebop_tidy::{check_source, check_workspace, parse_allowlist, FileKind};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(line, rule)` pairs for a fixture checked as production source.
+fn trips(name: &str) -> Vec<(usize, &'static str)> {
+    check_source("f.rs", &fixture(name), FileKind::Src)
+        .iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+/// A scratch directory unique to this test process and label.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bebop-tidy-selftest-{}-{label}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes a minimal crate (`Cargo.toml` + `src/lib.rs`) under `root/crates/`.
+fn write_crate(root: &Path, name: &str, lib_rs: &str) {
+    let dir = root.join("crates").join(name);
+    fs::create_dir_all(dir.join("src")).unwrap();
+    fs::write(
+        dir.join("Cargo.toml"),
+        format!("[package]\nname = \"{name}\"\nversion = \"0.0.0\"\nedition = \"2021\"\n"),
+    )
+    .unwrap();
+    fs::write(dir.join("src/lib.rs"), lib_rs).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule fixtures
+// ---------------------------------------------------------------------------
+
+#[test]
+fn d001_fixture_trips_on_hash_containers_only() {
+    assert_eq!(
+        trips("d001_hash_container.rs"),
+        vec![(2, "D001"), (5, "D001")]
+    );
+}
+
+#[test]
+fn d002_fixture_trips_on_clocks_not_durations() {
+    assert_eq!(
+        trips("d002_wall_clock.rs"),
+        vec![(3, "D002"), (7, "D002"), (8, "D002")]
+    );
+}
+
+#[test]
+fn d003_fixture_trips_on_entropy_sources() {
+    assert_eq!(
+        trips("d003_entropy.rs"),
+        vec![(2, "D003"), (4, "D003"), (5, "D003")]
+    );
+}
+
+#[test]
+fn r001_fixture_trips_outside_tests_and_justifications() {
+    assert_eq!(
+        trips("r001_panic.rs"),
+        vec![(3, "R001"), (4, "R001"), (6, "R001")]
+    );
+}
+
+#[test]
+fn s001_fixture_trips_on_undocumented_unsafe() {
+    assert_eq!(trips("s001_unsafe.rs"), vec![(3, "S001")]);
+}
+
+#[test]
+fn c001_fixture_trips_on_unjustified_narrowing_casts() {
+    assert_eq!(
+        trips("c001_narrowing_cast.rs"),
+        vec![(4, "C001"), (5, "C001")]
+    );
+}
+
+#[test]
+fn r001_and_c001_do_not_apply_to_tests_dir_sources() {
+    for name in ["r001_panic.rs", "c001_narrowing_cast.rs"] {
+        let diags = check_source("t.rs", &fixture(name), FileKind::TestsDir);
+        assert!(
+            diags.is_empty(),
+            "{name} as an integration test must be exempt, got {diags:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden rendered output
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_diagnostic_rendering() {
+    let mut lines = Vec::new();
+    for name in ["d002_wall_clock.rs", "r001_panic.rs", "s001_unsafe.rs"] {
+        for d in check_source(name, &fixture(name), FileKind::Src) {
+            lines.push(d.to_string());
+        }
+    }
+    let expected = "\
+d002_wall_clock.rs:3 [D002] wall-clock time source `Instant` outside an allowlisted timing module; sim-state paths must be deterministic
+d002_wall_clock.rs:7 [D002] wall-clock time source `SystemTime` outside an allowlisted timing module; sim-state paths must be deterministic
+d002_wall_clock.rs:8 [D002] wall-clock time source `SystemTime` outside an allowlisted timing module; sim-state paths must be deterministic
+r001_panic.rs:3 [R001] `.unwrap()` in non-test code; propagate the error or justify the panic with an `// INVARIANT:` comment
+r001_panic.rs:4 [R001] `.expect(` in non-test code; propagate the error or justify the panic with an `// INVARIANT:` comment
+r001_panic.rs:6 [R001] `panic!` in non-test code; propagate the error or justify the panic with an `// INVARIANT:` comment
+s001_unsafe.rs:3 [S001] `unsafe` without a `// SAFETY:` comment on or directly above the line";
+    assert_eq!(lines.join("\n"), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk: the real tree, S002, and the allowlist
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_workspace_that_ships_tidy_is_clean() {
+    let diags = check_workspace(&workspace_root()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace must be tidy-clean:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn s002_fires_for_an_unsafe_free_crate_without_forbid() {
+    let root = scratch("s002");
+    let dir = root.join("crates/s002fix");
+    fs::create_dir_all(dir.join("src")).unwrap();
+    for (from, to) in [("Cargo.toml", "Cargo.toml"), ("src/lib.rs", "src/lib.rs")] {
+        fs::copy(
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("fixtures/s002_crate")
+                .join(from),
+            dir.join(to),
+        )
+        .unwrap();
+    }
+    let diags = check_workspace(&root).expect("walk");
+    assert_eq!(diags.len(), 1, "exactly one diagnostic, got {diags:?}");
+    assert_eq!(diags[0].rule, "S002");
+    assert_eq!(diags[0].path, "crates/s002fix/src/lib.rs");
+    assert_eq!(diags[0].line, 1);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn allowlist_suppresses_a_matching_diagnostic() {
+    let root = scratch("allow-hit");
+    write_crate(
+        &root,
+        "timed",
+        "#![forbid(unsafe_code)]\npub fn t() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let diags = check_workspace(&root).expect("walk");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "D002");
+
+    fs::write(
+        root.join("tidy.toml"),
+        "[[allow]]\nrule = \"D002\"\npath = \"crates/timed/src/lib.rs\"\nreason = \"fixture timing module\"\n",
+    )
+    .unwrap();
+    let diags = check_workspace(&root).expect("walk with allowlist");
+    assert!(
+        diags.is_empty(),
+        "allowlisted D002 must be suppressed, got {diags:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn stale_allowlist_entries_are_reported_as_t002() {
+    let root = scratch("allow-stale");
+    write_crate(
+        &root,
+        "clean",
+        "#![forbid(unsafe_code)]\npub fn f() -> u32 { 1 }\n",
+    );
+    fs::write(
+        root.join("tidy.toml"),
+        "# comment\n[[allow]]\nrule = \"D002\"\npath = \"crates/clean/src/lib.rs\"\nreason = \"nothing here needs this\"\n",
+    )
+    .unwrap();
+    let diags = check_workspace(&root).expect("walk");
+    assert_eq!(diags.len(), 1, "got {diags:?}");
+    assert_eq!(diags[0].rule, "T002");
+    assert_eq!(diags[0].path, "tidy.toml");
+    assert_eq!(diags[0].line, 2, "T002 reports the [[allow]] header line");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn malformed_allowlist_entries_are_t001() {
+    // Missing reason.
+    let (list, diags) =
+        parse_allowlist("tidy.toml", "[[allow]]\nrule = \"D002\"\npath = \"x.rs\"\n");
+    assert!(list.entries.is_empty());
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "T001");
+
+    // Unrecognised key.
+    let (_, diags) = parse_allowlist(
+        "tidy.toml",
+        "[[allow]]\nrule = \"D002\"\npath = \"x.rs\"\nreason = \"ok\"\nseverity = \"warn\"\n",
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "T001");
+    assert_eq!(diags[0].line, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Binary exit codes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn binary_exits_zero_on_the_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bebop-tidy"))
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run bebop-tidy");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "expected exit 0, got {:?}; stdout:\n{stdout}",
+        out.status.code()
+    );
+    assert!(stdout.contains("tidy ok"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn binary_exits_one_on_a_tree_with_violations() {
+    let root = scratch("bin-violations");
+    write_crate(
+        &root,
+        "dirty",
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\npub fn f() -> HashMap<u8, u8> { HashMap::new() }\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_bebop-tidy"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("run bebop-tidy");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[D001]"), "stdout:\n{stdout}");
+    assert!(stderr.contains("error(s)"), "stderr:\n{stderr}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn binary_exits_two_on_an_unusable_root() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bebop-tidy"))
+        .arg("--root")
+        .arg("/nonexistent/bebop-tidy-selftest")
+        .output()
+        .expect("run bebop-tidy");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -166,6 +166,8 @@ impl TraceBuffer {
         while committed < n {
             let u = stream
                 .next()
+                // INVARIANT: callers pass unbounded generators (or streams
+                // pre-sized to the budget); ending early is a caller bug.
                 .expect("µ-op stream ended before the recording budget was honoured");
             buf.push(&u);
             if !u.wrong_path {
@@ -398,6 +400,7 @@ impl Iterator for TraceCursor<'_> {
         let mut u = DynUop::new(
             i as u64,
             b.pc[i],
+            // CAST: each meta field is an 8-bit-packed lane (shift + u8).
             (m >> meta::INST_LEN_SHIFT) as u8,
             (m >> meta::UOP_IDX_SHIFT) as u8,
             (m >> meta::NUM_UOPS_SHIFT) as u8,

@@ -146,10 +146,12 @@ impl FaultPlan {
             return Err(io::Error::other("injected fault: transient read error"));
         }
         if !bytes.is_empty() && self.roll(self.short_read_1_in, SHORT_READ) {
+            // CAST: the modulo bounds the draw below bytes.len().
             let keep = (self.draw() % bytes.len() as u64) as usize;
             bytes.truncate(keep);
         }
         if !bytes.is_empty() && self.roll(self.corrupt_1_in, CORRUPTION) {
+            // CAST: the modulo bounds the draw below bytes.len().
             let at = (self.draw() % bytes.len() as u64) as usize;
             bytes[at] ^= 0x5A;
         }

@@ -13,7 +13,7 @@ use crate::workload::WorkloadSpec;
 use bebop_isa::{BasicBlockId, BranchKind, DynUop, Program, SeqNum, Terminator, Uop, UopKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Identity of a static µ-op inside the program: (block, instruction, µ-op index).
 type StaticUopId = (usize, usize, usize);
@@ -53,10 +53,10 @@ struct BranchState {
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     program: Program,
-    value_states: HashMap<StaticUopId, ValueState>,
-    addr_states: HashMap<StaticUopId, AddressState>,
-    branch_behaviors: HashMap<usize, BranchBehavior>,
-    branch_states: HashMap<usize, BranchState>,
+    value_states: BTreeMap<StaticUopId, ValueState>,
+    addr_states: BTreeMap<StaticUopId, AddressState>,
+    branch_behaviors: BTreeMap<usize, BranchBehavior>,
+    branch_states: BTreeMap<usize, BranchState>,
     rng: SmallRng,
     seq: SeqNum,
     ghr: u64,
@@ -81,9 +81,9 @@ impl TraceGenerator {
         let program = spec.build_program();
         let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x7ace_0002);
 
-        let mut value_states = HashMap::new();
-        let mut addr_states = HashMap::new();
-        let mut branch_behaviors = HashMap::new();
+        let mut value_states = BTreeMap::new();
+        let mut addr_states = BTreeMap::new();
+        let mut branch_behaviors = BTreeMap::new();
 
         for (bb_id, block, _pc) in program.iter() {
             for (inst_idx, inst) in block.insts().iter().enumerate() {
@@ -153,7 +153,7 @@ impl TraceGenerator {
             value_states,
             addr_states,
             branch_behaviors,
-            branch_states: HashMap::new(),
+            branch_states: BTreeMap::new(),
             rng,
             seq: 0,
             ghr: 0,
@@ -211,9 +211,12 @@ impl TraceGenerator {
         match self
             .branch_behaviors
             .get(&bb)
+            // INVARIANT: new() populates behaviour for every conditional
+            // block id before the first decide_branch call.
             .expect("conditional block must have branch behaviour")
         {
             BranchBehavior::BackEdge { trip } => (n + 1) % *trip != 0,
+            // CAST: the modulo bounds the index below dirs.len(), which fits usize.
             BranchBehavior::Pattern { dirs } => dirs[(n % dirs.len() as u64) as usize],
             BranchBehavior::Bernoulli { p_taken } => self.rng.gen_bool(*p_taken),
         }
@@ -246,6 +249,8 @@ impl TraceGenerator {
         let mut new_uops: Vec<DynUop> = Vec::with_capacity(block.num_uops());
         for (inst_idx, inst) in block.insts().iter().enumerate() {
             let is_terminator_inst = inst_idx + 1 == num_insts && inst.is_branch();
+            // CAST: an instruction decodes to at most a handful of µ-ops
+            // (the encoding caps it well below 256).
             let num_uops = inst.uops().len() as u8;
             for (uop_idx, uop) in inst.uops().iter().enumerate() {
                 let id = (bb.0, inst_idx, uop_idx);
@@ -263,6 +268,8 @@ impl TraceGenerator {
                 if uop.kind().is_mem() {
                     let addr = self
                         .addr_states
+                        // INVARIANT: new() creates address state for every
+                        // static memory µ-op id in the program.
                         .get_mut(&id)
                         .expect("memory µ-op must have address state")
                         .next_addr(&mut self.rng);
@@ -339,6 +346,8 @@ impl TraceGenerator {
             let mut pc = base_pc;
             for (inst_idx, inst) in block.insts().iter().enumerate() {
                 let is_terminator_inst = inst_idx + 1 == num_insts && inst.is_branch();
+                // CAST: same bound as the correct-path emit loop — µ-ops per
+                // instruction are capped far below 256 by the encoding.
                 let num_uops = inst.uops().len() as u8;
                 for (uop_idx, uop) in inst.uops().iter().enumerate() {
                     if emitted == budget {
@@ -448,7 +457,7 @@ mod tests {
     use super::*;
     use crate::value::ValueProfile;
     use crate::workload::{BranchProfile, WorkloadSpec};
-    use std::collections::HashMap as Map;
+    use std::collections::BTreeMap as Map;
 
     fn demo_spec() -> WorkloadSpec {
         WorkloadSpec::named_demo("gen-test")

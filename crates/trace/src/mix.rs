@@ -142,6 +142,7 @@ impl Iterator for MixGenerator {
                 Some(u) => u,
                 None => self.gens[self.cur]
                     .next()
+                    // INVARIANT: TraceGenerator is an endless iterator.
                     .expect("TraceGenerator is unbounded"),
             };
             if !u.wrong_path && self.in_quantum == self.quantum {

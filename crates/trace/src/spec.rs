@@ -452,6 +452,7 @@ pub fn spec_benchmark(name: &str) -> WorkloadSpec {
         .iter()
         .enumerate()
         .find(|(_, r)| r.name == name)
+        // INVARIANT: documented panic — the name set is a public constant.
         .unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let seed = 0xC0FF_EE00 + idx as u64;
     let mut spec = WorkloadSpec::new(row.name, seed);
@@ -479,6 +480,7 @@ pub fn benchmark_class(name: &str) -> BenchClass {
     BENCH_TABLE
         .iter()
         .find(|r| r.name == name)
+        // INVARIANT: documented panic — the name set is a public constant.
         .unwrap_or_else(|| panic!("unknown benchmark {name}"))
         .class
 }

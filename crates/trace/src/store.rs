@@ -494,10 +494,13 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, StoreError> {
+        // INVARIANT: take(4) returned exactly 4 bytes, so the array
+        // conversion cannot fail.
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Result<u64, StoreError> {
+        // INVARIANT: take(8) returned exactly 8 bytes.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -505,6 +508,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n.checked_mul(8).ok_or(StoreError::Truncated)?)?;
         Ok(raw
             .chunks_exact(8)
+            // INVARIANT: chunks_exact(8) yields 8-byte slices only.
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
@@ -513,6 +517,7 @@ impl<'a> Reader<'a> {
         let raw = self.take(n.checked_mul(4).ok_or(StoreError::Truncated)?)?;
         Ok(raw
             .chunks_exact(4)
+            // INVARIANT: chunks_exact(4) yields 4-byte slices only.
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect())
     }
@@ -567,6 +572,7 @@ pub fn decode_trace(bytes: &[u8]) -> Result<DecodedTrace, StoreError> {
         .collect::<Result<Vec<Uop>, StoreError>>()?;
     let value = r.u64_lane(n)?;
     let meta = r.u32_lane(n)?;
+    // CAST: mem_len/br_len are u32 lane counts — widening into usize (≥32 bits).
     let mem_addr = r.u64_lane(mem_len as usize)?;
     let mem_size = r.take(mem_len as usize)?.to_vec();
     let br_target = r.u64_lane(br_len as usize)?;
@@ -889,7 +895,11 @@ impl TraceStore {
         // Oldest first, strict LRU: remove the least-recently-used file until
         // the total fits. (Skipping a too-big file to keep older smaller ones
         // would evict more-recently-used recordings — not LRU.)
-        files.sort_by_key(|f| f.2);
+        // Tie-break equal mtimes by path: coarse filesystem timestamps can
+        // collapse distinct save times onto one value, and a bare mtime sort
+        // would then inherit readdir order — making *which* recording gets
+        // evicted depend on the filesystem, not on the store's inputs.
+        files.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
         let mut stats = SweepStats::default();
         let mut total: u64 = files.iter().map(|f| f.1).sum();
         for (path, len, _mtime) in files {
@@ -1136,7 +1146,7 @@ mod tests {
         // evict a more-recently-used recording than the one it keeps.
         let dir = tmp_dir("lru");
         let store = TraceStore::open(&dir).expect("open");
-        let mut sizes = std::collections::HashMap::new();
+        let mut sizes = std::collections::BTreeMap::new();
         for (i, (name, uops)) in [("lru-c", 2_000u64), ("lru-b", 2_500), ("lru-a", 3_000)]
             .iter()
             .enumerate()
@@ -1164,6 +1174,43 @@ mod tests {
         assert!(!store
             .trace_path(&WorkloadSpec::new("lru-c", 40), 2_000)
             .exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_breaks_equal_mtime_ties_by_path() {
+        // Coarse filesystem timestamps can collapse distinct save times onto
+        // one mtime; eviction must then fall back to path order, not readdir
+        // order, so *which* recording is evicted is a function of the store's
+        // contents alone.
+        let dir = tmp_dir("tie");
+        let store = TraceStore::open(&dir).expect("open");
+        let mut paths = Vec::new();
+        let t = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(5_000);
+        for (i, name) in ["tie-a", "tie-b", "tie-c"].iter().enumerate() {
+            let spec = WorkloadSpec::new(*name, 70 + i as u64);
+            let buf = TraceBuffer::record(&spec, 1_000);
+            let path = store.save(&spec, 1_000, &buf).expect("save");
+            fs::File::options()
+                .write(true)
+                .open(&path)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+            paths.push(path);
+        }
+        paths.sort();
+        let survivor_bytes: u64 = paths[1..]
+            .iter()
+            .map(|p| fs::metadata(p).unwrap().len())
+            .sum();
+        let stats = store.sweep(survivor_bytes).expect("sweep");
+        assert_eq!(stats.files_removed, 1);
+        assert!(
+            !paths[0].exists(),
+            "the lexicographically-smallest path must be the eviction victim"
+        );
+        assert!(paths[1].exists() && paths[2].exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

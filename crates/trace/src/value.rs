@@ -144,14 +144,19 @@ impl ValueState {
                 }
             }
             ValuePattern::BranchCorrelated { values } => {
-                let idx = (branch_history as usize) % values.len().max(1);
+                // Reduce in u64 *before* narrowing: truncating the history
+                // first would pick different values on 32-bit targets.
+                // CAST: the modulo bounds idx below values.len().
+                let idx = (branch_history % values.len().max(1) as u64) as usize;
                 values.get(idx).copied().unwrap_or(0)
             }
             ValuePattern::BranchCorrelatedStride { base, strides } => {
                 if self.instance == 0 {
                     *base
                 } else {
-                    let idx = (branch_history as usize) % strides.len().max(1);
+                    // CAST: reduced in u64 first (see BranchCorrelated); the
+                    // modulo bounds idx below strides.len().
+                    let idx = (branch_history % strides.len().max(1) as u64) as usize;
                     let s = strides.get(idx).copied().unwrap_or(0);
                     self.current.wrapping_add_signed(s)
                 }
@@ -309,6 +314,43 @@ mod tests {
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn branch_correlated_index_reduces_history_before_narrowing() {
+        // `history % len` must be computed in u64: truncating the history to
+        // usize *first* picks a different slot on 32-bit targets
+        // (0x1_0000_0003 truncates to 3, and 3 % 7 = 3, but the full value
+        // mod 7 is 0) and would break cross-platform trace bit-identity.
+        let values: Vec<u64> = (0..7).map(|i| 1_000 + i).collect();
+        let mut st = ValueState::new(ValuePattern::BranchCorrelated { values });
+        let mut r = rng();
+        let history: u64 = (1 << 32) + 3;
+        assert_eq!(
+            history % 7,
+            0,
+            "test premise: full-width mod selects slot 0"
+        );
+        assert_eq!(st.next_value(history, &mut r), 1_000);
+    }
+
+    #[test]
+    fn branch_correlated_stride_reduces_history_before_narrowing() {
+        // Same property for the stride table (3 entries): (2^32 + 1) % 3 = 2,
+        // while the truncated value 1 would select stride slot 1.
+        let mut st = ValueState::new(ValuePattern::BranchCorrelatedStride {
+            base: 500,
+            strides: vec![10, 20, 30],
+        });
+        let mut r = rng();
+        let history: u64 = (1 << 32) + 1;
+        assert_eq!(
+            history % 3,
+            2,
+            "test premise: full-width mod selects slot 2"
+        );
+        assert_eq!(st.next_value(history, &mut r), 500); // instance 0 = base
+        assert_eq!(st.next_value(history, &mut r), 530); // base + strides[2]
     }
 
     #[test]

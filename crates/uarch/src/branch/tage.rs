@@ -140,6 +140,7 @@ impl FoldedHistory {
         FoldedHistory {
             folded: 0,
             clen,
+            // CAST: history lengths are architectural constants (< 4096).
             outpoint: (orig_len as u32) % clen,
             mask: (1u64 << clen) - 1,
         }
@@ -356,6 +357,7 @@ impl Tage {
                 } else {
                     // Prefer shorter-history candidates with geometrically decreasing
                     // probability (as in the original TAGE).
+                    // CAST: the modulo bounds pick below candidates.len().
                     let pick = (self.rand() as usize) % candidates.len().clamp(1, 2);
                     let comp = candidates[pick.min(candidates.len() - 1)];
                     let idx = self.tagged_index(pc, comp);

@@ -28,6 +28,7 @@
 //! assert!(stats.uop_ipc() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -363,6 +363,7 @@ impl Pipeline {
         // values are architecturally visible to the predictor from now on.
         while let Some(front) = self.pending_train.front() {
             if front.commit_cycle <= fetch_cycle {
+                // INVARIANT: front() just returned Some on this same deque.
                 let p = self.pending_train.pop_front().expect("non-empty");
                 predictor.train(&p.uop, p.uop.value, p.predicted);
             } else {

@@ -38,6 +38,7 @@ impl StridePrefetcher {
         if self.degree == 0 {
             return Vec::new();
         }
+        // CAST: masked by the power-of-two table length right after.
         let idx = (pc as usize >> 2) & (self.table.len() - 1);
         let e = &mut self.table[idx];
         let mut out = Vec::new();

@@ -163,6 +163,7 @@ impl OccupancyRing {
         } else {
             // The entry allocated `capacity` allocations ago frees its slot at
             // `front`; the new allocation cannot be earlier.
+            // INVARIANT: the branch above established len >= capacity >= 1.
             let oldest_release = *self.releases.front().expect("ring is full");
             cycle.max(oldest_release)
         }

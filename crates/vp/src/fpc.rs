@@ -39,6 +39,7 @@ impl FpcParams {
 
     /// The saturation level (number of forward transitions).
     pub fn max_level(&self) -> u8 {
+        // CAST: the FPC ladder has at most a handful of levels (paper: 3).
         self.denominators.len() as u8
     }
 }

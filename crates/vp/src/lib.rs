@@ -35,6 +35,7 @@
 //! assert!(stats.vp.accuracy() > 0.95);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

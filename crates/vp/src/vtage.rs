@@ -250,6 +250,7 @@ impl Vtage {
                         self.tagged[c][info.slots[c].0].useful = false;
                     }
                 } else {
+                    // CAST: the modulo bounds pick below candidates.len().
                     let pick = (self.rng.next() as usize) % candidates.len().min(2);
                     let comp = candidates[pick];
                     let (idx, tag) = info.slots[comp];
@@ -418,6 +419,7 @@ impl ValuePredictor for Vtage {
             self.inflight.pop_front();
         }
         if self.inflight.front().is_some_and(|&(s, _)| s == uop.seq) {
+            // INVARIANT: is_some_and on front() just returned true.
             let (_, info) = self.inflight.pop_front().expect("front exists");
             self.train_with(info, actual);
         }
@@ -429,6 +431,7 @@ impl ValuePredictor for Vtage {
         // the *back* of the deque (older correct-path records stay for their
         // own retirements) and apply the polluting table update with it.
         if self.inflight.back().is_some_and(|&(s, _)| s == uop.seq) {
+            // INVARIANT: is_some_and on back() just returned true.
             let (_, info) = self.inflight.pop_back().expect("back exists");
             self.train_with(info, actual);
         }

@@ -133,7 +133,7 @@ fn prop_slot_pool_width() {
         let width = r.gen_range(1u16..8);
         let n = r.gen_range(1usize..200);
         let mut pool = SlotPool::new(width);
-        let mut per_cycle = std::collections::HashMap::new();
+        let mut per_cycle = std::collections::BTreeMap::new();
         for _ in 0..n {
             let t = r.gen_range(0u64..100);
             let c = pool.allocate(t);
