@@ -8,6 +8,7 @@
 //! cargo run -p bebop-bench --release --bin figures -- --all --trace-dir .trace-store
 //! cargo run -p bebop-bench --release --bin figures -- --wrong-path --subset
 //! cargo run -p bebop-bench --release --bin figures -- --mix --subset
+//! cargo run -p bebop-bench --release --bin figures -- --sample --subset
 //! cargo run -p bebop-bench --release --bin figures -- --sweep .sweep --subset
 //! cargo run -p bebop-bench --release --bin figures -- --sweep .sweep --resume --subset
 //! ```
@@ -45,6 +46,15 @@
 //! and cross-context predictor-entry steals (also landed in the `--json`
 //! report as `mix_context_switches` / `mix_shard_steals`).
 //!
+//! `--sample` runs the (opt-in) SimPoint-style phase-sampling experiment:
+//! every workload's recording is partitioned into fixed-length slices
+//! summarised as basic-block vectors, a deterministic k-means clusters the
+//! slices into phases, and only one representative slice per phase is
+//! simulated (with a warm-up prefix), reporting weighted accuracy/coverage/
+//! IPC with per-benchmark confidence intervals. `--sample-slice-uops`,
+//! `--sample-phases` and `--sample-warmup` override the default geometry;
+//! the slice/phase/µ-op totals land in the `--json` report as `sampled_*`.
+//!
 //! `--sweep <dir>` runs the crash-safe resumable predictor-geometry sweep
 //! (see `bebop_bench::sweep`): the grid expands into content-addressed jobs,
 //! every completed cell is journaled incrementally into `<dir>`, and a killed
@@ -69,6 +79,9 @@ struct Options {
     trace_cache: TraceCachePolicy,
     trace_dir: Option<String>,
     trace_dir_mb: Option<u64>,
+    sample_slice_uops: Option<u64>,
+    sample_phases: Option<usize>,
+    sample_warmup: Option<u64>,
     sweep_dir: Option<String>,
     resume: bool,
     sweep_cells: Option<usize>,
@@ -111,6 +124,9 @@ fn parse_args() -> Options {
         trace_cache: TraceCachePolicy::default(),
         trace_dir: None,
         trace_dir_mb: None,
+        sample_slice_uops: None,
+        sample_phases: None,
+        sample_warmup: None,
         sweep_dir: None,
         resume: false,
         sweep_cells: None,
@@ -191,9 +207,27 @@ fn parse_args() -> Options {
                     "a job index",
                 ));
             }
+            "--sample-slice-uops" => {
+                opts.sample_slice_uops = Some(arg_value(
+                    &mut args,
+                    "--sample-slice-uops",
+                    "a slice length in committed µ-ops",
+                ));
+            }
+            "--sample-phases" => {
+                opts.sample_phases = Some(arg_value(&mut args, "--sample-phases", "a phase count"));
+            }
+            "--sample-warmup" => {
+                opts.sample_warmup = Some(arg_value(
+                    &mut args,
+                    "--sample-warmup",
+                    "a warm-up length in committed µ-ops",
+                ));
+            }
             "--all" => opts.which.push("all".to_string()),
             "--wrong-path" => opts.which.push("wrongpath".to_string()),
             "--mix" => opts.which.push("mix".to_string()),
+            "--sample" => opts.which.push("sample".to_string()),
             other => opts.which.push(other.trim_start_matches("--").to_string()),
         }
     }
@@ -202,7 +236,7 @@ fn parse_args() -> Options {
     if opts.which.is_empty() && opts.sweep_dir.is_none() {
         opts.which.push("all".to_string());
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "table2",
@@ -217,6 +251,7 @@ fn parse_args() -> Options {
         "fig8",
         "wrongpath",
         "mix",
+        "sample",
     ];
     for w in &opts.which {
         if !KNOWN.contains(&w.as_str()) {
@@ -243,6 +278,27 @@ fn parse_args() -> Options {
             fail("--checkpoint-every snapshots sweep cells: it requires --sweep <dir>");
         }
     }
+    let wants_sample = opts.which.iter().any(|w| w == "sample");
+    if !wants_sample {
+        if opts.sample_slice_uops.is_some() {
+            fail("--sample-slice-uops tunes the sampling geometry: it requires --sample");
+        }
+        if opts.sample_phases.is_some() {
+            fail("--sample-phases tunes the sampling geometry: it requires --sample");
+        }
+        if opts.sample_warmup.is_some() {
+            fail("--sample-warmup tunes the sampling geometry: it requires --sample");
+        }
+    } else if !opts.trace_cache.enabled {
+        // Slice replay needs a materialised recording to index into.
+        fail("--sample replays slices of a recorded trace: it cannot run with --no-trace-cache");
+    }
+    if opts.sample_phases == Some(0) {
+        fail("--sample-phases needs at least one phase");
+    }
+    if opts.sample_slice_uops == Some(0) {
+        fail("--sample-slice-uops needs a non-zero slice length");
+    }
     if !opts.fault_stall_jobs.is_empty() && opts.cell_timeout_ms.is_none() {
         // A stalled cell only exits through the watchdog's cancellation; a
         // stall without a watchdog is a deliberate hang, not a test.
@@ -263,10 +319,11 @@ fn parse_args() -> Options {
 }
 
 fn wants(opts: &Options, name: &str) -> bool {
-    // The wrong-path and mix experiments are opt-in only (`--wrong-path` /
-    // `--mix`): they are not part of `--all`, so the default figure set stays
-    // bit-identical to runs from before the modes existed.
-    if name == "wrongpath" || name == "mix" {
+    // The wrong-path, mix and sampling experiments are opt-in only
+    // (`--wrong-path` / `--mix` / `--sample`): they are not part of `--all`,
+    // so the default figure set stays bit-identical to runs from before the
+    // modes existed.
+    if name == "wrongpath" || name == "mix" || name == "sample" {
         return opts.which.iter().any(|w| w == name);
     }
     opts.which.iter().any(|w| w == "all" || w == name)
@@ -332,6 +389,17 @@ struct MixAgg {
     shard_steals: u64,
 }
 
+/// Aggregated phase-sampling counters for the perf JSON (zero when the
+/// `--sample` experiment did not run; old reports parse the missing fields as
+/// zero).
+#[derive(Default)]
+struct SampledAgg {
+    slices: u64,
+    phases: u64,
+    simulated_uops: u64,
+    full_uops: u64,
+}
+
 /// Aggregated sweep-engine counters for the perf JSON (zero when no `--sweep`
 /// ran; old reports parse the missing fields as zero).
 #[derive(Default)]
@@ -355,6 +423,7 @@ fn write_json(
     store: Option<&bebop_bench::TraceStore>,
     wp: &WrongPathAgg,
     mix: &MixAgg,
+    sampled: &SampledAgg,
     sweep: &SweepAgg,
 ) -> std::io::Result<()> {
     // The worker-pool width the experiments actually fanned out with (the
@@ -399,6 +468,19 @@ fn write_json(
         mix.context_switches
     ));
     out.push_str(&format!("  \"mix_shard_steals\": {},\n", mix.shard_steals));
+    // Phase-sampling traffic (zero unless --sample ran): the simulated/full
+    // split is the cost ledger — sampled runs must stay a small fraction of
+    // the full-run budget.
+    out.push_str(&format!("  \"sampled_slices\": {},\n", sampled.slices));
+    out.push_str(&format!("  \"sampled_phases\": {},\n", sampled.phases));
+    out.push_str(&format!(
+        "  \"sampled_simulated_uops\": {},\n",
+        sampled.simulated_uops
+    ));
+    out.push_str(&format!(
+        "  \"sampled_full_uops\": {},\n",
+        sampled.full_uops
+    ));
     // Sweep-engine traffic (zero unless --sweep ran): the resumed/executed
     // split is the crash-safety ledger — resumed cells cost no simulation.
     out.push_str(&format!(
@@ -786,6 +868,84 @@ fn main() {
         });
     }
 
+    let mut sampled_agg = SampledAgg::default();
+    if wants(&opts, "sample") {
+        timed(&mut report, "sample", || {
+            let mut cfg = sampling::SamplingConfig::for_budget(uops);
+            if let Some(s) = opts.sample_slice_uops {
+                cfg.slice_uops = s;
+            }
+            if let Some(k) = opts.sample_phases {
+                cfg.max_phases = k;
+            }
+            if let Some(w) = opts.sample_warmup {
+                cfg.warmup_uops = w;
+            }
+            let out = sampling::run_sampled(&specs, uops, &cfg, &opts.trace_cache, store.as_ref());
+            println!(
+                "\n=== Phase sampling: {}-µ-op slices, ≤{} phases, {}-µ-op warm-up, \
+                 D-VTAGE on Baseline_VP_6_60 ===",
+                cfg.slice_uops, cfg.max_phases, cfg.warmup_uops
+            );
+            // The header trace-accounting line prints before opt-in
+            // experiments run, so sampling reports its own population (CI
+            // greps "generated 0 µ-ops" here on a warm store).
+            println!(
+                "    sample trace population: loaded {}, recorded {}, generated {} µ-ops",
+                out.loaded_traces, out.recorded_traces, out.generated_uops
+            );
+            println!(
+                "    {:<18} {:>6} {:>6}  {:>8} {:>7}  {:>8} {:>7}  {:>8} {:>7}  {:>9}",
+                "benchmark",
+                "slices",
+                "phases",
+                "acc",
+                "±ci",
+                "cov",
+                "±ci",
+                "ipc",
+                "±ci",
+                "samp-µops"
+            );
+            for r in &out.rows {
+                println!(
+                    "    {:<18} {:>6} {:>6}  {:>8.4} {:>7.4}  {:>8.4} {:>7.4}  {:>8.4} {:>7.4}  {:>9}",
+                    r.name,
+                    r.slices,
+                    r.phases,
+                    r.sampled.accuracy,
+                    r.sampled.accuracy_ci,
+                    r.sampled.coverage,
+                    r.sampled.coverage_ci,
+                    r.sampled.uop_ipc,
+                    r.sampled.uop_ipc_ci,
+                    r.sampled_uops,
+                );
+            }
+            // CI greps this line: the declared bounds are the differential
+            // harness's contract, and the budget ratio is the cost contract.
+            println!(
+                "    declared error bound: accuracy ±{:.2} / coverage ±{:.2} absolute, IPC ±{:.0}% relative (CI floors)",
+                sampling::ACCURACY_BOUND_FLOOR,
+                sampling::COVERAGE_BOUND_FLOOR,
+                sampling::IPC_RELATIVE_BOUND_FLOOR * 100.0
+            );
+            println!(
+                "    sampled {} of {} full-run µ-ops ({:.1}% of the full budget)",
+                out.simulated_uops,
+                out.full_uops,
+                out.simulated_uops as f64 / out.full_uops as f64 * 100.0
+            );
+            sampled_agg = SampledAgg {
+                slices: out.rows.iter().map(|r| r.slices as u64).sum(),
+                phases: out.rows.iter().map(|r| r.phases as u64).sum(),
+                simulated_uops: out.simulated_uops,
+                full_uops: out.full_uops,
+            };
+            out.simulated_uops + out.generated_uops
+        });
+    }
+
     let mut sweep_agg = SweepAgg::default();
     if let Some(dir) = &opts.sweep_dir {
         let dir = std::path::PathBuf::from(dir);
@@ -885,6 +1045,7 @@ fn main() {
             store.as_ref(),
             &wp_agg,
             &mix_agg,
+            &sampled_agg,
             &sweep_agg,
         ) {
             eprintln!("[figures] cannot write the JSON perf report to {path}: {e}");

@@ -33,6 +33,7 @@ use bebop_uarch::{PipelineConfig, SharingPolicy};
 mod trace_set;
 
 pub mod perf_json;
+pub mod sampling;
 pub mod sweep;
 
 pub use bebop_trace::{FaultPlan, TraceStore, TRACE_FORMAT_VERSION};

@@ -47,6 +47,16 @@ pub struct PerfReport {
     pub sweep_cells_quarantined: u64,
     /// Transient-I/O retries the sweep engine performed.
     pub sweep_io_retries: u64,
+    /// Profiling slices in the `--sample` experiment, summed over benchmarks
+    /// (0 when it did not run, and for reports from before sampling existed).
+    pub sampled_slices: u64,
+    /// Phases (representative slices) the `--sample` experiment simulated,
+    /// summed over benchmarks.
+    pub sampled_phases: u64,
+    /// Detailed µ-ops the `--sample` experiment actually simulated.
+    pub sampled_simulated_uops: u64,
+    /// µ-ops a full (unsampled) run of the same budget would simulate.
+    pub sampled_full_uops: u64,
     /// `(experiment name, µops/sec)` rows, in report order.
     pub experiments: Vec<(String, f64)>,
 }
@@ -133,6 +143,12 @@ pub fn parse(text: &str) -> Option<PerfReport> {
     let sweep_cells_quarantined =
         number_after(text, "sweep_cells_quarantined", 0).map_or(0, |(v, _)| v as u64);
     let sweep_io_retries = number_after(text, "sweep_io_retries", 0).map_or(0, |(v, _)| v as u64);
+    // Optional: reports written before phase sampling read as 0.
+    let sampled_slices = number_after(text, "sampled_slices", 0).map_or(0, |(v, _)| v as u64);
+    let sampled_phases = number_after(text, "sampled_phases", 0).map_or(0, |(v, _)| v as u64);
+    let sampled_simulated_uops =
+        number_after(text, "sampled_simulated_uops", 0).map_or(0, |(v, _)| v as u64);
+    let sampled_full_uops = number_after(text, "sampled_full_uops", 0).map_or(0, |(v, _)| v as u64);
 
     let exp_at = text.find("\"experiments\"")?;
     let mut experiments = Vec::new();
@@ -162,6 +178,10 @@ pub fn parse(text: &str) -> Option<PerfReport> {
         sweep_cells_executed,
         sweep_cells_quarantined,
         sweep_io_retries,
+        sampled_slices,
+        sampled_phases,
+        sampled_simulated_uops,
+        sampled_full_uops,
         experiments,
     })
 }
@@ -247,6 +267,19 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
             baseline.sweep_cells_executed,
             baseline.sweep_cells_quarantined,
             baseline.sweep_io_retries
+        ));
+    }
+    if baseline.sampled_phases > 0 || current.sampled_phases > 0 {
+        lines.push(format!(
+            "  sample: {} slice(s), {} phase(s), {} of {} µops simulated (baseline {} / {} / {} / {})",
+            current.sampled_slices,
+            current.sampled_phases,
+            current.sampled_simulated_uops,
+            current.sampled_full_uops,
+            baseline.sampled_slices,
+            baseline.sampled_phases,
+            baseline.sampled_simulated_uops,
+            baseline.sampled_full_uops
         ));
     }
     for (name, base_ups) in &baseline.experiments {
@@ -487,6 +520,50 @@ mod tests {
         // No sweep traffic on either side: no sweep line.
         let quiet = diff(&old, &old, 0.20);
         assert!(!quiet.lines.iter().any(|l| l.contains("sweep:")));
+    }
+
+    #[test]
+    fn sampled_counters_parse_and_default_to_zero() {
+        // Old reports (no sampling fields) parse as zero traffic.
+        let old = parse(&report(1000.0, 1000.0)).expect("parse");
+        assert_eq!(old.sampled_slices, 0);
+        assert_eq!(old.sampled_phases, 0);
+        assert_eq!(old.sampled_simulated_uops, 0);
+        assert_eq!(old.sampled_full_uops, 0);
+
+        let with_sample = r#"{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 1,
+  "uops_per_run": 200000,
+  "benchmarks": 6,
+  "sampled_slices": 300,
+  "sampled_phases": 48,
+  "sampled_simulated_uops": 240000,
+  "sampled_full_uops": 1200000,
+  "total_wall_s": 10.5,
+  "total_uops": 1000,
+  "total_uops_per_sec": 1000.0,
+  "experiments": [
+    {"name": "sample", "wall_s": 9.5, "uops": 500, "uops_per_sec": 1000.0}
+  ]
+}
+"#;
+        let cur = parse(with_sample).expect("parse");
+        assert_eq!(cur.sampled_slices, 300);
+        assert_eq!(cur.sampled_phases, 48);
+        assert_eq!(cur.sampled_simulated_uops, 240_000);
+        assert_eq!(cur.sampled_full_uops, 1_200_000);
+        let d = diff(&old, &cur, 0.20);
+        assert!(
+            d.lines
+                .iter()
+                .any(|l| l.contains("300 slice(s), 48 phase(s), 240000 of 1200000")),
+            "{:?}",
+            d.lines
+        );
+        // No sampling traffic on either side: no sample line.
+        let quiet = diff(&old, &old, 0.20);
+        assert!(!quiet.lines.iter().any(|l| l.contains("sample:")));
     }
 
     #[test]

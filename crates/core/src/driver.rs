@@ -5,7 +5,7 @@
 use crate::block_dvtage::{BlockDVtage, BlockDVtageConfig};
 use crate::par;
 use bebop_isa::DynUop;
-use bebop_trace::{TraceBuffer, TraceCursor, TraceGenerator, WorkloadSpec};
+use bebop_trace::{RangeError, TraceBuffer, TraceCursor, TraceGenerator, WorkloadSpec};
 use bebop_uarch::{
     gmean, NoValuePredictor, PerfectValuePredictor, Pipeline, PipelineConfig, PredictCtx, SimStats,
     SquashInfo, ValuePredictor,
@@ -210,14 +210,48 @@ pub enum UopSource<'a> {
     Live(&'a WorkloadSpec),
     /// Replay a shared pre-recorded trace.
     Replay(&'a TraceBuffer),
+    /// Replay only the `start..end` lane-index sub-range of a shared
+    /// recording — the stream behind a phase-sampling slice run. Construct
+    /// with [`UopSource::replay_slice`], which validates the bounds up front
+    /// (rejecting out-of-bounds ranges and wrong-path-straddling starts with
+    /// a structured [`RangeError`]).
+    ReplaySlice {
+        /// The shared recording.
+        buf: &'a TraceBuffer,
+        /// First lane index of the slice (a committed µ-op).
+        start: usize,
+        /// One-past-last lane index of the slice.
+        end: usize,
+    },
 }
 
 impl<'a> UopSource<'a> {
+    /// A validated slice-bounded replay source over `buf[start..end]`.
+    ///
+    /// The errors of [`TraceBuffer::replay_range`] apply: inverted or
+    /// out-of-bounds ranges, empty ranges, and slices starting inside a
+    /// wrong-path burst are rejected here, once, so [`UopSource::stream`]
+    /// can never fail later (e.g. mid-sweep on a worker thread).
+    pub fn replay_slice(
+        buf: &'a TraceBuffer,
+        start: usize,
+        end: usize,
+    ) -> Result<Self, RangeError> {
+        buf.replay_range(start, end)?;
+        Ok(UopSource::ReplaySlice { buf, start, end })
+    }
+
     /// Opens the µ-op stream at its start.
     pub fn stream(&self) -> UopStream<'a> {
         match self {
             UopSource::Live(spec) => UopStream::Live(TraceGenerator::new(spec)),
             UopSource::Replay(buf) => UopStream::Replay(buf.replay()),
+            UopSource::ReplaySlice { buf, start, end } => UopStream::Replay(
+                buf.replay_range(*start, *end)
+                    // INVARIANT: the bounds were validated by
+                    // `UopSource::replay_slice` at construction.
+                    .expect("slice bounds validated at construction"),
+            ),
         }
     }
 }
@@ -273,6 +307,60 @@ pub fn run_source_with(
     max_uops: u64,
 ) -> SimStats {
     Pipeline::new(pipeline.clone()).run(source.stream(), predictor, max_uops)
+}
+
+/// Simulates one phase-sampling slice of a recording and returns the
+/// statistics of the measurement window alone.
+///
+/// The pipeline and predictor start cold at `warmup_uops` *committed* µ-ops
+/// before `start` (clamped to the recording start; the warm-up start is
+/// always itself a committed µ-op), run through the warm-up to populate
+/// caches, branch predictor and value-predictor tables, and then continue
+/// through the measurement window `start..end`. The returned statistics are
+/// the counter delta across the window ([`bebop_uarch::SimStats::delta_since`]
+/// over [`Pipeline::stats_snapshot`]), so warm-up work is simulated but never
+/// reported.
+///
+/// Fails with the structured [`RangeError`] of [`TraceBuffer::replay_range`]
+/// when `start..end` is not a valid slice of the recording.
+pub fn run_slice(
+    buf: &TraceBuffer,
+    pipeline: &PipelineConfig,
+    predictor: &PredictorKind,
+    start: usize,
+    end: usize,
+    warmup_uops: u64,
+) -> Result<SimStats, RangeError> {
+    // Validate the *requested* window first so the caller's bounds — not the
+    // widened warm-up bounds — are what an error reports.
+    buf.replay_range(start, end)?;
+    let (warm_start, warm_committed) = buf.warmup_start(start, warmup_uops);
+    let mut p = predictor.build();
+    let mut pipe = Pipeline::new(pipeline.clone());
+    let mut stream_pos = 0u64;
+    // SMARTS-style staging: the entire prefix before the detailed warm-up is
+    // *functionally* warmed (predictor / branch / cache state only, no cycle
+    // timing, not counted against the detailed-simulation budget), then
+    // `warmup_uops` committed µ-ops run detailed to refill pipeline-local
+    // transients, then the measurement window is the reported delta.
+    if warm_start > 0 {
+        let mut prefix = buf
+            .replay_range(0, warm_start)
+            // INVARIANT: a recording starts on the correct path (bursts only
+            // ever follow a mispredicted branch) and `warmup_start` returns a
+            // committed in-bounds index, so the prefix window is valid.
+            .expect("recording prefix is a valid replay window");
+        pipe.warm_functional(&mut prefix, &mut p, u64::MAX, &mut stream_pos);
+    }
+    let mut stream = buf
+        .replay_range(warm_start, end)
+        // INVARIANT: `warmup_start` only widens a just-validated window and
+        // always lands on a committed µ-op.
+        .expect("warm-up widening of a validated window");
+    pipe.run_segment(&mut stream, &mut p, warm_committed, &mut stream_pos);
+    let warm_snapshot = pipe.stats_snapshot();
+    pipe.run_segment(&mut stream, &mut p, u64::MAX, &mut stream_pos);
+    Ok(pipe.finish(&mut p).delta_since(&warm_snapshot))
 }
 
 /// Renders a panic payload as a one-line reason string (the payload of
@@ -524,6 +612,43 @@ mod tests {
             );
             assert_eq!(live, replayed, "{} diverged under replay", kind.label());
         }
+    }
+
+    #[test]
+    fn slice_source_replays_exactly_its_window() {
+        let spec = demo();
+        let buf = bebop_trace::TraceBuffer::record(&spec, 8_000);
+        let src = UopSource::replay_slice(&buf, 2_000, 5_000).expect("valid slice");
+        let got: Vec<_> = src.stream().collect();
+        let full: Vec<_> = UopSource::Replay(&buf).stream().collect();
+        assert_eq!(got, full[2_000..5_000]);
+        // Invalid bounds surface the structured error at construction.
+        assert!(matches!(
+            UopSource::replay_slice(&buf, 0, 9_000),
+            Err(bebop_trace::RangeError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn run_slice_reports_the_measurement_window_only() {
+        let spec = demo();
+        let buf = bebop_trace::TraceBuffer::record(&spec, 8_000);
+        let cfg = PipelineConfig::baseline_vp_6_60();
+        let stats = run_slice(&buf, &cfg, &PredictorKind::DVtage, 3_000, 6_000, 1_000)
+            .expect("valid slice");
+        assert_eq!(stats.uops, 3_000, "window µ-ops only");
+        assert!(stats.cycles > 0);
+        // Warm-up clamps at the recording start without failing.
+        let head =
+            run_slice(&buf, &cfg, &PredictorKind::DVtage, 0, 2_000, 1_000).expect("head slice");
+        assert_eq!(head.uops, 2_000);
+        // With zero warm-up from position 0, a slice over the whole recording
+        // is exactly a full run.
+        let whole = run_slice(&buf, &cfg, &PredictorKind::DVtage, 0, 8_000, 0).unwrap();
+        let full = run_source(UopSource::Replay(&buf), &cfg, &PredictorKind::DVtage, 8_000);
+        assert_eq!(whole, full);
+        // Errors are structured, not panics.
+        assert!(run_slice(&buf, &cfg, &PredictorKind::DVtage, 5, 5, 0).is_err());
     }
 
     #[test]

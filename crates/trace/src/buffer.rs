@@ -24,7 +24,7 @@ use crate::workload::WorkloadSpec;
 use bebop_isa::{BranchKind, DynUop, MemAccess, Uop};
 
 /// Packed per-µop metadata lane layout (one `u32` per µ-op).
-mod meta {
+pub(crate) mod meta {
     /// Bits 0..8: macro-instruction byte length.
     pub const INST_LEN_SHIFT: u32 = 0;
     /// Bits 8..16: µ-op index within the macro-instruction.
@@ -367,11 +367,126 @@ impl TraceBuffer {
         TraceCursor {
             buf: self,
             i: 0,
+            end: self.pc.len(),
             mem_i: 0,
             br_i: 0,
         }
     }
+
+    /// A zero-copy cursor replaying only the sub-range `start..end` of the
+    /// recording (lane indices, wrong-path µ-ops included) — the replay
+    /// primitive behind phase-sampled simulation, where each representative
+    /// slice is simulated in isolation.
+    ///
+    /// The cursor yields µ-ops bit-identical to what a full replay yields over
+    /// the same positions: sequence numbers keep their absolute lane indices
+    /// and the sparse memory/branch lanes are entered at the correct offsets
+    /// (computed by one metadata prefix scan, paid once per cursor).
+    ///
+    /// Invalid ranges are rejected with a structured [`RangeError`] instead of
+    /// panicking: out-of-bounds or inverted bounds, empty ranges, and ranges
+    /// whose first µ-op lies on the wrong path of a mispredicted branch — a
+    /// slice must never start inside a wrong-path burst, because the burst
+    /// belongs to the slice that contains its mispredicted branch.
+    pub fn replay_range(&self, start: usize, end: usize) -> Result<TraceCursor<'_>, RangeError> {
+        let len = self.pc.len();
+        if start > len || end > len || start > end {
+            return Err(RangeError::OutOfBounds { start, end, len });
+        }
+        if start == end {
+            return Err(RangeError::Empty { start });
+        }
+        if self.meta[start] & meta::WRONG_PATH != 0 {
+            return Err(RangeError::WrongPathStart { start });
+        }
+        // Enter the sparse lanes at the offsets the skipped prefix consumed.
+        let mut mem_i = 0;
+        let mut br_i = 0;
+        for &m in &self.meta[..start] {
+            mem_i += usize::from(m & meta::HAS_MEM != 0);
+            br_i += usize::from(m & meta::HAS_BRANCH != 0);
+        }
+        Ok(TraceCursor {
+            buf: self,
+            i: start,
+            end,
+            mem_i,
+            br_i,
+        })
+    }
+
+    /// The lane index at most `warmup` *committed* µ-ops before `start`, and
+    /// the committed µ-op count actually covered — clamped at the recording
+    /// start, so early slices get whatever warm-up prefix exists.
+    ///
+    /// The returned index is always itself a committed µ-op (or `start`
+    /// unchanged when `warmup` is 0), making `warmup_start(s, w).0 .. end` a
+    /// valid [`TraceBuffer::replay_range`] window whenever `s..end` is one:
+    /// this is how a slice run widens its replay window to include warm-up.
+    pub fn warmup_start(&self, start: usize, warmup: u64) -> (usize, u64) {
+        let mut committed = 0u64;
+        let mut pos = start.min(self.meta.len());
+        let mut i = pos;
+        while i > 0 && committed < warmup {
+            i -= 1;
+            if self.meta[i] & meta::WRONG_PATH == 0 {
+                committed += 1;
+                pos = i;
+            }
+        }
+        (pos, committed)
+    }
 }
+
+/// Why a requested replay sub-range was rejected by
+/// [`TraceBuffer::replay_range`].
+///
+/// These are caller errors a sampler can hit with untrusted slice tables
+/// (e.g. stale phase metadata against a re-recorded trace), so they surface
+/// as structured values rather than panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeError {
+    /// The bounds are inverted or extend past the recording.
+    OutOfBounds {
+        /// Requested first lane index.
+        start: usize,
+        /// Requested one-past-last lane index.
+        end: usize,
+        /// Number of recorded µ-ops.
+        len: usize,
+    },
+    /// The range covers zero µ-ops.
+    Empty {
+        /// The (equal) start and end lane index.
+        start: usize,
+    },
+    /// The first µ-op of the range lies on the wrong path of a mispredicted
+    /// branch: the slice boundary straddles a wrong-path burst.
+    WrongPathStart {
+        /// Requested first lane index.
+        start: usize,
+    },
+}
+
+impl std::fmt::Display for RangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeError::OutOfBounds { start, end, len } => write!(
+                f,
+                "replay range {start}..{end} out of bounds for a {len}-µop recording"
+            ),
+            RangeError::Empty { start } => {
+                write!(f, "replay range {start}..{start} covers no µ-ops")
+            }
+            RangeError::WrongPathStart { start } => write!(
+                f,
+                "replay range starts at {start}, inside a wrong-path burst"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
 
 /// A sequential replay cursor over a [`TraceBuffer`].
 ///
@@ -382,6 +497,7 @@ impl TraceBuffer {
 pub struct TraceCursor<'a> {
     buf: &'a TraceBuffer,
     i: usize,
+    end: usize,
     mem_i: usize,
     br_i: usize,
 }
@@ -392,7 +508,7 @@ impl Iterator for TraceCursor<'_> {
     fn next(&mut self) -> Option<DynUop> {
         let b = self.buf;
         let i = self.i;
-        if i >= b.pc.len() {
+        if i >= self.end {
             return None;
         }
         self.i += 1;
@@ -435,7 +551,7 @@ impl Iterator for TraceCursor<'_> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let rem = self.buf.pc.len() - self.i;
+        let rem = self.end - self.i;
         (rem, Some(rem))
     }
 }
@@ -680,5 +796,99 @@ mod tests {
         let mut buf = TraceBuffer::default();
         let alu = Uop::new(UopKind::Alu, Some(ArchReg::int(1)), &[]);
         buf.push(&DynUop::new(5, 0x100, 4, 0, 1, alu, 0));
+    }
+
+    #[test]
+    fn range_replay_matches_the_full_replay_window() {
+        for spec in specs() {
+            let buf = TraceBuffer::record(&spec, 10_000);
+            let full: Vec<_> = buf.replay().collect();
+            for (start, end) in [(0, 10_000), (0, 1), (1_234, 5_678), (9_999, 10_000)] {
+                let ranged: Vec<_> = buf.replay_range(start, end).expect("valid range").collect();
+                assert_eq!(
+                    ranged,
+                    full[start..end],
+                    "range {start}..{end} diverged for {}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_replay_enters_sparse_lanes_at_the_correct_offsets() {
+        // Start mid-trace right after a dense run of memory/branch µ-ops: a
+        // cursor that mis-seeded `mem_i`/`br_i` would yield shifted addresses
+        // and targets rather than failing loudly.
+        let spec = WorkloadSpec::new("range-sparse", 7);
+        let buf = TraceBuffer::record(&spec, 10_000);
+        let full: Vec<_> = buf.replay().collect();
+        let start = full
+            .iter()
+            .position(|u| u.mem.is_some())
+            .expect("workload has memory µ-ops")
+            + 1;
+        let got: Vec<_> = buf.replay_range(start, 10_000).expect("valid").collect();
+        assert_eq!(got, full[start..]);
+        // Sequence numbers keep their absolute lane indices.
+        assert_eq!(got[0].seq, start as u64);
+    }
+
+    #[test]
+    fn range_replay_rejects_invalid_bounds_with_structured_errors() {
+        let buf = TraceBuffer::record(&WorkloadSpec::named_demo("range-err"), 1_000);
+        assert_eq!(
+            buf.replay_range(0, 1_001).unwrap_err(),
+            RangeError::OutOfBounds {
+                start: 0,
+                end: 1_001,
+                len: 1_000
+            }
+        );
+        assert_eq!(
+            buf.replay_range(1_001, 1_001).unwrap_err(),
+            RangeError::OutOfBounds {
+                start: 1_001,
+                end: 1_001,
+                len: 1_000
+            }
+        );
+        assert_eq!(
+            buf.replay_range(500, 400).unwrap_err(),
+            RangeError::OutOfBounds {
+                start: 500,
+                end: 400,
+                len: 1_000
+            }
+        );
+        assert_eq!(
+            buf.replay_range(42, 42).unwrap_err(),
+            RangeError::Empty { start: 42 }
+        );
+        // The error values render human-readable descriptions.
+        let msg = buf.replay_range(0, 1_001).unwrap_err().to_string();
+        assert!(msg.contains("out of bounds"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn range_replay_rejects_wrong_path_straddling_starts() {
+        let spec = WorkloadSpec::new("range-wp", 11).with_wrong_path(6);
+        let buf = TraceBuffer::record(&spec, 8_000);
+        let full: Vec<_> = buf.replay().collect();
+        let wp = full
+            .iter()
+            .position(|u| u.wrong_path)
+            .expect("bursts recorded");
+        assert_eq!(
+            buf.replay_range(wp, buf.len()).unwrap_err(),
+            RangeError::WrongPathStart { start: wp }
+        );
+        // The committed µ-op just before the burst is a valid slice start and
+        // replays the burst bit-identically as part of its range.
+        let ok: Vec<_> = buf
+            .replay_range(wp - 1, buf.len())
+            .expect("valid")
+            .collect();
+        assert_eq!(ok, full[wp - 1..]);
     }
 }

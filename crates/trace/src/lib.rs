@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bbv;
 mod buffer;
 mod fault;
 mod generator;
@@ -48,7 +49,8 @@ mod store;
 mod value;
 mod workload;
 
-pub use buffer::{TraceBuffer, TraceCursor};
+pub use bbv::{bbv_distance_sq, profile_slices, SliceBbv, BBV_DIMS};
+pub use buffer::{RangeError, TraceBuffer, TraceCursor};
 pub use fault::FaultPlan;
 pub use generator::TraceGenerator;
 pub use memory::{AddressPattern, AddressState};

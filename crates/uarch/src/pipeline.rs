@@ -70,6 +70,16 @@ struct PendingTrain {
 /// inline array leaves headroom for wider configs without heap allocation).
 const MAX_FETCH_BLOCKS: usize = 8;
 
+/// Memory-level-parallelism bound of [`Pipeline::warm_functional`]'s virtual
+/// commit clock: how many long-latency (beyond-L1) misses overlap. The
+/// detailed model's out-of-order window overlaps misses up to dependence
+/// chains and load-queue capacity; 4 concurrent misses reproduces its commit
+/// frontier within ~10% on the miss-dominated SPEC traces (serialising them
+/// overshoots the frontier ~3x, which over-matures deferred value-predictor
+/// trainings after a squash redirect and hands sampled windows an
+/// over-confident predictor).
+const WARM_MLP: usize = 4;
+
 /// Committed-µ-op horizon of the pollution-attribution heuristic: a value
 /// misprediction within this many commits of a polluting wrong-path train *of
 /// the same context* is counted as `WrongPathStats::pollution_mispredicts`
@@ -310,6 +320,296 @@ impl Pipeline {
     /// [`Pipeline::run_segment`] call, surviving checkpoint restore).
     pub fn committed_uops(&self) -> u64 {
         self.stats.uops
+    }
+
+    /// A mid-run snapshot of the statistics, finalised exactly the way
+    /// [`Pipeline::finish`] finalises them (cycles up to the last commit,
+    /// branch/memory counters pulled from their units) but without consuming
+    /// the pipeline or draining deferred predictor training.
+    ///
+    /// Phase-sampled simulation uses this to mark the warm-up boundary of a
+    /// slice run: simulate warm-up and measurement window in one pipeline,
+    /// snapshot between them, and report the counter delta
+    /// ([`SimStats::delta_since`]) as the slice's statistics.
+    pub fn stats_snapshot(&self) -> SimStats {
+        let mut s = self.stats;
+        s.cycles = self.last_commit;
+        s.branch = self.bpu.stats();
+        s.mem = self.mem.stats();
+        s
+    }
+
+    /// Functionally warms the pipeline's stateful structures — branch
+    /// predictor (with its global/path history), cache hierarchy and the
+    /// value predictor — by replaying up to `stop_at_committed` committed
+    /// µ-ops of `trace` through the commit path only, with no cycle-level
+    /// timing. Returns the number of committed µ-ops consumed.
+    ///
+    /// This is the SMARTS-style *functional warming* phase of sampled
+    /// simulation: a representative slice measured after a functionally
+    /// warmed prefix sees (approximately) the architectural predictor/cache
+    /// state a full detailed run would have reached at the same point, at a
+    /// fraction of the cost — no resource modelling, no occupancy rings, no
+    /// statistics other than the units' own internal counters (callers
+    /// bracket those with [`Pipeline::stats_snapshot`] /
+    /// [`SimStats::delta_since`]). Value-predictor training is deferred
+    /// behind a *virtual commit clock*: µ-ops fetch in detailed-model fetch
+    /// groups and commit in order no earlier than `fetch + fetch_to_commit +
+    /// load-miss latency`; a training matures when the fetch clock passes
+    /// the trainee's commit time, so commit-to-fetch training visibility
+    /// tracks the detailed model in both compute-bound (short lag) and
+    /// memory-bound (fetch decoupled far behind commit, very long lag)
+    /// phases; wrong-path µ-ops are skipped (without cycle timing there is
+    /// no resolve window to fetch them in).
+    ///
+    /// Everything here is deterministic: same trace prefix, same resulting
+    /// state, independent of thread count or wall clock.
+    pub fn warm_functional<I, P>(
+        &mut self,
+        trace: &mut I,
+        predictor: &mut P,
+        stop_at_committed: u64,
+        stream_pos: &mut u64,
+    ) -> u64
+    where
+        I: Iterator<Item = DynUop>,
+        P: ValuePredictor + ?Sized,
+    {
+        let cfg_vp = self.cfg.value_prediction;
+        let commit_step = 1.0 / f64::from(self.cfg.commit_width.max(1));
+        let depth_cycles = self.cfg.fetch_to_commit as f64;
+        let front_depth = self.cfg.front_depth as f64;
+        let l1d_lat = self.cfg.mem.l1d_lat;
+        let front_width = self.cfg.front_width.max(1);
+        let blocks_per_cycle = (self.cfg.fetch_blocks_per_cycle as usize).max(1);
+        // Virtual fetch clock (cycles) with the detailed model's fetch-group
+        // shape: up to `front_width` µ-ops per cycle from at most
+        // `fetch_blocks_per_cycle` distinct blocks. Fetch is *decoupled* from
+        // commit (exactly as in [`Pipeline::fetch`]): in miss-heavy regions
+        // the in-order commit frontier runs far ahead of the fetch clock, so
+        // deferred trainings mature with the same very long lag the detailed
+        // model exhibits — the property confidence-gated predictors are most
+        // sensitive to. Only a squash redirect re-synchronises the two.
+        let mut vnow = 0.0f64;
+        let mut group_uops: u8 = 0;
+        let mut group_blocks: [u64; MAX_FETCH_BLOCKS] = [0; MAX_FETCH_BLOCKS];
+        let mut group_len: usize = 0;
+        let mut last_commit = 0.0f64;
+        // Out-of-order execution overlaps long-latency misses; serialising
+        // them would run the virtual commit frontier ~3x ahead of the real
+        // one. Model bounded memory-level parallelism instead: up to
+        // [`WARM_MLP`] misses in flight, a new one starting no earlier than
+        // the completion of the miss `WARM_MLP` back.
+        let mut mshr: VecDeque<f64> = VecDeque::new();
+        // Per-register completion times — the same dataflow the detailed
+        // model's `reg_avail` tracks. This is what separates a loop-control
+        // branch (sources written by short ALU chains, resolving shortly
+        // after its own fetch) from a data-dependent branch waiting on a
+        // missing load (resolving near the miss completion): the two drag
+        // the fetch clock forward by wildly different amounts on a
+        // mispredict, and training visibility hinges on which one dominates.
+        let mut reg_done = vec![0.0f64; NUM_ARCH_REGS as usize];
+        // ROB occupancy: µ-op `n` cannot dispatch before µ-op
+        // `n - rob_entries` commits. In miss-bound phases the ROB is full,
+        // so this floor drags every dispatch — and with it every branch
+        // resolve — to within a ROB-span of the commit frontier, which is
+        // exactly how the detailed model's rare branch redirects still keep
+        // training maturation within a bounded lag of commit.
+        let rob_entries = self.cfg.rob_entries.max(1);
+        let mut rob_ring: VecDeque<f64> = VecDeque::new();
+        let mut pending: VecDeque<(DynUop, Option<u64>, f64)> = VecDeque::new();
+        let mut committed = 0u64;
+        while committed < stop_at_committed {
+            let Some(uop) = trace.next() else {
+                break;
+            };
+            *stream_pos += 1;
+            if uop.wrong_path {
+                continue;
+            }
+            self.cur_asid = uop.asid;
+
+            // ---- Virtual fetch --------------------------------------------
+            let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+            let known_block = group_blocks[..group_len].contains(&block_pc);
+            if group_uops >= front_width
+                || (!known_block && group_len >= blocks_per_cycle.min(MAX_FETCH_BLOCKS))
+            {
+                vnow += 1.0;
+                group_uops = 0;
+                group_len = 0;
+            }
+            if !group_blocks[..group_len].contains(&block_pc) && group_len < MAX_FETCH_BLOCKS {
+                group_blocks[group_len] = block_pc;
+                group_len += 1;
+            }
+            group_uops += 1;
+
+            // Deliver trainings whose µ-ops retired before this fetch: their
+            // values are architecturally visible to the predictor from now on.
+            while pending.front().is_some_and(|(_, _, t)| *t <= vnow) {
+                if let Some((u, p, _)) = pending.pop_front() {
+                    predictor.train(&u, u.value, p);
+                }
+            }
+
+            // Branch prediction: updates TAGE tables and the global/path
+            // history the value predictor's context is derived from.
+            let mut branch_mispredicted = false;
+            if let Some(info) = uop.branch {
+                branch_mispredicted =
+                    self.bpu
+                        .predict_and_update(uop.pc, uop.fallthrough_pc(), info);
+            }
+
+            // Value prediction: the same predict / deferred-train / squash
+            // sequence the detailed commit path runs, minus the statistics.
+            let new_block = self.last_block_pc != Some(block_pc);
+            self.last_block_pc = Some(block_pc);
+            let mut predicted: Option<u64> = None;
+            if cfg_vp && uop.vp_eligible() {
+                let ctx = PredictCtx {
+                    seq: uop.seq,
+                    fetch_block_pc: block_pc,
+                    new_fetch_block: new_block,
+                    global_history: self.bpu.global_history(),
+                    path_history: self.bpu.path_history(),
+                    asid: uop.asid,
+                };
+                predicted = predictor.predict(&ctx, &uop);
+            }
+            let free_imm = self.cfg.free_load_immediates && uop.uop.kind() == UopKind::LoadImm;
+
+            // ---- Virtual dataflow timing ----------------------------------
+            // Execution starts once the µ-op is past the front end and its
+            // sources are complete; loads walk the real cache hierarchy (and
+            // trigger its prefetchers), with long-latency misses overlapping
+            // up to the MLP bound.
+            let mut dispatch = vnow + front_depth;
+            if rob_ring.len() >= rob_entries {
+                // INVARIANT: len() >= rob_entries > 0, so pop_front is Some.
+                dispatch = dispatch.max(rob_ring.pop_front().expect("non-empty"));
+            }
+            let ready = uop
+                .uop
+                .srcs()
+                .map(|r| reg_done[r.raw() as usize])
+                .fold(dispatch, f64::max);
+            let kind = uop.uop.kind();
+            let complete = if kind == UopKind::Load {
+                let addr = uop.mem.map(|m| m.addr).unwrap_or(0);
+                let lat = self.mem.access(uop.pc, addr);
+                let mut start = ready + 1.0;
+                if lat > l1d_lat {
+                    if mshr.len() >= WARM_MLP {
+                        // INVARIANT: len() >= WARM_MLP > 0, so the deque is
+                        // non-empty and pop_front returns Some.
+                        start = start.max(mshr.pop_front().expect("non-empty"));
+                    }
+                    let c = start + lat as f64;
+                    mshr.push_back(c);
+                    c
+                } else {
+                    start + lat as f64
+                }
+            } else {
+                let lat = match kind {
+                    UopKind::Mul => f64::from(self.cfg.fu.mul_lat),
+                    UopKind::Div => f64::from(self.cfg.fu.div_lat),
+                    UopKind::FpAdd => f64::from(self.cfg.fu.fp_lat),
+                    UopKind::FpMul => f64::from(self.cfg.fu.fpmul_lat),
+                    UopKind::FpDiv => f64::from(self.cfg.fu.fpdiv_lat),
+                    UopKind::Store => 1.0,
+                    _ => f64::from(self.cfg.fu.alu_lat),
+                };
+                ready + 1.0 + lat
+            };
+            // In-order commit: no earlier than the previous µ-op, no faster
+            // than the commit width, no shallower than the pipeline depth,
+            // and not before this µ-op's own completion.
+            let commit_at = complete
+                .max(last_commit + commit_step)
+                .max(vnow + depth_cycles);
+            last_commit = commit_at;
+            rob_ring.push_back(commit_at);
+            // A predicted (or free-immediate) destination is written to the
+            // PRF at dispatch, breaking the dependence chain exactly as the
+            // detailed model does; otherwise consumers wait for completion.
+            if let Some(dst) = uop.uop.dst() {
+                reg_done[dst.raw() as usize] = if predicted.is_some() || free_imm {
+                    dispatch
+                } else {
+                    complete
+                };
+            }
+            if branch_mispredicted && cfg_vp {
+                predictor.squash(&SquashInfo {
+                    flush_seq: uop.seq,
+                    flush_pc: uop.pc,
+                    next_pc: uop.next_pc(),
+                    cause: SquashCause::BranchMispredict,
+                    asid: uop.asid,
+                });
+            }
+            let value_mispredicted = predicted.map(|v| v != uop.value).unwrap_or(false);
+            if value_mispredicted {
+                predictor.squash(&SquashInfo {
+                    flush_seq: uop.seq,
+                    flush_pc: uop.pc,
+                    next_pc: if uop.is_last_uop() {
+                        uop.next_pc()
+                    } else {
+                        uop.pc
+                    },
+                    cause: SquashCause::ValueMispredict,
+                    asid: uop.asid,
+                });
+            }
+            // A squash redirects fetch to the offender's resolve point. The
+            // two causes resolve at very different times, and the detailed
+            // model distinguishes them: a mispredicted *branch* resolves at
+            // execute — early for a loop-control branch fed by short ALU
+            // chains (leaving the deferred-training backlog intact), near
+            // the commit frontier for one waiting on a missing load — while
+            // a value mispredict is only detected by validation at *commit*,
+            // snapping fetch to the frontier and maturing every older
+            // training on the next fetch's drain.
+            if branch_mispredicted {
+                vnow = vnow.max(complete + 1.0);
+                group_uops = 0;
+                group_len = 0;
+            }
+            if value_mispredicted {
+                vnow = vnow.max(commit_at + 1.0);
+                group_uops = 0;
+                group_len = 0;
+            }
+            if cfg_vp && uop.vp_eligible() {
+                pending.push_back((uop, predicted, commit_at));
+            }
+            committed += 1;
+        }
+        // Hand the still-deferred trainings to the detailed engine, rebased
+        // onto its fetch clock (whose next fetch lands at roughly this
+        // pipeline's current group cycle, i.e. virtual time `vnow`). In the
+        // detailed model these trainings have *not* matured: a miss-heavy
+        // prefix leaves the commit frontier far ahead of the decoupled fetch
+        // clock, and a warmed measurement window must see the same
+        // not-yet-visible tail — draining it here would hand the window a
+        // far more trained (and more confident) predictor than a continuous
+        // run ever has at the same point.
+        let base = self.group.cycle;
+        for (u, p, t) in pending {
+            // CAST: (t - vnow) is clamped non-negative and far below 2^52,
+            // so the f64 -> u64 conversion is exact enough for a cycle tag.
+            let commit_cycle = base + (t - vnow).max(0.0) as u64;
+            self.pending_train.push_back(PendingTrain {
+                commit_cycle,
+                uop: u,
+                predicted: p,
+            });
+        }
+        committed
     }
 
     /// Ends the run: delivers any deferred squash, drains pending predictor

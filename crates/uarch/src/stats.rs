@@ -201,6 +201,116 @@ impl SimStats {
         baseline.cycles as f64 / self.cycles as f64
     }
 
+    /// Counter-wise difference `self − earlier`: the statistics of the work
+    /// done *between* two snapshots of the same run.
+    ///
+    /// This is what turns a warm-up prefix into a measurement window for
+    /// phase-sampled simulation: simulate warm-up + slice in one pipeline,
+    /// snapshot at the warm-up boundary, and subtract. Every field is a
+    /// monotone `u64` counter over a run's lifetime, so the subtraction is
+    /// exact; it saturates at zero as a guard against snapshots passed in the
+    /// wrong order.
+    pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
+        let vp = |a: &VpStats, b: &VpStats| VpStats {
+            eligible: a.eligible.saturating_sub(b.eligible),
+            predicted: a.predicted.saturating_sub(b.predicted),
+            correct: a.correct.saturating_sub(b.correct),
+            incorrect: a.incorrect.saturating_sub(b.incorrect),
+            free_load_immediates: a
+                .free_load_immediates
+                .saturating_sub(b.free_load_immediates),
+        };
+        let mut contexts = [ContextStats::default(); MAX_SIM_CONTEXTS];
+        for (d, (a, b)) in contexts
+            .iter_mut()
+            .zip(self.contexts.iter().zip(&earlier.contexts))
+        {
+            *d = ContextStats {
+                uops: a.uops.saturating_sub(b.uops),
+                insts: a.insts.saturating_sub(b.insts),
+                branch_flushes: a.branch_flushes.saturating_sub(b.branch_flushes),
+                vp_flushes: a.vp_flushes.saturating_sub(b.vp_flushes),
+                vp: vp(&a.vp, &b.vp),
+            };
+        }
+        SimStats {
+            uops: self.uops.saturating_sub(earlier.uops),
+            insts: self.insts.saturating_sub(earlier.insts),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            branch_flushes: self.branch_flushes.saturating_sub(earlier.branch_flushes),
+            vp_flushes: self.vp_flushes.saturating_sub(earlier.vp_flushes),
+            branch: BranchStats {
+                cond_branches: self
+                    .branch
+                    .cond_branches
+                    .saturating_sub(earlier.branch.cond_branches),
+                cond_mispredicts: self
+                    .branch
+                    .cond_mispredicts
+                    .saturating_sub(earlier.branch.cond_mispredicts),
+                target_mispredicts: self
+                    .branch
+                    .target_mispredicts
+                    .saturating_sub(earlier.branch.target_mispredicts),
+            },
+            mem: MemStats {
+                l1d_accesses: self
+                    .mem
+                    .l1d_accesses
+                    .saturating_sub(earlier.mem.l1d_accesses),
+                l1d_misses: self.mem.l1d_misses.saturating_sub(earlier.mem.l1d_misses),
+                l2_accesses: self.mem.l2_accesses.saturating_sub(earlier.mem.l2_accesses),
+                l2_misses: self.mem.l2_misses.saturating_sub(earlier.mem.l2_misses),
+                prefetches: self.mem.prefetches.saturating_sub(earlier.mem.prefetches),
+            },
+            vp: vp(&self.vp, &earlier.vp),
+            eole: EoleStats {
+                early_executed: self
+                    .eole
+                    .early_executed
+                    .saturating_sub(earlier.eole.early_executed),
+                late_executed: self
+                    .eole
+                    .late_executed
+                    .saturating_sub(earlier.eole.late_executed),
+                ooo_executed: self
+                    .eole
+                    .ooo_executed
+                    .saturating_sub(earlier.eole.ooo_executed),
+            },
+            wrong_path: WrongPathStats {
+                bursts: self
+                    .wrong_path
+                    .bursts
+                    .saturating_sub(earlier.wrong_path.bursts),
+                fetched: self
+                    .wrong_path
+                    .fetched
+                    .saturating_sub(earlier.wrong_path.fetched),
+                executed: self
+                    .wrong_path
+                    .executed
+                    .saturating_sub(earlier.wrong_path.executed),
+                vp_predictions: self
+                    .wrong_path
+                    .vp_predictions
+                    .saturating_sub(earlier.wrong_path.vp_predictions),
+                vp_trains: self
+                    .wrong_path
+                    .vp_trains
+                    .saturating_sub(earlier.wrong_path.vp_trains),
+                pollution_mispredicts: self
+                    .wrong_path
+                    .pollution_mispredicts
+                    .saturating_sub(earlier.wrong_path.pollution_mispredicts),
+            },
+            context_switches: self
+                .context_switches
+                .saturating_sub(earlier.context_switches),
+            contexts,
+        }
+    }
+
     /// Serialises every counter for checkpointing.
     pub fn save_state(&self, w: &mut StateWriter) {
         w.u64(self.uops);
@@ -388,6 +498,32 @@ mod tests {
         assert!(s.context_totals_consistent());
         s.contexts[1].vp.correct = 1;
         assert!(!s.context_totals_consistent());
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // nested stats are easiest to build by mutation
+    fn delta_since_subtracts_every_counter_and_saturates() {
+        let mut early = SimStats::default();
+        early.uops = 100;
+        early.cycles = 40;
+        early.vp.correct = 7;
+        early.contexts[0].uops = 100;
+        let mut late = early;
+        late.uops = 250;
+        late.cycles = 95;
+        late.vp.correct = 19;
+        late.mem.l1d_misses = 3;
+        late.contexts[0].uops = 250;
+        let d = late.delta_since(&early);
+        assert_eq!(d.uops, 150);
+        assert_eq!(d.cycles, 55);
+        assert_eq!(d.vp.correct, 12);
+        assert_eq!(d.mem.l1d_misses, 3);
+        assert_eq!(d.contexts[0].uops, 150);
+        // A full-window delta against the zero snapshot is the identity.
+        assert_eq!(late.delta_since(&SimStats::default()), late);
+        // Reversed snapshots saturate instead of wrapping.
+        assert_eq!(early.delta_since(&late).uops, 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use bebop::{
     PipelineConfig, PredictorKind, ResumeOptions, RunControl, RunOutcome, SimCheckpoint, UopSource,
     WorkloadSpec,
 };
+use bebop_trace::TraceBuffer;
 use bebop_uarch::{Pipeline, ValuePredictor};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -120,6 +121,65 @@ fn every_predictor_kind_resumes_bit_identically_parallel() {
     par::par_map(&checks, |(i, kind)| {
         check_roundtrip(kind, &format!("par-{i}"), 0xfee1 + *i as u64)
     });
+}
+
+/// Phase-sampling interaction: a *slice-bounded* run (the stream behind a
+/// sampled measurement window, [`UopSource::ReplaySlice`]) snapshotted in
+/// the middle of its slice and resumed through the production path must
+/// finish bit-identical to the uninterrupted slice run — checkpointing and
+/// sampling compose without either subsystem special-casing the other.
+#[test]
+fn slice_bounded_resumable_run_restores_mid_slice_bit_identically() {
+    let spec = WorkloadSpec::named_demo("ckpt-slice");
+    let cfg = PipelineConfig::baseline_vp_6_60();
+    let kind = PredictorKind::DVtage;
+    let buf = TraceBuffer::record(&spec, 12_000);
+    let (start, end) = (4_000usize, 9_000usize);
+    let src = || UopSource::replay_slice(&buf, start, end).expect("valid slice");
+    let budget: u64 = src().stream().filter(|u| !u.wrong_path).count() as u64;
+    assert!(budget > 16, "slice must hold a meaningful run");
+    let reference = run_source(src(), &cfg, &kind, budget);
+
+    // Snapshot mid-slice exactly as the resume driver would.
+    let cut = budget / 2;
+    let path = tmp_path("slice");
+    let mut pipeline = Pipeline::new(cfg.clone());
+    let mut predictor = kind.build();
+    let mut stream = src().stream();
+    let mut stream_pos = 0u64;
+    pipeline.run_segment(&mut stream, &mut predictor, cut, &mut stream_pos);
+    let ckpt = SimCheckpoint {
+        fingerprint: run_fingerprint(&src(), &cfg, &kind, budget),
+        committed: pipeline.committed_uops(),
+        stream_pos,
+        pipeline: pipeline.save_state(),
+        predictor: predictor.save_state(),
+    };
+    ckpt.write_atomic(&path).expect("write checkpoint");
+    assert_eq!(ckpt.committed, cut, "snapshot lands exactly mid-slice");
+
+    let resumed = run_source_resumable(
+        src(),
+        &cfg,
+        &kind,
+        budget,
+        ResumeOptions {
+            checkpoint_path: Some(&path),
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        resumed.resumed_from,
+        Some(cut),
+        "must resume from the mid-slice snapshot, not restart"
+    );
+    assert_eq!(resumed.rejected_checkpoint, None);
+    assert_eq!(
+        resumed.outcome,
+        RunOutcome::Complete(reference),
+        "resumed slice-bounded SimStats must be bit-identical"
+    );
+    assert!(!path.exists(), "completed runs discard the snapshot");
 }
 
 #[test]

@@ -8,8 +8,9 @@ use bebop::{
     BlockDVtageConfig, FifoUpdateQueue, MixSpec, ShardedTable, SpecWindowSize, SpeculativeWindow,
     MAX_NPRED,
 };
+use bebop_bench::sampling::{cluster_slices, workload_seed};
 use bebop_isa::{byte_index_in_block, fetch_block_pc, FetchBlockLayout};
-use bebop_trace::{TraceGenerator, WorkloadSpec};
+use bebop_trace::{profile_slices, SliceBbv, TraceBuffer, TraceGenerator, WorkloadSpec};
 use bebop_uarch::{gmean, OccupancyRing, SlotPool};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -315,6 +316,140 @@ fn prop_mix_interleaving_conserves_per_context_streams() {
                 assert_eq!(*g, w2, "case {case}: context {asid} diverged");
             }
         }
+    }
+}
+
+fn random_slices(case: u64) -> (TraceBuffer, u64, Vec<SliceBbv>) {
+    let mut r = rng(case);
+    let seed: u64 = r.gen();
+    let n: u64 = r.gen_range(400u64..4_000);
+    let slice_uops = r.gen_range(50u64..500);
+    let buf = TraceBuffer::record(&WorkloadSpec::new("prop-sampling", seed), n);
+    let slices = profile_slices(&buf, slice_uops);
+    (buf, slice_uops, slices)
+}
+
+/// Slice profiling partitions the stream exactly: slices tile the buffer
+/// index range with no gap or overlap, every slice but the last carries
+/// exactly the configured committed µ-op count, and the per-slice committed
+/// counts sum to the buffer's committed length — nothing is dropped or
+/// double-counted, wrong-path riders included.
+#[test]
+fn prop_slice_partition_conserves_the_stream() {
+    for case in 0..40 {
+        let (buf, slice_uops, slices) = random_slices(case);
+        assert!(!slices.is_empty(), "case {case}");
+        assert_eq!(slices[0].start, 0, "case {case}");
+        assert_eq!(slices.last().unwrap().end, buf.len(), "case {case}");
+        for w in slices.windows(2) {
+            assert_eq!(w[1].start, w[0].end, "case {case}: gap or overlap");
+        }
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.index, i, "case {case}");
+            if i + 1 < slices.len() {
+                assert_eq!(s.committed, slice_uops, "case {case}");
+            } else {
+                assert!(s.committed > 0 && s.committed <= slice_uops, "case {case}");
+            }
+        }
+        let total: u64 = slices.iter().map(|s| s.committed).sum();
+        assert_eq!(total, buf.committed_len() as u64, "case {case}");
+    }
+}
+
+/// Every behaviour vector is an L1-normalised distribution over the
+/// projected fetch-block space: components non-negative, summing to one.
+#[test]
+fn prop_bbv_vectors_are_l1_normalised() {
+    for case in 0..40 {
+        let (_, _, slices) = random_slices(case);
+        for s in &slices {
+            assert!(s.vector.iter().all(|&v| v >= 0.0), "case {case}");
+            let sum: f64 = s.vector.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "case {case}: L1 mass {sum}");
+        }
+    }
+}
+
+/// Phase clustering conserves the slice population: assignments are in
+/// range, member counts sum to the slice count, each phase's representative
+/// really is assigned to that phase, each phase's weight is exactly its
+/// members' committed share, and the weights sum to one.
+#[test]
+fn prop_clustering_conserves_weights_and_members() {
+    for case in 0..40 {
+        let mut r = rng(case ^ 0x5a5a);
+        let (_, _, slices) = random_slices(case);
+        let k = r.gen_range(1usize..12);
+        let c = cluster_slices(&slices, k, r.gen());
+        assert_eq!(c.assignments.len(), slices.len(), "case {case}");
+        let members: usize = c.phases.iter().map(|p| p.members).sum();
+        assert_eq!(members, slices.len(), "case {case}");
+        let total_committed: u64 = slices.iter().map(|s| s.committed).sum();
+        for (pi, p) in c.phases.iter().enumerate() {
+            assert!(p.members > 0, "case {case}: empty phase");
+            assert_eq!(c.assignments[p.representative], pi, "case {case}");
+            let phase_committed: u64 = slices
+                .iter()
+                .zip(&c.assignments)
+                .filter(|(_, &a)| a == pi)
+                .map(|(s, _)| s.committed)
+                .sum();
+            assert_eq!(p.committed, phase_committed, "case {case}");
+            let want = phase_committed as f64 / total_committed as f64;
+            assert!((p.weight - want).abs() < 1e-12, "case {case}");
+        }
+        let total: f64 = c.phases.iter().map(|p| p.weight).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "case {case}: weights sum {total}"
+        );
+    }
+}
+
+/// The clusterer is a pure function of (slices, k, seed) — bit-identical
+/// when recomputed — and the per-workload seed depends only on the workload
+/// *name*, so one benchmark's phase table is invariant under permutations
+/// (or subsetting) of the benchmark population around it.
+#[test]
+fn prop_clustering_deterministic_and_seed_position_independent() {
+    for case in 0..20 {
+        let mut r = rng(case ^ 0xc3c3);
+        let (_, _, slices) = random_slices(case);
+        let k = r.gen_range(1usize..10);
+        let seed: u64 = r.gen();
+        assert_eq!(
+            cluster_slices(&slices, k, seed),
+            cluster_slices(&slices, k, seed),
+            "case {case}"
+        );
+        let name = format!("prop-seed-{case}");
+        let spec_a = WorkloadSpec::new(name.clone(), r.gen());
+        let spec_b = WorkloadSpec::new(name, r.gen());
+        assert_eq!(
+            workload_seed(&spec_a),
+            workload_seed(&spec_b),
+            "case {case}"
+        );
+    }
+}
+
+/// Requesting at least as many phases as there are slices degenerates
+/// cleanly: no phase holds more than one slice (perfect sampling), and the
+/// conservation properties still hold.
+#[test]
+fn prop_k_at_least_slice_count_gives_singleton_phases() {
+    for case in 0..20 {
+        let mut r = rng(case ^ 0x7e7e);
+        let (_, _, slices) = random_slices(case);
+        let k = slices.len() + r.gen_range(0usize..5);
+        let c = cluster_slices(&slices, k, r.gen());
+        assert!(c.phases.len() <= slices.len(), "case {case}");
+        for p in &c.phases {
+            assert_eq!(p.members, 1, "case {case}: non-singleton phase");
+        }
+        let members: usize = c.phases.iter().map(|p| p.members).sum();
+        assert_eq!(members, slices.len(), "case {case}");
     }
 }
 
