@@ -1,15 +1,21 @@
 //! CI perf gate: compares a fresh `figures --json` report against the
-//! committed baseline and fails on an aggregate µops/sec regression.
+//! committed baseline and fails on a µops/sec regression.
 //!
 //! ```text
 //! cargo run -p bebop-bench --release --bin perf_gate -- \
-//!     BENCH_figures.json BENCH_current.json --max-regression 0.20
+//!     BENCH_figures.json BENCH_current.json \
+//!     --max-regression 0.20 --per-experiment 0.35
 //! ```
 //!
-//! Exit status 0 when the current aggregate throughput is within the tolerance
-//! of the baseline (improvements always pass), 1 on a regression, 2 on unusable
-//! input. Per-experiment ratios are printed as context but do not gate: single
-//! experiments are noisy on shared CI runners, the aggregate is not.
+//! Exit status 0 when throughput is within tolerance of the baseline
+//! (improvements always pass), 1 on a regression, 2 on unusable input.
+//!
+//! By default only the *aggregate* µops/sec gates; per-experiment ratios are
+//! printed as context. `--per-experiment <tol>` additionally gates every
+//! experiment with its own (looser, noisy-runner-aware) tolerance, so a
+//! single-experiment cliff cannot hide inside a passing aggregate — the
+//! shape of regression the aggregate-only gate historically waved through.
+//! An experiment missing from the current report also fails in that mode.
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +35,7 @@ fn load(path: &str) -> perf_json::PerfReport {
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut tolerance = 0.20f64;
+    let mut per_experiment: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -40,23 +47,44 @@ fn main() {
                     // its threshold must die loudly, not run with a default.
                     .expect("--max-regression needs a fraction (e.g. 0.20)");
             }
+            "--per-experiment" => {
+                per_experiment = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        // INVARIANT: CLI usage error — same contract as
+                        // --max-regression, die loudly on a bad threshold.
+                        .expect("--per-experiment needs a fraction (e.g. 0.35)"),
+                );
+            }
             other => paths.push(other.to_string()),
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: perf_gate <baseline.json> <current.json> [--max-regression 0.20]");
+        eprintln!(
+            "usage: perf_gate <baseline.json> <current.json> \
+             [--max-regression 0.20] [--per-experiment 0.35]"
+        );
         std::process::exit(2);
     }
 
     let baseline = load(&paths[0]);
     let current = load(&paths[1]);
-    let diff = perf_json::diff(&baseline, &current, tolerance);
-    println!(
-        "[perf_gate] {} (baseline) vs {} (current), tolerance {:.0}%:",
-        paths[0],
-        paths[1],
-        tolerance * 100.0
-    );
+    let diff = perf_json::diff_gated(&baseline, &current, tolerance, per_experiment);
+    match per_experiment {
+        Some(t) => println!(
+            "[perf_gate] {} (baseline) vs {} (current), tolerance {:.0}% aggregate / {:.0}% per experiment:",
+            paths[0],
+            paths[1],
+            tolerance * 100.0,
+            t * 100.0
+        ),
+        None => println!(
+            "[perf_gate] {} (baseline) vs {} (current), tolerance {:.0}%:",
+            paths[0],
+            paths[1],
+            tolerance * 100.0
+        ),
+    }
     for line in &diff.lines {
         println!("{line}");
     }

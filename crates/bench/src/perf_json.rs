@@ -191,8 +191,9 @@ pub fn parse(text: &str) -> Option<PerfReport> {
 pub struct PerfDiff {
     /// Human-readable comparison rows (one per experiment plus the total).
     pub lines: Vec<String>,
-    /// `Some(message)` when the aggregate throughput regressed beyond the
-    /// tolerance — the CI-failing condition.
+    /// `Some(message)` when the aggregate throughput (or, in per-experiment
+    /// mode, any single experiment) regressed beyond its tolerance — the
+    /// CI-failing condition.
     pub failure: Option<String>,
 }
 
@@ -213,7 +214,26 @@ fn ratio_row(name: &str, base: f64, cur: f64, tolerance: f64) -> (String, bool) 
 /// (0.20 = fail on a >20% drop). The gate fires on the *aggregate*
 /// µops/sec only; per-experiment regressions are reported as context (single
 /// experiments are noisy on shared CI runners, the aggregate is not).
+///
+/// This is the aggregate-only mode kept for existing callers;
+/// [`diff_gated`] adds per-experiment gating on top.
 pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> PerfDiff {
+    diff_gated(baseline, current, tolerance, None)
+}
+
+/// Like [`diff`], but when `per_experiment` is `Some(t)` every experiment
+/// also gates individually with relative tolerance `t`. A single experiment
+/// is far noisier than the aggregate on a shared CI runner, so `t` should be
+/// looser than the aggregate tolerance (the historical bug this closes: a
+/// one-experiment cliff — e.g. one figure falling to a third of its siblings
+/// — hides inside an aggregate that still passes). An experiment present in
+/// the baseline but missing from the current report also fails in this mode.
+pub fn diff_gated(
+    baseline: &PerfReport,
+    current: &PerfReport,
+    tolerance: f64,
+    per_experiment: Option<f64>,
+) -> PerfDiff {
     let mut lines = Vec::new();
     if baseline.threads != current.threads || baseline.uops_per_run != current.uops_per_run {
         lines.push(format!(
@@ -282,11 +302,23 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
             baseline.sampled_full_uops
         ));
     }
+    let exp_tolerance = per_experiment.unwrap_or(tolerance);
+    let mut exp_failures: Vec<String> = Vec::new();
     for (name, base_ups) in &baseline.experiments {
         if let Some((_, cur_ups)) = current.experiments.iter().find(|(n, _)| n == name) {
-            lines.push(ratio_row(name, *base_ups, *cur_ups, tolerance).0);
+            let (line, regressed) = ratio_row(name, *base_ups, *cur_ups, exp_tolerance);
+            lines.push(line);
+            if regressed && per_experiment.is_some() {
+                exp_failures.push(format!(
+                    "{name} regressed >{:.0}%: {base_ups:.0} -> {cur_ups:.0} uops/s",
+                    exp_tolerance * 100.0
+                ));
+            }
         } else {
             lines.push(format!("  {name:<12} missing from the current report"));
+            if per_experiment.is_some() {
+                exp_failures.push(format!("{name} missing from the current report"));
+            }
         }
     }
     let (total_line, regressed) = ratio_row(
@@ -296,14 +328,17 @@ pub fn diff(baseline: &PerfReport, current: &PerfReport, tolerance: f64) -> Perf
         tolerance,
     );
     lines.push(total_line);
-    let failure = regressed.then(|| {
-        format!(
+    let mut failures: Vec<String> = Vec::new();
+    if regressed {
+        failures.push(format!(
             "aggregate throughput regressed >{:.0}%: {:.0} -> {:.0} uops/s",
             tolerance * 100.0,
             baseline.total_uops_per_sec,
             current.total_uops_per_sec
-        )
-    });
+        ));
+    }
+    failures.extend(exp_failures);
+    let failure = (!failures.is_empty()).then(|| failures.join("; "));
     PerfDiff { lines, failure }
 }
 
@@ -606,6 +641,60 @@ mod tests {
         let cur = parse(&report(700.0, 1000.0)).unwrap();
         let d = diff(&base, &cur, 0.20);
         assert!(d.failure.is_some());
+    }
+
+    #[test]
+    fn per_experiment_gate_catches_a_single_outlier() {
+        // One experiment falls to half while the aggregate stays within
+        // tolerance — the exact shape the aggregate-only gate waved through.
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let cur = parse(&report(950.0, 500.0)).unwrap();
+        assert!(diff(&base, &cur, 0.20).failure.is_none());
+        let gated = diff_gated(&base, &cur, 0.20, Some(0.35));
+        let msg = gated.failure.expect("per-experiment gate must fire");
+        assert!(msg.contains("fig8"), "{msg}");
+        assert!(!msg.contains("aggregate"), "{msg}");
+    }
+
+    #[test]
+    fn per_experiment_gate_tolerates_runner_noise() {
+        // A 30% single-experiment wobble stays inside the looser 35%
+        // per-experiment tolerance even though it would trip the 20%
+        // aggregate tolerance if applied per row.
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let cur = parse(&report(980.0, 700.0)).unwrap();
+        assert!(diff_gated(&base, &cur, 0.20, Some(0.35)).failure.is_none());
+    }
+
+    #[test]
+    fn per_experiment_gate_fails_on_missing_experiment() {
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let one_exp = r#"{
+  "schema": "bebop-bench-figures/v1",
+  "threads": 4,
+  "uops_per_run": 200000,
+  "total_uops_per_sec": 1000.0,
+  "experiments": [
+    {"name": "table2", "wall_s": 1.0, "uops": 500, "uops_per_sec": 500.0}
+  ]
+}
+"#;
+        let cur = parse(one_exp).unwrap();
+        // Aggregate-only mode reports the hole but does not gate on it.
+        assert!(diff(&base, &cur, 0.20).failure.is_none());
+        let msg = diff_gated(&base, &cur, 0.20, Some(0.35))
+            .failure
+            .expect("missing experiment must fail the per-experiment gate");
+        assert!(msg.contains("fig8 missing"), "{msg}");
+    }
+
+    #[test]
+    fn per_experiment_gate_reports_aggregate_and_experiment_failures_together() {
+        let base = parse(&report(1000.0, 1000.0)).unwrap();
+        let cur = parse(&report(500.0, 100.0)).unwrap();
+        let msg = diff_gated(&base, &cur, 0.20, Some(0.35)).failure.unwrap();
+        assert!(msg.contains("aggregate"), "{msg}");
+        assert!(msg.contains("fig8"), "{msg}");
     }
 
     #[test]

@@ -28,7 +28,12 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"BBPCKPT\0";
 /// payloads. Bump whenever `Pipeline::save_state`, any predictor's
 /// `save_state`, or the header layout changes shape: an old checkpoint must
 /// be discarded, not misdecoded.
-pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — original per-class slot-pool payloads; 2 — the
+/// in-flight window's unified `LanePool` (shared base, per-lane horizons,
+/// generation counter, sparse far-future overflow) plus the bounded
+/// `SlotPool` encoding.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 2;
 
 /// Why a checkpoint file was rejected (all outcomes mean "fall back to a
 /// from-zero run"; none are fatal).

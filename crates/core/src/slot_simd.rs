@@ -159,6 +159,29 @@ pub fn confident_mask(levels: &[u8; MAX_NPRED], threshold: u8) -> u8 {
     m
 }
 
+/// Lane-wise `max(a[i], b[i])` (scalar reference).
+pub fn max_lanes_scalar(a: &[u64; MAX_NPRED], b: &[u64; MAX_NPRED]) -> [u64; MAX_NPRED] {
+    let mut out = [0u64; MAX_NPRED];
+    for i in 0..MAX_NPRED {
+        out[i] = a[i].max(b[i]);
+    }
+    out
+}
+
+/// Lane-wise `max(a[i], b[i])`.
+///
+/// The same unrolled shape the pipeline's fetch-group dispatch pass uses to
+/// fold per-µ-op ROB floors into dispatch cycles (mirrored there rather than
+/// imported: `bebop-uarch` sits below this crate in the dependency graph).
+#[inline]
+pub fn max_lanes(a: &[u64; MAX_NPRED], b: &[u64; MAX_NPRED]) -> [u64; MAX_NPRED] {
+    let mut out = [0u64; MAX_NPRED];
+    let f = |i: usize| a[i].max(b[i]);
+    lanes4!(out, 0, f);
+    lanes4!(out, 4, f);
+    out
+}
+
 /// Splits an `[Option<u64>; MAX_NPRED]` slot-prediction array into dense value
 /// lanes plus a validity bitmask, the layout the lane compares operate on.
 #[inline]
@@ -221,6 +244,7 @@ mod tests {
             );
             assert_eq!(sub_lanes(&lasts, &other), sub_lanes_scalar(&lasts, &other));
             assert_eq!(eq_mask(&lasts, &other), eq_mask_scalar(&lasts, &other));
+            assert_eq!(max_lanes(&lasts, &other), max_lanes_scalar(&lasts, &other));
 
             let levels: [u8; MAX_NPRED] = std::array::from_fn(|_| (rng.next() % 9) as u8);
             for threshold in 0..=8u8 {

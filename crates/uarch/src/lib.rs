@@ -48,7 +48,9 @@ pub use config::{
 };
 pub use pipeline::Pipeline;
 pub use prefetch::StridePrefetcher;
-pub use resources::{OccupancyRing, SlotPool};
+pub use resources::{
+    Lane, LanePool, OccupancyRing, SlotPool, MAX_DENSE_SPAN, MAX_OVERFLOW_TRACKED, NUM_POOL_LANES,
+};
 pub use stats::{
     gmean, ContextStats, EoleStats, SimStats, VpStats, WrongPathStats, MAX_SIM_CONTEXTS,
 };

@@ -36,7 +36,7 @@
 use crate::branch::{BranchPredictorUnit, TageConfig};
 use crate::cache::MemoryHierarchy;
 use crate::config::PipelineConfig;
-use crate::resources::{OccupancyRing, SlotPool};
+use crate::resources::{Lane, LanePool, OccupancyRing, NUM_POOL_LANES};
 use crate::stats::{SimStats, MAX_SIM_CONTEXTS};
 use crate::vp_iface::{PredictCtx, SquashCause, SquashInfo, ValuePredictor};
 use bebop_isa::{
@@ -141,6 +141,48 @@ impl FetchGroup {
     }
 }
 
+/// One in-flight fetch group, accumulated structure-of-arrays style by
+/// [`Pipeline::enqueue`] and drained by [`Pipeline::flush_batch`]: the
+/// front-end work (fetch, branch prediction, value-predictor probe) runs per
+/// µ-op at accumulation time — redirect cycles must be current before the
+/// next µ-op's group-boundary check — while the back-end work (cache walk,
+/// pool allocation, ring floors, commit) runs once per group over the lanes.
+///
+/// The scratch vectors are flush-time lane buffers, reused across groups so
+/// the steady-state hot loop never allocates.
+#[derive(Debug, Default)]
+struct Batch {
+    /// Shared fetch cycle of every µ-op in the group.
+    fetch_cycle: u64,
+    uops: Vec<DynUop>,
+    branch_misp: Vec<bool>,
+    predicted: Vec<Option<u64>>,
+    // Flush-time lanes.
+    lat: Vec<u64>,
+    rename: Vec<u64>,
+    dispatch: Vec<u64>,
+    rob_rel: Vec<u64>,
+    iq_rel: Vec<u64>,
+    lq_rel: Vec<u64>,
+    sq_rel: Vec<u64>,
+}
+
+impl Batch {
+    fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.uops.clear();
+        self.branch_misp.clear();
+        self.predicted.clear();
+    }
+}
+
 /// The pipeline simulator. Create one per (configuration, run), feed it a trace and
 /// a value predictor, and read the resulting [`SimStats`].
 #[derive(Debug)]
@@ -149,18 +191,10 @@ pub struct Pipeline {
     bpu: BranchPredictorUnit,
     mem: MemoryHierarchy,
 
-    // Bandwidth pools.
-    rename_pool: SlotPool,
-    issue_pool: SlotPool,
-    alu_pool: SlotPool,
-    muldiv_pool: SlotPool,
-    fp_pool: SlotPool,
-    fpmuldiv_pool: SlotPool,
-    load_pool: SlotPool,
-    store_pool: SlotPool,
-    early_pool: SlotPool,
-    late_pool: SlotPool,
-    commit_pool: SlotPool,
+    // All per-cycle bandwidth resources (rename, issue, the functional-unit
+    // classes, EOLE early/late, commit) as lanes of one generation-counted
+    // structure-of-arrays pool.
+    pool: LanePool,
 
     // Finite structures.
     rob: OccupancyRing,
@@ -178,6 +212,13 @@ pub struct Pipeline {
     group: FetchGroup,
     fetch_resume: u64,
     last_block_pc: Option<u64>,
+
+    // The fetch group currently being accumulated, plus the group size at
+    // which accumulation must stop regardless of geometry (the occupancy-ring
+    // floor gather reads the pre-group ring state, which is only exact while
+    // in-group pushes stay below every ring's capacity).
+    batch: Batch,
+    batch_cap: usize,
 
     // Commit state.
     last_commit: u64,
@@ -222,20 +263,30 @@ impl Pipeline {
             ..TageConfig::default()
         };
         let eole = cfg.eole.unwrap_or_default();
+        // Lane order must match the `Lane` discriminants.
+        let widths: [u16; NUM_POOL_LANES] = [
+            u16::from(cfg.front_width),
+            u16::from(cfg.issue_width),
+            u16::from(cfg.fu.alu),
+            u16::from(cfg.fu.muldiv),
+            u16::from(cfg.fu.fp),
+            u16::from(cfg.fu.fpmuldiv),
+            u16::from(cfg.fu.load_ports),
+            u16::from(cfg.fu.store_ports),
+            u16::from(eole.early_width.max(1)),
+            u16::from(eole.late_width.max(1)),
+            u16::from(cfg.commit_width),
+        ];
+        let batch_cap = usize::from(cfg.front_width)
+            .min(cfg.rob_entries)
+            .min(cfg.iq_entries)
+            .min(cfg.lq_entries)
+            .min(cfg.sq_entries)
+            .max(1);
         Pipeline {
             bpu: BranchPredictorUnit::new(tage_cfg, cfg.btb_entries, cfg.ras_entries),
             mem: MemoryHierarchy::new(cfg.mem),
-            rename_pool: SlotPool::new(u16::from(cfg.front_width)),
-            issue_pool: SlotPool::new(u16::from(cfg.issue_width)),
-            alu_pool: SlotPool::new(u16::from(cfg.fu.alu)),
-            muldiv_pool: SlotPool::new(u16::from(cfg.fu.muldiv)),
-            fp_pool: SlotPool::new(u16::from(cfg.fu.fp)),
-            fpmuldiv_pool: SlotPool::new(u16::from(cfg.fu.fpmuldiv)),
-            load_pool: SlotPool::new(u16::from(cfg.fu.load_ports)),
-            store_pool: SlotPool::new(u16::from(cfg.fu.store_ports)),
-            early_pool: SlotPool::new(u16::from(eole.early_width.max(1))),
-            late_pool: SlotPool::new(u16::from(eole.late_width.max(1))),
-            commit_pool: SlotPool::new(u16::from(cfg.commit_width)),
+            pool: LanePool::new(widths),
             rob: OccupancyRing::new(cfg.rob_entries),
             iq: OccupancyRing::new(cfg.iq_entries),
             lq: OccupancyRing::new(cfg.lq_entries),
@@ -245,6 +296,8 @@ impl Pipeline {
             group: FetchGroup::default(),
             fetch_resume: 0,
             last_block_pc: None,
+            batch: Batch::default(),
+            batch_cap,
             last_commit: 0,
             pending_train: VecDeque::new(),
             wrong_path: None,
@@ -302,18 +355,27 @@ impl Pipeline {
         // The budget counts *committed* µ-ops only: wrong-path burst µ-ops
         // are simulated (or skipped) without consuming it, so a run over a
         // wrong-path trace commits exactly as many µ-ops as one over the
-        // equivalent plain trace.
-        while self.stats.uops < stop_at_committed {
+        // equivalent plain trace. Batched µ-ops still count against the
+        // budget while in flight, and the final flush drains them, so the
+        // segment stops on the exact committed count and leaves no hidden
+        // in-batch state for a checkpoint to miss.
+        while self.stats.uops + (self.batch.len() as u64) < stop_at_committed {
             let Some(uop) = trace.next() else {
                 break;
             };
             *stream_pos += 1;
             if uop.wrong_path {
-                self.step_wrong_path(&uop, predictor);
+                if self.cfg.wrong_path.is_some() && self.wrong_path.is_some() {
+                    // A burst only follows a flushed mispredicting branch, so
+                    // the batch is already empty; the flush is a no-op guard.
+                    self.flush_batch(predictor);
+                    self.step_wrong_path(&uop, predictor);
+                }
                 continue;
             }
-            self.step(&uop, predictor);
+            self.enqueue(&uop, predictor);
         }
+        self.flush_batch(predictor);
     }
 
     /// Committed µ-ops so far (the absolute budget consumed across every
@@ -618,8 +680,11 @@ impl Pipeline {
     where
         P: ValuePredictor + ?Sized,
     {
-        // Deliver a squash deferred past the end of the stream so predictor
-        // bookkeeping is consistent before the final training drain.
+        // Drain a fetch group still in flight (run_segment already flushes;
+        // this guards direct callers), then deliver a squash deferred past
+        // the end of the stream so predictor bookkeeping is consistent
+        // before the final training drain.
+        self.flush_batch(predictor);
         self.resolve_wrong_path(predictor);
         // Drain remaining predictor updates so accuracy statistics are complete.
         while let Some(p) = self.pending_train.pop_front() {
@@ -631,14 +696,33 @@ impl Pipeline {
         self.stats
     }
 
-    /// Processes one committed (correct-path) µ-op.
-    fn step<P: ValuePredictor + ?Sized>(&mut self, uop: &DynUop, predictor: &mut P) {
-        let cfg_vp = self.cfg.value_prediction;
-        let ctx_slot = SimStats::context_slot(uop.asid);
+    /// Returns whether fetching `uop` would start a new fetch group — the
+    /// group-boundary predicate of [`Pipeline::fetch`], side-effect free.
+    fn fetch_breaks_group(&self, uop: &DynUop) -> bool {
+        if self.fetch_resume > self.group.cycle {
+            return true;
+        }
+        let block = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
+        let fits_width = self.group.uops < self.cfg.front_width;
+        let known_block = self.group.contains(block);
+        let fits_blocks = known_block
+            || (self.group.num_blocks as usize) < self.cfg.fetch_blocks_per_cycle as usize;
+        !(fits_width && fits_blocks)
+    }
 
+    /// Runs the front end for one committed (correct-path) µ-op — fetch,
+    /// branch prediction, value-predictor probe — and accumulates it into the
+    /// current fetch-group batch. The batch is flushed *before* this µ-op
+    /// when it starts a new group (or context), and *after* it when it
+    /// mispredicts: the redirect must update `fetch_resume` before the next
+    /// µ-op's group-boundary check, which is exactly why group formation
+    /// lives here and not in [`Pipeline::flush_batch`].
+    fn enqueue<P: ValuePredictor + ?Sized>(&mut self, uop: &DynUop, predictor: &mut P) {
         // A wrong-path episode ends at the first correct-path µ-op: the
         // mispredicted branch has resolved, and the squash — deferred so the
         // predictor could observe the wrong-path fetches first — lands now.
+        // (An active episode implies the batch is empty: it was created by
+        // the flush of the mispredicting branch's own group.)
         self.resolve_wrong_path(predictor);
 
         // ---- Context switch ----------------------------------------------------
@@ -648,6 +732,7 @@ impl Pipeline {
         // flush), exactly like a taken redirect. Single-context traces carry
         // ASID 0 throughout and never reach this branch.
         if uop.asid != self.cur_asid {
+            self.flush_batch(predictor);
             self.cur_asid = uop.asid;
             self.stats.context_switches += 1;
             if self.cfg.mix.map(|m| m.flush_on_switch).unwrap_or(false) {
@@ -657,19 +742,29 @@ impl Pipeline {
         }
 
         // ---- Fetch -------------------------------------------------------------
+        if !self.batch.is_empty() && self.fetch_breaks_group(uop) {
+            self.flush_batch(predictor);
+        }
         let fetch_cycle = self.fetch(uop);
-
-        // Release predictor updates for µ-ops that retired before this fetch: their
-        // values are architecturally visible to the predictor from now on.
-        while let Some(front) = self.pending_train.front() {
-            if front.commit_cycle <= fetch_cycle {
-                // INVARIANT: front() just returned Some on this same deque.
-                let p = self.pending_train.pop_front().expect("non-empty");
-                predictor.train(&p.uop, p.uop.value, p.predicted);
-            } else {
-                break;
+        if self.batch.is_empty() {
+            self.batch.fetch_cycle = fetch_cycle;
+            // Release predictor updates for µ-ops that retired before this
+            // group's fetch: their values are architecturally visible to the
+            // predictor from now on. Once per group is exact — every µ-op of
+            // the group fetches at the same cycle, and a µ-op committed by
+            // this very group retires at least `fetch_to_commit` cycles
+            // later, so nothing new matures mid-group.
+            while let Some(front) = self.pending_train.front() {
+                if front.commit_cycle <= fetch_cycle {
+                    // INVARIANT: front() just returned Some on this same deque.
+                    let p = self.pending_train.pop_front().expect("non-empty");
+                    predictor.train(&p.uop, p.uop.value, p.predicted);
+                } else {
+                    break;
+                }
             }
         }
+        debug_assert_eq!(fetch_cycle, self.batch.fetch_cycle);
 
         // ---- Branch prediction ---------------------------------------------------
         let mut branch_mispredicted = false;
@@ -680,13 +775,13 @@ impl Pipeline {
         }
 
         // ---- Value prediction ----------------------------------------------------
+        let ctx_slot = SimStats::context_slot(uop.asid);
         let block_pc = fetch_block_pc(uop.pc, self.cfg.fetch_block_bytes);
         let new_block = self.last_block_pc != Some(block_pc);
         self.last_block_pc = Some(block_pc);
 
         let mut predicted: Option<u64> = None;
-        let free_imm = self.cfg.free_load_immediates && uop.uop.kind() == UopKind::LoadImm;
-        if cfg_vp && uop.vp_eligible() {
+        if self.cfg.value_prediction && uop.vp_eligible() {
             self.stats.vp.eligible += 1;
             self.stats.contexts[ctx_slot].vp.eligible += 1;
             let ctx = PredictCtx {
@@ -703,234 +798,365 @@ impl Pipeline {
                 self.stats.contexts[ctx_slot].vp.predicted += 1;
             }
         }
-        if free_imm {
+        if self.cfg.free_load_immediates && uop.uop.kind() == UopKind::LoadImm {
             self.stats.vp.free_load_immediates += 1;
             self.stats.contexts[ctx_slot].vp.free_load_immediates += 1;
         }
-        let predicted_used = predicted.is_some();
-        let prediction_correct = predicted.map(|v| v == uop.value).unwrap_or(false);
 
-        // ---- Rename / dispatch -----------------------------------------------------
-        let rename_cycle = self
-            .rename_pool
-            .allocate(fetch_cycle + self.cfg.front_depth);
-        let mut dispatch_floor = self.rob.constrain(rename_cycle);
+        let value_mispredicted = predicted.map(|v| v != uop.value).unwrap_or(false);
+        self.batch.uops.push(*uop);
+        self.batch.branch_misp.push(branch_mispredicted);
+        self.batch.predicted.push(predicted);
 
-        // ---- Execution mode ---------------------------------------------------------
-        let kind = uop.uop.kind();
-        let is_single_cycle_alu = matches!(kind, UopKind::Alu | UopKind::Nop | UopKind::Branch);
-        let srcs_in_frontend = uop.uop.srcs().all(|r| self.reg_frontend[r.raw() as usize]);
-        // Early: a free-load immediate, or (with EOLE) a single-cycle ALU µ-op whose
-        // sources are all available in the front end.
-        let eole_early =
-            self.cfg.has_eole() && is_single_cycle_alu && !kind.is_mem() && srcs_in_frontend;
-        let mode = if free_imm || eole_early {
-            ExecMode::Early
-        } else if self.cfg.has_eole() && predicted_used && is_single_cycle_alu && !kind.is_mem() {
-            ExecMode::Late
-        } else {
-            ExecMode::OutOfOrder
-        };
-
-        // Structure constraints beyond the ROB.
-        let uses_iq = mode == ExecMode::OutOfOrder;
-        if uses_iq {
-            dispatch_floor = dispatch_floor.max(self.iq.constrain(rename_cycle));
+        // A mispredicting µ-op closes its group immediately: its redirect
+        // cycle (computed by the flush) gates where the next µ-op fetches.
+        // The cap keeps the ring floor gather exact (see `batch_cap`).
+        if branch_mispredicted || value_mispredicted || self.batch.len() >= self.batch_cap {
+            self.flush_batch(predictor);
         }
-        if kind == UopKind::Load {
-            dispatch_floor = dispatch_floor.max(self.lq.constrain(rename_cycle));
-        }
-        if kind == UopKind::Store {
-            dispatch_floor = dispatch_floor.max(self.sq.constrain(rename_cycle));
-        }
-        let dispatch_cycle = dispatch_floor;
+    }
 
-        // ---- Execute ------------------------------------------------------------------
-        let ready_cycle = uop
-            .uop
-            .srcs()
-            .map(|r| self.reg_avail[r.raw() as usize])
-            .max()
-            .unwrap_or(0)
-            .max(dispatch_cycle);
-
-        let (issue_cycle, complete_cycle) = match mode {
-            ExecMode::Early => {
-                let c = self.early_pool.allocate(rename_cycle);
-                (c, c)
-            }
-            ExecMode::Late => {
-                // Result (the prediction) is available at dispatch; the actual
-                // execution happens in the late-execution stage before commit and
-                // does not consume OoO resources.
-                let c = self.late_pool.allocate(dispatch_cycle);
-                (c, dispatch_cycle)
-            }
-            ExecMode::OutOfOrder => {
-                let fu_pool = match kind.exec_class() {
-                    ExecClass::Alu => &mut self.alu_pool,
-                    ExecClass::MulDiv => &mut self.muldiv_pool,
-                    ExecClass::Fp => &mut self.fp_pool,
-                    ExecClass::FpMulDiv => &mut self.fpmuldiv_pool,
-                    ExecClass::Load => &mut self.load_pool,
-                    ExecClass::Store => &mut self.store_pool,
-                };
-                let fu_cycle = fu_pool.allocate(ready_cycle + 1);
-                let issue_cycle = self.issue_pool.allocate(fu_cycle);
-                let latency = match kind {
-                    UopKind::Alu | UopKind::LoadImm | UopKind::Nop | UopKind::Branch => {
-                        u64::from(self.cfg.fu.alu_lat)
-                    }
-                    UopKind::Mul => u64::from(self.cfg.fu.mul_lat),
-                    UopKind::Div => u64::from(self.cfg.fu.div_lat),
-                    UopKind::FpAdd => u64::from(self.cfg.fu.fp_lat),
-                    UopKind::FpMul => u64::from(self.cfg.fu.fpmul_lat),
-                    UopKind::FpDiv => u64::from(self.cfg.fu.fpdiv_lat),
-                    UopKind::Load => {
-                        let addr = uop.mem.map(|m| m.addr).unwrap_or(0);
-                        self.mem.access(uop.pc, addr)
-                    }
-                    UopKind::Store => 1,
-                };
-                (issue_cycle, issue_cycle + latency)
-            }
-        };
-
-        match mode {
-            ExecMode::Early => self.stats.eole.early_executed += 1,
-            ExecMode::Late => self.stats.eole.late_executed += 1,
-            ExecMode::OutOfOrder => self.stats.eole.ooo_executed += 1,
+    /// Processes the accumulated fetch group through the back end: cache
+    /// walk, rename, occupancy-ring floors, execution-mode resolution, pool
+    /// allocation, commit, flush bookkeeping and statistics. Lane-parallel
+    /// work (cache latencies, the rename pass, the ROB floor gather,
+    /// structure releases, pool pruning) runs once per group; only the
+    /// dataflow-coupled remainder stays per-µ-op.
+    ///
+    /// Flushing early — at any group boundary the front end picks — is
+    /// always bit-identical to scalar processing: group *formation* is fixed
+    /// by `fetch`, and the back end never reads front-end state.
+    fn flush_batch<P: ValuePredictor + ?Sized>(&mut self, predictor: &mut P) {
+        let n = self.batch.len();
+        if n == 0 {
+            return;
         }
+        let fetch_cycle = self.batch.fetch_cycle;
+        let cfg_vp = self.cfg.value_prediction;
 
-        // ---- Commit --------------------------------------------------------------------
-        let commit_floor = complete_cycle
-            .max(self.last_commit)
-            .max(fetch_cycle + self.cfg.fetch_to_commit);
-        let commit_cycle = self.commit_pool.allocate(commit_floor);
-        self.last_commit = commit_cycle;
-
-        // ---- Structure releases -----------------------------------------------------------
-        self.rob.push(commit_cycle);
-        if uses_iq {
-            self.iq.push(issue_cycle);
-        }
-        if kind == UopKind::Load {
-            self.lq.push(commit_cycle);
-        }
-        if kind == UopKind::Store {
-            self.sq.push(commit_cycle);
-        }
-
-        // ---- Register availability -----------------------------------------------------------
-        if let Some(dst) = uop.uop.dst() {
-            let idx = dst.raw() as usize;
-            if predicted_used || free_imm {
-                // The predicted / immediate value is written to the PRF at dispatch.
-                self.reg_avail[idx] = dispatch_cycle;
-                self.reg_frontend[idx] = true;
-            } else if mode == ExecMode::Early {
-                self.reg_avail[idx] = complete_cycle;
-                self.reg_frontend[idx] = true;
-            } else {
-                self.reg_avail[idx] = complete_cycle;
-                self.reg_frontend[idx] = false;
-            }
-        }
-
-        // ---- Flushes --------------------------------------------------------------------------
-        if branch_mispredicted {
-            self.stats.branch_flushes += 1;
-            self.stats.contexts[ctx_slot].branch_flushes += 1;
-            self.fetch_resume = self.fetch_resume.max(complete_cycle + 1);
-            let info = SquashInfo {
-                flush_seq: uop.seq,
-                flush_pc: uop.pc,
-                next_pc: uop.next_pc(),
-                cause: SquashCause::BranchMispredict,
-                asid: uop.asid,
+        // ---- Latency lane pass ---------------------------------------------------
+        // The cache model is hoisted out of the per-µ-op scalar path: loads
+        // walk the hierarchy here, in program order (every load executes
+        // out-of-order — EOLE early/late never takes memory µ-ops — so the
+        // scalar path called `mem.access` for exactly these µ-ops in exactly
+        // this order).
+        self.batch.lat.clear();
+        for i in 0..n {
+            let uop = self.batch.uops[i];
+            let lat = match uop.uop.kind() {
+                UopKind::Alu | UopKind::LoadImm | UopKind::Nop | UopKind::Branch => {
+                    u64::from(self.cfg.fu.alu_lat)
+                }
+                UopKind::Mul => u64::from(self.cfg.fu.mul_lat),
+                UopKind::Div => u64::from(self.cfg.fu.div_lat),
+                UopKind::FpAdd => u64::from(self.cfg.fu.fp_lat),
+                UopKind::FpMul => u64::from(self.cfg.fu.fpmul_lat),
+                UopKind::FpDiv => u64::from(self.cfg.fu.fpdiv_lat),
+                UopKind::Load => {
+                    let addr = uop.mem.map(|m| m.addr).unwrap_or(0);
+                    self.mem.access(uop.pc, addr)
+                }
+                UopKind::Store => 1,
             };
-            if self.cfg.wrong_path.is_some() {
-                // Wrong-path mode: the burst following this branch in the
-                // stream is fetched until the branch resolves, and the squash
-                // is delivered at the first correct-path µ-op thereafter.
-                self.wrong_path = Some(WrongPathEpisode {
-                    resolve: complete_cycle,
-                    squash: cfg_vp.then_some(info),
-                    counted: false,
-                });
-            } else if cfg_vp {
-                predictor.squash(&info);
-            }
+            self.batch.lat.push(lat);
         }
-        if predicted_used && !prediction_correct {
-            // Pollution attribution is gated per context: only a polluting
-            // wrong-path train of *this* µ-op's context within the window
-            // counts, so a burst spanning a context switch cannot charge the
-            // next context's unrelated mispredicts to pollution.
-            if self.pollution_window[ctx_slot] > 0 {
-                self.stats.wrong_path.pollution_mispredicts += 1;
+
+        // ---- Rename lane pass ----------------------------------------------------
+        // Every µ-op of the group requests the same rename cycle; the common
+        // case fills one fresh pool row with a single counter update.
+        self.batch.rename.clear();
+        self.batch.rename.resize(n, 0);
+        self.pool.allocate_group(
+            Lane::Rename,
+            fetch_cycle + self.cfg.front_depth,
+            &mut self.batch.rename,
+        );
+
+        // ---- ROB floor gather ------------------------------------------------------
+        // `release_floor_after(i)` reads the pre-group ring state the way the
+        // scalar loop's interleaved constrain/push sequence would: the i-th
+        // µ-op's floor is the release of the entry `i` pushes will evict.
+        // The dispatch base is the lane-wise max with the rename cycles
+        // (mirroring the `bebop::slot_simd` u64×4 idiom; that crate sits
+        // above this one in the dependency graph, so the shape is shared,
+        // not the code).
+        self.batch.dispatch.clear();
+        for i in 0..n {
+            self.batch.dispatch.push(self.rob.release_floor_after(i));
+        }
+        let (head, tail) = self.batch.dispatch.split_at_mut(n & !3);
+        for (d4, r4) in head
+            .chunks_exact_mut(4)
+            .zip(self.batch.rename.chunks_exact(4))
+        {
+            d4[0] = d4[0].max(r4[0]);
+            d4[1] = d4[1].max(r4[1]);
+            d4[2] = d4[2].max(r4[2]);
+            d4[3] = d4[3].max(r4[3]);
+        }
+        for (d, &r) in tail.iter_mut().zip(&self.batch.rename[n & !3..]) {
+            *d = (*d).max(r);
+        }
+
+        // ---- Per-µ-op dataflow pass ------------------------------------------------
+        // Execution-mode resolution reads `reg_frontend` written by older
+        // µ-ops of the same group, readiness reads `reg_avail`, and commit is
+        // serialised through `last_commit` — this part is genuinely
+        // sequential. Structure releases are deferred to lane pushes below;
+        // the in-group push counts feed the IQ/LQ/SQ floor reads.
+        self.batch.rob_rel.clear();
+        self.batch.iq_rel.clear();
+        self.batch.lq_rel.clear();
+        self.batch.sq_rel.clear();
+        for i in 0..n {
+            let uop = self.batch.uops[i];
+            let branch_mispredicted = self.batch.branch_misp[i];
+            let predicted = self.batch.predicted[i];
+            let ctx_slot = SimStats::context_slot(uop.asid);
+            let kind = uop.uop.kind();
+            let free_imm = self.cfg.free_load_immediates && kind == UopKind::LoadImm;
+            let predicted_used = predicted.is_some();
+            let prediction_correct = predicted.map(|v| v == uop.value).unwrap_or(false);
+            let rename_cycle = self.batch.rename[i];
+
+            // ---- Execution mode ----
+            let is_single_cycle_alu = matches!(kind, UopKind::Alu | UopKind::Nop | UopKind::Branch);
+            let srcs_in_frontend = uop.uop.srcs().all(|r| self.reg_frontend[r.raw() as usize]);
+            // Early: a free-load immediate, or (with EOLE) a single-cycle ALU
+            // µ-op whose sources are all available in the front end.
+            let eole_early =
+                self.cfg.has_eole() && is_single_cycle_alu && !kind.is_mem() && srcs_in_frontend;
+            let mode = if free_imm || eole_early {
+                ExecMode::Early
+            } else if self.cfg.has_eole() && predicted_used && is_single_cycle_alu && !kind.is_mem()
+            {
+                ExecMode::Late
+            } else {
+                ExecMode::OutOfOrder
+            };
+
+            // Structure constraints beyond the ROB. The gathered dispatch
+            // base is already `max(rename, rob floor)`, so only the
+            // per-class floors remain.
+            let mut dispatch_floor = self.batch.dispatch[i];
+            let uses_iq = mode == ExecMode::OutOfOrder;
+            if uses_iq {
+                dispatch_floor =
+                    dispatch_floor.max(self.iq.release_floor_after(self.batch.iq_rel.len()));
             }
-            // Validation at commit detects the wrong value and squashes everything
-            // younger than this µ-op.
-            self.stats.vp_flushes += 1;
-            self.stats.vp.incorrect += 1;
-            self.stats.contexts[ctx_slot].vp_flushes += 1;
-            self.stats.contexts[ctx_slot].vp.incorrect += 1;
-            self.fetch_resume = self.fetch_resume.max(commit_cycle + 1);
-            predictor.squash(&SquashInfo {
-                flush_seq: uop.seq,
-                flush_pc: uop.pc,
-                next_pc: if uop.is_last_uop() {
-                    uop.next_pc()
+            if kind == UopKind::Load {
+                dispatch_floor =
+                    dispatch_floor.max(self.lq.release_floor_after(self.batch.lq_rel.len()));
+            }
+            if kind == UopKind::Store {
+                dispatch_floor =
+                    dispatch_floor.max(self.sq.release_floor_after(self.batch.sq_rel.len()));
+            }
+            let dispatch_cycle = dispatch_floor;
+
+            // ---- Execute ----
+            let ready_cycle = uop
+                .uop
+                .srcs()
+                .map(|r| self.reg_avail[r.raw() as usize])
+                .max()
+                .unwrap_or(0)
+                .max(dispatch_cycle);
+
+            let (issue_cycle, complete_cycle) = match mode {
+                ExecMode::Early => {
+                    let c = self.pool.allocate(Lane::Early, rename_cycle);
+                    (c, c)
+                }
+                ExecMode::Late => {
+                    // Result (the prediction) is available at dispatch; the
+                    // actual execution happens in the late-execution stage
+                    // before commit and does not consume OoO resources.
+                    let c = self.pool.allocate(Lane::Late, dispatch_cycle);
+                    (c, dispatch_cycle)
+                }
+                ExecMode::OutOfOrder => {
+                    let fu_lane = match kind.exec_class() {
+                        ExecClass::Alu => Lane::Alu,
+                        ExecClass::MulDiv => Lane::MulDiv,
+                        ExecClass::Fp => Lane::Fp,
+                        ExecClass::FpMulDiv => Lane::FpMulDiv,
+                        ExecClass::Load => Lane::Load,
+                        ExecClass::Store => Lane::Store,
+                    };
+                    let fu_cycle = self.pool.allocate(fu_lane, ready_cycle + 1);
+                    let issue_cycle = self.pool.allocate(Lane::Issue, fu_cycle);
+                    (issue_cycle, issue_cycle + self.batch.lat[i])
+                }
+            };
+
+            match mode {
+                ExecMode::Early => self.stats.eole.early_executed += 1,
+                ExecMode::Late => self.stats.eole.late_executed += 1,
+                ExecMode::OutOfOrder => self.stats.eole.ooo_executed += 1,
+            }
+
+            // ---- Commit ----
+            let commit_floor = complete_cycle
+                .max(self.last_commit)
+                .max(fetch_cycle + self.cfg.fetch_to_commit);
+            let commit_cycle = self.pool.allocate(Lane::Commit, commit_floor);
+            self.last_commit = commit_cycle;
+
+            // ---- Structure releases (deferred to the lane pushes below) ----
+            self.batch.rob_rel.push(commit_cycle);
+            if uses_iq {
+                self.batch.iq_rel.push(issue_cycle);
+            }
+            if kind == UopKind::Load {
+                self.batch.lq_rel.push(commit_cycle);
+            }
+            if kind == UopKind::Store {
+                self.batch.sq_rel.push(commit_cycle);
+            }
+
+            // ---- Register availability ----
+            if let Some(dst) = uop.uop.dst() {
+                let idx = dst.raw() as usize;
+                if predicted_used || free_imm {
+                    // The predicted / immediate value is written to the PRF at dispatch.
+                    self.reg_avail[idx] = dispatch_cycle;
+                    self.reg_frontend[idx] = true;
+                } else if mode == ExecMode::Early {
+                    self.reg_avail[idx] = complete_cycle;
+                    self.reg_frontend[idx] = true;
                 } else {
-                    uop.pc
-                },
-                cause: SquashCause::ValueMispredict,
-                asid: uop.asid,
-            });
-        } else if predicted_used {
-            self.stats.vp.correct += 1;
-            self.stats.contexts[ctx_slot].vp.correct += 1;
+                    self.reg_avail[idx] = complete_cycle;
+                    self.reg_frontend[idx] = false;
+                }
+            }
+
+            // ---- Flushes ----
+            // Only the last µ-op of a group can mispredict: the front end
+            // closes the group at the mispredicting µ-op, so the redirect
+            // below is in place before the next µ-op fetches.
+            if branch_mispredicted {
+                self.stats.branch_flushes += 1;
+                self.stats.contexts[ctx_slot].branch_flushes += 1;
+                self.fetch_resume = self.fetch_resume.max(complete_cycle + 1);
+                let info = SquashInfo {
+                    flush_seq: uop.seq,
+                    flush_pc: uop.pc,
+                    next_pc: uop.next_pc(),
+                    cause: SquashCause::BranchMispredict,
+                    asid: uop.asid,
+                };
+                if self.cfg.wrong_path.is_some() {
+                    // Wrong-path mode: the burst following this branch in the
+                    // stream is fetched until the branch resolves, and the squash
+                    // is delivered at the first correct-path µ-op thereafter.
+                    self.wrong_path = Some(WrongPathEpisode {
+                        resolve: complete_cycle,
+                        squash: cfg_vp.then_some(info),
+                        counted: false,
+                    });
+                } else if cfg_vp {
+                    predictor.squash(&info);
+                }
+            }
+            if predicted_used && !prediction_correct {
+                // Pollution attribution is gated per context: only a polluting
+                // wrong-path train of *this* µ-op's context within the window
+                // counts, so a burst spanning a context switch cannot charge the
+                // next context's unrelated mispredicts to pollution.
+                if self.pollution_window[ctx_slot] > 0 {
+                    self.stats.wrong_path.pollution_mispredicts += 1;
+                }
+                // Validation at commit detects the wrong value and squashes everything
+                // younger than this µ-op.
+                self.stats.vp_flushes += 1;
+                self.stats.vp.incorrect += 1;
+                self.stats.contexts[ctx_slot].vp_flushes += 1;
+                self.stats.contexts[ctx_slot].vp.incorrect += 1;
+                self.fetch_resume = self.fetch_resume.max(commit_cycle + 1);
+                predictor.squash(&SquashInfo {
+                    flush_seq: uop.seq,
+                    flush_pc: uop.pc,
+                    next_pc: if uop.is_last_uop() {
+                        uop.next_pc()
+                    } else {
+                        uop.pc
+                    },
+                    cause: SquashCause::ValueMispredict,
+                    asid: uop.asid,
+                });
+            } else if predicted_used {
+                self.stats.vp.correct += 1;
+                self.stats.contexts[ctx_slot].vp.correct += 1;
+            }
+
+            // ---- Deferred training ----
+            if cfg_vp && uop.vp_eligible() {
+                self.pending_train.push_back(PendingTrain {
+                    commit_cycle,
+                    uop,
+                    predicted,
+                });
+            }
+
+            // ---- Accounting ----
+            self.stats.uops += 1;
+            self.stats.contexts[ctx_slot].uops += 1;
+            if uop.is_last_uop() {
+                self.stats.insts += 1;
+                self.stats.contexts[ctx_slot].insts += 1;
+            }
+            // Only this context's commits consume its attribution window.
+            self.pollution_window[ctx_slot] = self.pollution_window[ctx_slot].saturating_sub(1);
+
+            #[cfg(feature = "simcheck")]
+            self.simcheck_step();
         }
 
-        // ---- Deferred training --------------------------------------------------------------------
-        if cfg_vp && uop.vp_eligible() {
-            self.pending_train.push_back(PendingTrain {
-                commit_cycle,
-                uop: *uop,
-                predicted,
-            });
+        // ---- Structure release lane pushes -------------------------------------------
+        self.rob.push_group(&self.batch.rob_rel);
+        self.iq.push_group(&self.batch.iq_rel);
+        self.lq.push_group(&self.batch.lq_rel);
+        self.sq.push_group(&self.batch.sq_rel);
+
+        // ---- Group-granular pruning ---------------------------------------------------
+        // Nothing is ever requested below the group's fetch cycle again, so
+        // the whole window below it is dead. The commit lane additionally
+        // trails `last_commit` (commit floors are monotone), and — without
+        // wrong-path execution, whose burst µ-ops allocate near the *fetch*
+        // frontier — the issue/FU/late lanes trail the ROB's oldest
+        // outstanding release (every dispatch is floored by it). Those lane
+        // horizons are what keep the far-future overflow bounded when a
+        // perfectly-predicted phase decouples fetch far behind commit.
+        //
+        // Pruning is allocation-invisible, so the cadence is a free choice:
+        // amortise it over ~4096 committed µ-ops (the scalar loop's historical
+        // rhythm) rather than paying the full 11-lane walk per fetch group.
+        // The trigger is a pure function of the committed-µ-op counter, which
+        // is checkpointed state, so an interrupted-and-resumed run prunes at
+        // the same points as an uninterrupted one (state-byte transparency).
+        const PRUNE_EVERY_UOPS: u64 = 4096;
+        if self.stats.uops / PRUNE_EVERY_UOPS != (self.stats.uops - n as u64) / PRUNE_EVERY_UOPS {
+            self.pool.prune_below(fetch_cycle.saturating_sub(4));
+            self.pool.prune_lane_below(Lane::Commit, self.last_commit);
+            if self.cfg.wrong_path.is_none() {
+                let floor = self.rob.release_floor_after(0);
+                for lane in [
+                    Lane::Issue,
+                    Lane::Alu,
+                    Lane::MulDiv,
+                    Lane::Fp,
+                    Lane::FpMulDiv,
+                    Lane::Load,
+                    Lane::Store,
+                    Lane::Late,
+                ] {
+                    self.pool.prune_lane_below(lane, floor);
+                }
+            }
         }
 
-        // ---- Accounting -----------------------------------------------------------------------------
-        self.stats.uops += 1;
-        self.stats.contexts[ctx_slot].uops += 1;
-        if uop.is_last_uop() {
-            self.stats.insts += 1;
-            self.stats.contexts[ctx_slot].insts += 1;
-        }
-        // Only this context's commits consume its attribution window.
-        self.pollution_window[ctx_slot] = self.pollution_window[ctx_slot].saturating_sub(1);
-
-        // Keep the bandwidth pools bounded: nothing can ever be allocated below the
-        // current fetch cycle again.
-        if self.stats.uops % 4096 == 0 {
-            let horizon = fetch_cycle.saturating_sub(4);
-            self.rename_pool.prune_below(horizon);
-            self.issue_pool.prune_below(horizon);
-            self.alu_pool.prune_below(horizon);
-            self.muldiv_pool.prune_below(horizon);
-            self.fp_pool.prune_below(horizon);
-            self.fpmuldiv_pool.prune_below(horizon);
-            self.load_pool.prune_below(horizon);
-            self.store_pool.prune_below(horizon);
-            self.early_pool.prune_below(horizon);
-            self.late_pool.prune_below(horizon);
-            self.commit_pool.prune_below(horizon);
-        }
-
-        #[cfg(feature = "simcheck")]
-        self.simcheck_step();
+        self.batch.clear();
     }
 
     /// Ends a pending wrong-path episode, delivering its deferred squash.
@@ -1008,16 +1234,16 @@ impl Pipeline {
         let dispatch_cycle = fetch_cycle + self.cfg.front_depth;
         if dispatch_cycle < wp.resolve {
             let kind = uop.uop.kind();
-            let fu_pool = match kind.exec_class() {
-                ExecClass::Alu => &mut self.alu_pool,
-                ExecClass::MulDiv => &mut self.muldiv_pool,
-                ExecClass::Fp => &mut self.fp_pool,
-                ExecClass::FpMulDiv => &mut self.fpmuldiv_pool,
-                ExecClass::Load => &mut self.load_pool,
-                ExecClass::Store => &mut self.store_pool,
+            let fu_lane = match kind.exec_class() {
+                ExecClass::Alu => Lane::Alu,
+                ExecClass::MulDiv => Lane::MulDiv,
+                ExecClass::Fp => Lane::Fp,
+                ExecClass::FpMulDiv => Lane::FpMulDiv,
+                ExecClass::Load => Lane::Load,
+                ExecClass::Store => Lane::Store,
             };
-            let fu_cycle = fu_pool.allocate(dispatch_cycle + 1);
-            self.issue_pool.allocate(fu_cycle);
+            let fu_cycle = self.pool.allocate(fu_lane, dispatch_cycle + 1);
+            self.pool.allocate(Lane::Issue, fu_cycle);
             if kind == UopKind::Load {
                 // Wrong-path loads go through the real hierarchy: they can
                 // pollute the caches *or* act as inadvertent prefetches for
@@ -1105,12 +1331,17 @@ impl Pipeline {
     /// — for checkpointing. Configuration-derived state is not written: the
     /// payload restores onto a freshly built pipeline of the same config.
     pub fn save_state(&self) -> Vec<u8> {
+        // Checkpoints are only taken between `run_segment` calls, which
+        // always flush the in-flight fetch group; a non-empty batch here
+        // would silently drop µ-ops from the resumed run.
+        assert!(
+            self.batch.is_empty(),
+            "pipeline state saved with a fetch group in flight"
+        );
         let mut w = StateWriter::new();
         self.bpu.save_state(&mut w);
         self.mem.save_state(&mut w);
-        for pool in self.pools() {
-            pool.save_state(&mut w);
-        }
+        self.pool.save_state(&mut w);
         for ring in [&self.rob, &self.iq, &self.lq, &self.sq] {
             ring.save_state(&mut w);
         }
@@ -1174,9 +1405,8 @@ impl Pipeline {
         let mut r = StateReader::new(bytes);
         self.bpu.restore_state(&mut r)?;
         self.mem.restore_state(&mut r)?;
-        for pool in self.pools_mut() {
-            pool.restore_state(&mut r)?;
-        }
+        self.pool.restore_state(&mut r)?;
+        self.batch.clear();
         for ring in [&mut self.rob, &mut self.iq, &mut self.lq, &mut self.sq] {
             ring.restore_state(&mut r)?;
         }
@@ -1253,38 +1483,6 @@ impl Pipeline {
         r.expect_done()
     }
 
-    fn pools(&self) -> [&SlotPool; 11] {
-        [
-            &self.rename_pool,
-            &self.issue_pool,
-            &self.alu_pool,
-            &self.muldiv_pool,
-            &self.fp_pool,
-            &self.fpmuldiv_pool,
-            &self.load_pool,
-            &self.store_pool,
-            &self.early_pool,
-            &self.late_pool,
-            &self.commit_pool,
-        ]
-    }
-
-    fn pools_mut(&mut self) -> [&mut SlotPool; 11] {
-        [
-            &mut self.rename_pool,
-            &mut self.issue_pool,
-            &mut self.alu_pool,
-            &mut self.muldiv_pool,
-            &mut self.fp_pool,
-            &mut self.fpmuldiv_pool,
-            &mut self.load_pool,
-            &mut self.store_pool,
-            &mut self.early_pool,
-            &mut self.late_pool,
-            &mut self.commit_pool,
-        ]
-    }
-
     /// Validates per-cycle pipeline invariants: bandwidth-pool conservation,
     /// in-order occupancy-ring release monotonicity (ROB/LQ/SQ release at
     /// commit, which is in order; the IQ releases at issue, which is not),
@@ -1316,13 +1514,7 @@ impl Pipeline {
         if self.stats.uops % 256 != 0 {
             return;
         }
-        let names = [
-            "rename", "issue", "alu", "muldiv", "fp", "fpmuldiv", "load", "store", "early", "late",
-            "commit",
-        ];
-        for (pool, name) in self.pools().into_iter().zip(names) {
-            pool.check_conservation(name);
-        }
+        self.pool.check_conservation();
         self.rob.check_monotone("rob");
         self.lq.check_monotone("lq");
         self.sq.check_monotone("sq");

@@ -122,6 +122,23 @@ struct Inflight {
     alt_stride: i64,
 }
 
+/// Memo of the folded-history terms of every tagged component's index and
+/// tag hash for one global-history value. The folds are a pure function of
+/// `(ghist, component geometry)` and the history only changes at branches,
+/// so the ~5–10 µ-ops between branches reuse one computation instead of
+/// re-folding `3 × num_tagged` times per prediction. Derived state: never
+/// serialised, and stays valid across save/restore because the geometry is
+/// fixed at construction.
+#[derive(Debug, Clone, Copy, Default)]
+struct FoldCache {
+    valid: bool,
+    ghist: u64,
+    /// Per-component folded history for the index hash.
+    index_fold: [u64; MAX_TAGGED],
+    /// Per-component combined `f1 ^ (f2 << 2)` term of the tag hash.
+    tag_fold: [u64; MAX_TAGGED],
+}
+
 /// The instruction-based Differential VTAGE predictor.
 #[derive(Debug, Clone)]
 pub struct DVtage {
@@ -135,6 +152,7 @@ pub struct DVtage {
     /// In-flight prediction records in program order. Predictions are made and
     /// retired in sequence-number order, so a deque pop replaces a hash lookup.
     inflight: VecDeque<(SeqNum, Inflight)>,
+    fold_cache: FoldCache,
     rng: Lfsr,
     updates: u64,
 }
@@ -161,6 +179,7 @@ impl DVtage {
             tagged: vec![vec![TaggedEntry::default(); 1 << cfg.log_tagged]; cfg.num_tagged],
             comp,
             inflight: VecDeque::new(),
+            fold_cache: FoldCache::default(),
             rng: Lfsr::new(0xd7a6e),
             updates: 0,
             cfg,
@@ -185,21 +204,35 @@ impl DVtage {
         (((key >> 1) >> self.cfg.log_base) & ((1 << self.cfg.lvt_tag_bits) - 1)) as u16
     }
 
-    fn tagged_index(&self, key: u64, ghist: u64, path: u64, comp: usize) -> usize {
-        let hl = self.comp[comp].hist_len;
-        let folded = fold_history(ghist, hl, self.cfg.log_tagged);
+    /// Refreshes the fold memo for `ghist`. A hit (the common case — history
+    /// is unchanged between branches) costs one compare.
+    fn refresh_folds(&mut self, ghist: u64) {
+        if self.fold_cache.valid && self.fold_cache.ghist == ghist {
+            return;
+        }
+        for comp in 0..self.cfg.num_tagged {
+            let p = self.comp[comp];
+            self.fold_cache.index_fold[comp] = fold_history(ghist, p.hist_len, self.cfg.log_tagged);
+            let f1 = fold_history(ghist, p.hist_len, p.tag_bits);
+            let f2 = fold_history(ghist, p.hist_len, p.tag_bits.saturating_sub(3).max(2));
+            self.fold_cache.tag_fold[comp] = f1 ^ (f2 << 2);
+        }
+        self.fold_cache.ghist = ghist;
+        self.fold_cache.valid = true;
+    }
+
+    fn tagged_index(&self, key: u64, path: u64, comp: usize) -> usize {
+        let folded = self.fold_cache.index_fold[comp];
         let idx = (key >> 1) ^ (key >> (1 + self.cfg.log_tagged)) ^ folded ^ (path & 0x3f);
         (idx & ((1 << self.cfg.log_tagged) - 1)) as usize
     }
 
-    fn tagged_tag(&self, key: u64, ghist: u64, comp: usize) -> u16 {
+    fn tagged_tag(&self, key: u64, comp: usize) -> u16 {
         let p = self.comp[comp];
-        let f1 = fold_history(ghist, p.hist_len, p.tag_bits);
-        let f2 = fold_history(ghist, p.hist_len, p.tag_bits.saturating_sub(3).max(2));
-        (((key >> 1) ^ (key >> 9) ^ f1 ^ (f2 << 2)) & p.tag_mask) as u16
+        (((key >> 1) ^ (key >> 9) ^ self.fold_cache.tag_fold[comp]) & p.tag_mask) as u16
     }
 
-    fn lookup(&self, key: u64, ghist: u64, path: u64) -> Inflight {
+    fn lookup(&self, key: u64, path: u64) -> Inflight {
         let base_index = self.base_index(key);
         let lvt_tag = self.lvt_tag(key);
         let lvt = &self.lvt[base_index];
@@ -208,8 +241,8 @@ impl DVtage {
         let mut slots = [(0usize, 0u16); MAX_TAGGED];
         for (comp, slot) in slots.iter_mut().enumerate().take(self.cfg.num_tagged) {
             *slot = (
-                self.tagged_index(key, ghist, path, comp),
-                self.tagged_tag(key, ghist, comp),
+                self.tagged_index(key, path, comp),
+                self.tagged_tag(key, comp),
             );
         }
         let mut provider = None;
@@ -514,7 +547,8 @@ impl ValuePredictor for DVtage {
 
     fn predict(&mut self, ctx: &PredictCtx, uop: &DynUop) -> Option<u64> {
         let key = inst_key(uop);
-        let info = self.lookup(key, ctx.global_history, ctx.path_history);
+        self.refresh_folds(ctx.global_history);
+        let info = self.lookup(key, ctx.path_history);
         let confident = self.provider_confident(&info);
         let prediction = info.prediction;
         // Chain the speculative last value regardless of confidence: the hardware

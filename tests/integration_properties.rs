@@ -11,7 +11,7 @@ use bebop::{
 use bebop_bench::sampling::{cluster_slices, workload_seed};
 use bebop_isa::{byte_index_in_block, fetch_block_pc, FetchBlockLayout};
 use bebop_trace::{profile_slices, SliceBbv, TraceBuffer, TraceGenerator, WorkloadSpec};
-use bebop_uarch::{gmean, OccupancyRing, SlotPool};
+use bebop_uarch::{gmean, Lane, LanePool, OccupancyRing, SlotPool, MAX_DENSE_SPAN, NUM_POOL_LANES};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -142,6 +142,164 @@ fn prop_slot_pool_width() {
             let count = per_cycle.entry(c).or_insert(0u16);
             *count += 1;
             assert!(*count <= width, "case {case}");
+        }
+    }
+}
+
+/// The unified generation-counted `LanePool` is allocation-for-allocation
+/// identical to a bank of independent per-class `SlotPool`s across arbitrary
+/// width/request/prune sequences — the differential guarantee the pipeline's
+/// structure-of-arrays refactor rests on, in the same scalar-reference style
+/// as the `slot_simd` equivalence tests. The request stream mixes near
+/// cycles, far-future spikes (exercising the sparse overflow and its
+/// prune-time migration back into the dense window), shared prunes and
+/// per-lane horizon prunes; every case also snapshots the lane pool mid-way
+/// and checks the restored copy stays in lockstep.
+#[test]
+fn prop_lane_pool_matches_slot_pool_bank() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let widths: [u16; NUM_POOL_LANES] = std::array::from_fn(|_| r.gen_range(1u16..9));
+        let mut pool = LanePool::new(widths);
+        let mut bank: Vec<SlotPool> = widths.iter().map(|&w| SlotPool::new(w)).collect();
+        let n = r.gen_range(1usize..300);
+        let mut horizon = 0u64;
+        let mut restored: Option<LanePool> = None;
+        for step in 0..n {
+            let lane = Lane::ALL[r.gen_range(0usize..NUM_POOL_LANES)];
+            // Mostly near-window requests, occasionally a far-future spike:
+            // some just past the dense span (exercising the sparse overflow
+            // and its prune-time migration back into the dense window), some
+            // many spans out (the unbounded-growth bug's trigger — the old
+            // pool resized its deque out to the requested cycle).
+            let req = if r.gen_range(0u32..20) == 0 {
+                horizon + MAX_DENSE_SPAN * r.gen_range(1u64..8) + r.gen_range(0u64..1000)
+            } else {
+                horizon + r.gen_range(0u64..200)
+            };
+            let got = pool.allocate(lane, req);
+            let want = bank[lane as usize].allocate(req);
+            assert_eq!(got, want, "case {case} step {step} lane {}", lane.name());
+            if let Some(copy) = restored.as_mut() {
+                assert_eq!(
+                    copy.allocate(lane, req),
+                    want,
+                    "case {case} step {step} restored"
+                );
+            }
+            match r.gen_range(0u32..12) {
+                0 => {
+                    // Shared prune: every lane's horizon advances together.
+                    horizon += r.gen_range(0u64..50);
+                    pool.prune_below(horizon);
+                    if let Some(copy) = restored.as_mut() {
+                        copy.prune_below(horizon);
+                    }
+                    for p in bank.iter_mut() {
+                        p.prune_below(horizon);
+                    }
+                }
+                1 => {
+                    // Per-lane horizon (the commit / execution-lane trail).
+                    let l = Lane::ALL[r.gen_range(0usize..NUM_POOL_LANES)];
+                    let h = horizon + r.gen_range(0u64..3000);
+                    pool.prune_lane_below(l, h);
+                    if let Some(copy) = restored.as_mut() {
+                        copy.prune_lane_below(l, h);
+                    }
+                    bank[l as usize].prune_below(h);
+                }
+                2 if restored.is_none() => {
+                    // Snapshot mid-sequence; the restored pool must continue
+                    // in lockstep (window shape, horizons and generation all
+                    // round-trip).
+                    let mut w = bebop_isa::StateWriter::new();
+                    pool.save_state(&mut w);
+                    let bytes = w.finish();
+                    let mut copy = LanePool::new(widths);
+                    copy.restore_state(&mut bebop_isa::StateReader::new(&bytes))
+                        .expect("round-trip of a live pool must restore");
+                    assert_eq!(copy.generation(), pool.generation(), "case {case}");
+                    restored = Some(copy);
+                }
+                _ => {}
+            }
+        }
+        // Regression lock for the unbounded-growth bug: a far-future request
+        // used to resize the dense deque out to the requested cycle — the
+        // multi-span spikes above would have grown the window to several
+        // times MAX_DENSE_SPAN. Dense storage may legitimately materialise up
+        // to the span bound (prune-time migration of a just-past-the-window
+        // entry), but never beyond it; everything further is sparse, and the
+        // sequence holds at most one far entry per step.
+        let bound = MAX_DENSE_SPAN + n as u64;
+        assert!(
+            (pool.tracked_cycles() as u64) <= bound,
+            "case {case}: lane pool window grew past the dense bound ({})",
+            pool.tracked_cycles()
+        );
+        for (li, p) in bank.iter().enumerate() {
+            assert!(
+                (p.tracked_cycles() as u64) <= bound,
+                "case {case}: slot pool {li} window grew past the dense bound ({})",
+                p.tracked_cycles()
+            );
+        }
+    }
+}
+
+/// A group allocation on one lane is exactly as many successive scalar
+/// allocations, whatever residual usage the target cycle already carries.
+#[test]
+fn prop_lane_pool_group_allocation_is_exact() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let widths: [u16; NUM_POOL_LANES] = std::array::from_fn(|_| r.gen_range(1u16..9));
+        let mut grouped = LanePool::new(widths);
+        let mut scalar = LanePool::new(widths);
+        let mut cycle = 0u64;
+        for step in 0..r.gen_range(1usize..60) {
+            let lane = Lane::ALL[r.gen_range(0usize..NUM_POOL_LANES)];
+            cycle += r.gen_range(0u64..4);
+            let k = r.gen_range(1usize..9);
+            let mut out = vec![0u64; k];
+            grouped.allocate_group(lane, cycle, &mut out);
+            for (j, &got) in out.iter().enumerate() {
+                let want = scalar.allocate(lane, cycle);
+                assert_eq!(got, want, "case {case} step {step} slot {j}");
+            }
+        }
+    }
+}
+
+/// The batched occupancy-ring floor gather (`release_floor_after(k)` against
+/// the pre-group state) equals the scalar interleaved constrain/push
+/// sequence for any in-group push count below the capacity.
+#[test]
+fn prop_occupancy_ring_floor_gather() {
+    for case in 0..CASES {
+        let mut r = rng(case);
+        let capacity = r.gen_range(1usize..16);
+        let mut live = OccupancyRing::new(capacity);
+        let mut batched = OccupancyRing::new(capacity);
+        let mut release = 0u64;
+        for _ in 0..r.gen_range(1usize..30) {
+            let group_len = r.gen_range(1usize..=capacity);
+            let group: Vec<u64> = (0..group_len)
+                .map(|_| {
+                    release += r.gen_range(1u64..20);
+                    release
+                })
+                .collect();
+            for (k, &rel) in group.iter().enumerate() {
+                assert_eq!(
+                    batched.release_floor_after(k),
+                    live.constrain(0),
+                    "case {case} position {k}"
+                );
+                live.push(rel);
+            }
+            batched.push_group(&group);
         }
     }
 }
